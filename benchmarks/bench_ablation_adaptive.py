@@ -1,0 +1,102 @@
+"""Ablation: adaptive compression on/off control (Jin et al. [17]).
+
+Runs a workload with alternating compressible and incompressible phases
+under plain FP-COMP and Adaptive(FP-COMP).  Expected shape: on the
+incompressible phases the adaptive controller switches the codec off,
+skipping its 3+2 cycle latency, so the adaptive variant's total latency is
+no worse — and its codec does measurably toggle.
+"""
+
+from conftest import scaled
+
+from repro.compression import AdaptiveScheme, FpCompScheme
+from repro.core import CacheBlock
+from repro.harness import format_table
+from repro.harness.experiment import RunResult
+from repro.noc import Network, PAPER_CONFIG, PacketKind, TrafficRequest
+from repro.traffic.datagen import BlockGenerator, ValueModel
+from repro.util.rng import DeterministicRng
+
+
+class PhasedTraffic:
+    """Alternating compressible / high-entropy phases."""
+
+    def __init__(self, config, phase_cycles=600, rate=0.03, seed=1):
+        self.config = config
+        self.phase_cycles = phase_cycles
+        self.rate = rate
+        self._rng = DeterministicRng(seed)
+        compressible = ValueModel(name="soft", p_zero=0.35, p_small=0.3,
+                                  p_pool=0.3, cluster_noise=0.0,
+                                  exact_repeat=1.0)
+        hard = ValueModel(name="hard", p_zero=0.0, p_small=0.0, p_pool=0.0)
+        self._generators = [
+            BlockGenerator(compressible, self._rng.fork(1)),
+            BlockGenerator(hard, self._rng.fork(2)),
+        ]
+
+    def generate(self, cycle):
+        phase = (cycle // self.phase_cycles) % 2
+        generator = self._generators[phase]
+        requests = []
+        n = self.config.n_nodes
+        for src in range(n):
+            if not self._rng.bernoulli(self.rate):
+                continue
+            dst = self._rng.randint(0, n - 2)
+            if dst >= src:
+                dst += 1
+            block = generator.next_block(self.config.words_per_block,
+                                         approximable=False)
+            requests.append(TrafficRequest(src, dst, PacketKind.DATA,
+                                           block))
+        return requests
+
+
+def run_one(scheme, cycles):
+    network = Network(PAPER_CONFIG, scheme)
+    network.set_traffic(PhasedTraffic(PAPER_CONFIG,
+                                      phase_cycles=scaled(600)))
+    network.run(cycles)
+    measured = network.stats.cycles
+    assert network.drain(200_000)
+    network.stats.cycles = measured
+    return RunResult.from_network(network)
+
+
+def run_ablation():
+    cycles = scaled(4800)
+    plain = run_one(FpCompScheme(PAPER_CONFIG.n_nodes), cycles)
+    # small window / fast probing so the controller tracks the phases at
+    # this benchmark's per-node block rate
+    adaptive_scheme = AdaptiveScheme(FpCompScheme(PAPER_CONFIG.n_nodes),
+                                     window=6, probe_period=6)
+    adaptive = run_one(adaptive_scheme, cycles)
+    return [
+        {"scheme": "FP-COMP", "latency": plain.avg_packet_latency,
+         "queue": plain.avg_queue_latency, "decode": plain.avg_decode_latency,
+         "toggles": 0},
+        {"scheme": "Adaptive(FP-COMP)",
+         "latency": adaptive.avg_packet_latency,
+         "queue": adaptive.avg_queue_latency,
+         "decode": adaptive.avg_decode_latency,
+         "toggles": adaptive_scheme.toggles()},
+    ]
+
+
+def check_shape(rows):
+    plain, adaptive = rows
+    assert adaptive["toggles"] >= 2, "controller never reacted to phases"
+    # skipping codec latency on hard phases shows up in the decode term
+    assert adaptive["decode"] <= plain["decode"] + 1e-9
+    assert adaptive["latency"] <= plain["latency"] + 0.5
+
+
+def test_adaptive_control(benchmark, show):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    check_shape(rows)
+    show(format_table(
+        ["scheme", "latency", "queue", "decode", "toggles"],
+        [[r["scheme"], r["latency"], r["queue"], r["decode"], r["toggles"]]
+         for r in rows],
+        title="Ablation: adaptive compression on/off under phased traffic"))

@@ -1,0 +1,72 @@
+"""Ablation: VAXX as a plug-in over a third compression substrate.
+
+§3.2 claims VAXX works "in the manner of plug and play module for any
+underlying NoC data compression mechanisms".  Beyond the paper's two case
+studies we couple it to base-delta compression (Zhan et al. [36]) and
+replay a benchmark trace under BD-COMP vs BD-VAXX next to the original four
+mechanisms.  Expected shape: BD-VAXX beats BD-COMP on flits and latency,
+just as the other VAXX pairs do.
+"""
+
+from conftest import scaled
+
+from repro.compression import BdCompScheme, BdVaxxScheme
+from repro.harness import benchmark_trace, format_table
+from repro.harness.experiment import RunResult
+from repro.noc import Network, PAPER_CONFIG
+from repro.traffic import TraceTraffic
+
+
+def run_bd(mechanism_cls, trace, threshold=10.0, warmup=None, measure=None):
+    scheme = (mechanism_cls(PAPER_CONFIG.n_nodes, error_threshold_pct=10.0)
+              if mechanism_cls is BdVaxxScheme
+              else mechanism_cls(PAPER_CONFIG.n_nodes))
+    network = Network(PAPER_CONFIG, scheme)
+    network.set_traffic(TraceTraffic(trace, loop=True))
+    network.run(warmup)
+    network.stats.reset()
+    scheme.stats.reset()
+    scheme.quality.reset()
+    network.run(measure)
+    cycles = network.stats.cycles
+    assert network.drain(200_000)
+    network.stats.cycles = cycles
+    return RunResult.from_network(network)
+
+
+def run_ablation():
+    warmup, measure = scaled(2500), scaled(2500)
+    rows = []
+    for bench_name in ("ssca2", "streamcluster"):
+        trace = benchmark_trace(PAPER_CONFIG, bench_name, scaled(5000))
+        for cls in (BdCompScheme, BdVaxxScheme):
+            run = run_bd(cls, trace, warmup=warmup, measure=measure)
+            rows.append({
+                "benchmark": bench_name, "mechanism": run.mechanism,
+                "latency": run.avg_packet_latency,
+                "data_flits": run.data_flits_injected,
+                "ratio": run.compression_ratio,
+                "quality": run.data_quality,
+            })
+    return rows
+
+
+def check_shape(rows):
+    by_key = {(r["benchmark"], r["mechanism"]): r for r in rows}
+    for bench_name in ("ssca2", "streamcluster"):
+        vaxx = by_key[(bench_name, "BD-VAXX")]
+        comp = by_key[(bench_name, "BD-COMP")]
+        assert vaxx["ratio"] >= comp["ratio"]
+        assert vaxx["data_flits"] <= comp["data_flits"]
+        assert vaxx["quality"] > 0.97
+
+
+def test_plug_and_play(benchmark, show):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    check_shape(rows)
+    show(format_table(
+        ["benchmark", "mechanism", "latency", "data_flits", "ratio",
+         "quality"],
+        [[r["benchmark"], r["mechanism"], r["latency"], r["data_flits"],
+          r["ratio"], r["quality"]] for r in rows],
+        title="Ablation: VAXX plugged onto base-delta compression"))

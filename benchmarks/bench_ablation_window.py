@@ -1,0 +1,67 @@
+"""Ablation: window-based cumulative error budget (the paper's future work).
+
+§7 proposes replacing the conservative per-word threshold with a cumulative
+budget over a window of words.  This ablation compares FP-VAXX under
+
+* the default per-word policy,
+* window budgets of 8 / 16 / 64 words at the same nominal threshold,
+
+on an image-like value stream, reporting approximate-match rate and data
+quality.  Expected shape: the window policy admits at least as many
+approximate matches while keeping the *average* error within the budget.
+"""
+
+from repro.core import CacheBlock, FpVaxxScheme, WindowErrorBudget
+from repro.traffic.datagen import BlockGenerator, ValueModel
+from repro.util.rng import DeterministicRng
+
+
+def run_ablation(blocks: int = 600, threshold: float = 10.0):
+    model = ValueModel(name="frame", p_zero=0.1, p_small=0.1, p_pool=0.7,
+                       pool_size=12, cluster_noise=0.05, exact_repeat=0.2,
+                       scale=3e3)
+    variants = {"per-word": None}
+    for window in (8, 16, 64):
+        variants[f"window-{window}"] = window
+    rows = []
+    for name, window in variants.items():
+        if window is None:
+            scheme = FpVaxxScheme(4, error_threshold_pct=threshold)
+        else:
+            scheme = FpVaxxScheme(
+                4, error_threshold_pct=threshold,
+                budget_factory=lambda w=window: WindowErrorBudget(
+                    threshold_pct=threshold, window=w))
+        generator = BlockGenerator(model, DeterministicRng(3))
+        for _ in range(blocks):
+            scheme.roundtrip(generator.next_block(16, approximable=True),
+                             0, 1)
+        rows.append({
+            "policy": name,
+            "approx_fraction": scheme.quality.approx_fraction,
+            "compression_ratio": scheme.stats.compression_ratio,
+            "mean_error": scheme.quality.mean_error,
+            "max_word_error": scheme.quality.max_word_error,
+        })
+    return rows
+
+
+def check_shape(rows):
+    by_policy = {r["policy"]: r for r in rows}
+    for row in rows:
+        # average error always within the nominal 10% budget
+        assert row["mean_error"] <= 0.10
+    # the widest window admits at least as much approximation as per-word
+    assert (by_policy["window-64"]["approx_fraction"]
+            >= by_policy["per-word"]["approx_fraction"] - 0.02)
+
+
+def test_window_budget_ablation(benchmark, show):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    check_shape(rows)
+    from repro.harness import format_table
+    show(format_table(
+        ["policy", "approx_fraction", "ratio", "mean_err", "max_err"],
+        [[r["policy"], r["approx_fraction"], r["compression_ratio"],
+          r["mean_error"], r["max_word_error"]] for r in rows],
+        title="Ablation: per-word vs window error budgets (10% threshold)"))

@@ -1,0 +1,31 @@
+"""§5.5: encoder area overhead per NI (45 nm).
+
+Regenerates the area numbers the paper obtained from CACTI + Verilog:
+DI-VAXX 0.0037 mm², FP-VAXX 0.0029 mm² per NI.
+"""
+
+import pytest
+
+from repro.harness import area_overhead, format_area_overhead
+
+
+def run_area():
+    return area_overhead(n_nodes=32)
+
+
+def check_shape(rows):
+    by_mechanism = {r["mechanism"]: r for r in rows}
+    assert by_mechanism["DI-VAXX"]["total_mm2"] == pytest.approx(
+        0.0037, rel=0.10)
+    assert by_mechanism["FP-VAXX"]["total_mm2"] == pytest.approx(
+        0.0029, rel=0.10)
+    assert (by_mechanism["DI-VAXX"]["total_mm2"]
+            > by_mechanism["DI-COMP"]["total_mm2"])
+    assert (by_mechanism["FP-VAXX"]["total_mm2"]
+            > by_mechanism["FP-COMP"]["total_mm2"])
+
+
+def test_area_overhead(benchmark, show):
+    rows = benchmark.pedantic(run_area, rounds=1, iterations=1)
+    check_shape(rows)
+    show(format_area_overhead(rows))

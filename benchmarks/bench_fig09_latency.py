@@ -1,0 +1,44 @@
+"""Figure 9: average packet latency breakdown + data quality.
+
+All eight benchmarks under all five mechanisms on identical traces
+(10% threshold, 75% approximable packets).  Expected shape (§5.2.1):
+
+* compression mechanisms beat Baseline on average;
+* each VAXX variant beats its base mechanism;
+* SSCA2 (data-intensive) shows the largest reduction;
+* data value quality stays above 0.97 despite the 10% threshold.
+"""
+
+from conftest import scaled
+
+from repro.harness import figure9, format_figure9, run_benchmark_suite
+
+
+def run_figure9():
+    suite = run_benchmark_suite(
+        trace_cycles=scaled(6000), warmup=scaled(3000),
+        measure=scaled(3000))
+    return figure9(suite)
+
+
+def check_shape(rows):
+    avg = {r["mechanism"]: r for r in rows if r["benchmark"] == "AVG"}
+    assert avg["FP-VAXX"]["total"] < avg["FP-COMP"]["total"]
+    assert avg["DI-VAXX"]["total"] <= avg["DI-COMP"]["total"] * 1.02
+    assert avg["FP-VAXX"]["total"] < avg["Baseline"]["total"]
+    for row in rows:
+        assert row["quality"] > 0.97
+    ssca2 = {r["mechanism"]: r for r in rows if r["benchmark"] == "ssca2"}
+    reduction = 1 - ssca2["FP-VAXX"]["total"] / ssca2["FP-COMP"]["total"]
+    assert reduction > 0.0, "ssca2 must benefit from approximation"
+
+
+def test_figure9(benchmark, show):
+    rows = benchmark.pedantic(run_figure9, rounds=1, iterations=1)
+    check_shape(rows)
+    show(format_figure9(rows))
+    ssca2 = {r["mechanism"]: r for r in rows if r["benchmark"] == "ssca2"}
+    best_vaxx = min(ssca2["FP-VAXX"]["total"], ssca2["DI-VAXX"]["total"])
+    best_comp = min(ssca2["FP-COMP"]["total"], ssca2["DI-COMP"]["total"])
+    print(f"\nssca2 latency reduction of best VAXX vs best compression: "
+          f"{(1 - best_vaxx / best_comp) * 100:.1f}% (paper: 36.7%)")

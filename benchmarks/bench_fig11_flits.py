@@ -1,0 +1,56 @@
+"""Figure 11: reduction in injected data flits.
+
+Expected shape: every compression mechanism injects fewer data flits than
+Baseline, VAXX fewer than its base (paper: DI-VAXX -3% vs DI-COMP and -38%
+vs Baseline; FP-VAXX -19% vs FP-COMP and -45% vs Baseline), with the
+caveat of §5.2.1 that flit reduction does not scale proportionally with
+compression ratio because of internal fragmentation.
+"""
+
+import math
+
+from conftest import scaled
+
+from repro.harness import figure11, format_figure11, run_benchmark_suite
+
+
+def run_figure11():
+    suite = run_benchmark_suite(
+        trace_cycles=scaled(6000), warmup=scaled(3000),
+        measure=scaled(3000))
+    return figure11(suite), figure_ratio_map(suite)
+
+
+def figure_ratio_map(suite):
+    return {(benchmark, mechanism): run.compression_ratio
+            for benchmark, runs in suite.runs.items()
+            for mechanism, run in runs.items()}
+
+
+def geomean(values):
+    values = [max(v, 1e-9) for v in values]
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def check_shape(rows, ratios):
+    by_key = {(r["benchmark"], r["mechanism"]): r for r in rows}
+    benchmarks = {r["benchmark"] for r in rows}
+    fp_vaxx_norm = geomean(by_key[(b, "FP-VAXX")]["normalized"]
+                           for b in benchmarks)
+    fp_comp_norm = geomean(by_key[(b, "FP-COMP")]["normalized"]
+                           for b in benchmarks)
+    assert fp_vaxx_norm < fp_comp_norm < 1.0
+    di_vaxx_norm = geomean(by_key[(b, "DI-VAXX")]["normalized"]
+                           for b in benchmarks)
+    assert di_vaxx_norm < 1.0
+    # Internal fragmentation: flit reduction lags the compression ratio.
+    for benchmark in benchmarks:
+        ratio = ratios[(benchmark, "FP-VAXX")]
+        norm = by_key[(benchmark, "FP-VAXX")]["normalized"]
+        assert norm >= 1.0 / ratio - 0.02
+
+
+def test_figure11(benchmark, show):
+    rows, ratios = benchmark.pedantic(run_figure11, rounds=1, iterations=1)
+    check_shape(rows, ratios)
+    show(format_figure11(rows))

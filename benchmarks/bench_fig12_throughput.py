@@ -1,0 +1,43 @@
+"""Figure 12: throughput with synthetic traffic.
+
+Latency-vs-injection curves for blackscholes and streamcluster data traces
+under Uniform Random and Transpose patterns, 25:75 data-to-control packet
+ratio.  Expected shape: Baseline saturates first; VAXX variants last
+(the paper reports up to +40% sustained load under UR and +69% under TR
+against the compression mechanisms).
+"""
+
+from conftest import scaled
+
+from repro.harness import (
+    figure12,
+    format_figure12,
+    saturation_throughput,
+)
+
+RATES = (0.05, 0.125, 0.175, 0.225, 0.30, 0.40, 0.50)
+
+
+def run_figure12():
+    return figure12(injection_rates=RATES, warmup=scaled(1200),
+                    measure=scaled(2500))
+
+
+def check_shape(results):
+    for (benchmark, pattern), series in results.items():
+        sustained = saturation_throughput(series, RATES)
+        assert sustained["FP-VAXX"] >= sustained["FP-COMP"]
+        assert sustained["DI-VAXX"] >= sustained["DI-COMP"]
+        best_vaxx = max(sustained["FP-VAXX"], sustained["DI-VAXX"])
+        assert best_vaxx >= sustained["Baseline"]
+
+
+def test_figure12(benchmark, show):
+    results = benchmark.pedantic(run_figure12, rounds=1, iterations=1)
+    check_shape(results)
+    show(format_figure12(results, RATES))
+    print("\nSustained load before saturation (flits/cycle/node):")
+    for (bench_name, pattern), series in results.items():
+        sustained = saturation_throughput(series, RATES)
+        summary = "  ".join(f"{m}={v:.2f}" for m, v in sustained.items())
+        print(f"  {bench_name:>13s}/{pattern:<15s} {summary}")

@@ -1,0 +1,34 @@
+"""Figure 13: error-threshold sensitivity (5% / 10% / 20%).
+
+Expected shape (§5.3.1): latency improves (or holds) as the threshold
+grows — more approximate matches — with FP-VAXX comparatively insensitive
+because small thresholds already unlock the static pattern matches.
+"""
+
+from conftest import scaled
+
+from repro.harness import figure13, format_figure13
+
+THRESHOLDS = (5.0, 10.0, 20.0)
+
+
+def run_figure13():
+    return figure13(thresholds=THRESHOLDS, trace_cycles=scaled(5000),
+                    warmup=scaled(2500), measure=scaled(2500))
+
+
+def check_shape(rows):
+    improvements = 0
+    for row in rows:
+        # The 20% threshold should not be slower than compression-only by
+        # any meaningful margin, and usually improves on 5%.
+        assert row["20%"] <= row["compression"] * 1.10
+        if row["20%"] <= row["5%"] + 0.25:
+            improvements += 1
+    assert improvements >= len(rows) * 0.6
+
+
+def test_figure13(benchmark, show):
+    rows = benchmark.pedantic(run_figure13, rounds=1, iterations=1)
+    check_shape(rows)
+    show(format_figure13(rows, THRESHOLDS))

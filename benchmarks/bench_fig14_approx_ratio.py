@@ -1,0 +1,36 @@
+"""Figure 14: approximable-packet-ratio sensitivity (25% / 50% / 75%).
+
+Expected shape (§5.3.2): packet latency improves as more packets are
+allowed to be approximated, with the strongest effect on the data-intensive
+benchmarks (ssca2, swaptions, streamcluster) and little effect where the
+data-to-control ratio is low.
+"""
+
+from conftest import scaled
+
+from repro.harness import figure14, format_figure14
+
+RATIOS = (0.25, 0.50, 0.75)
+
+
+def run_figure14():
+    return figure14(approx_ratios=RATIOS, trace_cycles=scaled(5000),
+                    warmup=scaled(2500), measure=scaled(2500))
+
+
+def check_shape(rows):
+    better = 0
+    for row in rows:
+        assert row["75%"] <= row["compression"] * 1.10
+        if row["75%"] <= row["25%"] + 0.25:
+            better += 1
+    assert better >= len(rows) * 0.6
+    # The data-intensive benchmark must show a clear 75%-vs-25% gain.
+    ssca2 = [r for r in rows if r["benchmark"] == "ssca2"]
+    assert any(r["75%"] < r["25%"] for r in ssca2)
+
+
+def test_figure14(benchmark, show):
+    rows = benchmark.pedantic(run_figure14, rounds=1, iterations=1)
+    check_shape(rows)
+    show(format_figure14(rows, RATIOS))

@@ -1,0 +1,49 @@
+"""Figure 15: dynamic power consumption normalized to Baseline.
+
+Expected shape (§5.5): the flit-event reduction pays for the codec energy —
+FP-VAXX is the cheapest mechanism (paper: -5.4% vs Baseline and -1.3% vs
+FP-COMP on average), and every VAXX variant consumes no more than its base
+mechanism.
+"""
+
+import math
+
+from conftest import scaled
+
+from repro.harness import figure15, format_figure15, run_benchmark_suite
+
+
+def run_figure15():
+    suite = run_benchmark_suite(
+        trace_cycles=scaled(6000), warmup=scaled(3000),
+        measure=scaled(3000))
+    return figure15(suite)
+
+
+def geomean(values):
+    return math.exp(sum(math.log(max(v, 1e-9)) for v in values)
+                    / len(list(values)))
+
+
+def check_shape(rows):
+    by_mechanism = {}
+    for row in rows:
+        by_mechanism.setdefault(row["mechanism"], []).append(
+            row["normalized_power"])
+    means = {m: geomean(v) for m, v in by_mechanism.items()}
+    assert means["FP-VAXX"] < means["Baseline"]
+    assert means["FP-VAXX"] <= means["FP-COMP"]
+    assert means["DI-VAXX"] <= means["DI-COMP"] * 1.02
+
+
+def test_figure15(benchmark, show):
+    rows = benchmark.pedantic(run_figure15, rounds=1, iterations=1)
+    check_shape(rows)
+    show(format_figure15(rows))
+    by_mechanism = {}
+    for row in rows:
+        by_mechanism.setdefault(row["mechanism"], []).append(
+            row["normalized_power"])
+    fp_vaxx = geomean(by_mechanism["FP-VAXX"])
+    print(f"\nFP-VAXX mean normalized power: {fp_vaxx:.3f} "
+          "(paper: 0.946 vs Baseline)")

@@ -1,0 +1,46 @@
+"""Figure 16: application output accuracy + normalized performance.
+
+Expected shape (§5.4): with a 10% data error budget all applications stay
+within the budget except streamcluster (center mismatch); at 20% the output
+errors grow but most stay near 5%; performance improves with the budget,
+most strongly for swaptions and ssca2 (paper: up to +10% and +14%).
+"""
+
+from conftest import scaled
+
+from repro.harness import figure16, format_figure16
+
+BUDGETS = (0.0, 10.0, 20.0)
+
+
+def run_figure16():
+    return figure16(budgets=BUDGETS, trace_cycles=scaled(5000),
+                    warmup=scaled(2500), measure=scaled(2500))
+
+
+def check_shape(rows):
+    by_key = {(r["benchmark"], r["budget_pct"]): r for r in rows}
+    benchmarks = {r["benchmark"] for r in rows}
+    for bench_name in benchmarks:
+        zero = by_key[(bench_name, 0.0)]
+        assert zero["output_error"] == 0.0
+        assert zero["normalized_performance"] == 1.0
+        # error grows (weakly) with the budget; FP-VAXX's float path can
+        # be slightly non-monotonic (§5.3.1), so allow a small tolerance
+        assert (by_key[(bench_name, 20.0)]["output_error"]
+                >= 0.7 * by_key[(bench_name, 10.0)]["output_error"] - 1e-6)
+        # performance does not regress with a larger budget
+        assert (by_key[(bench_name, 20.0)]["normalized_performance"]
+                >= 0.97)
+    # the data-intensive benchmarks gain the most
+    assert by_key[("ssca2", 20.0)]["normalized_performance"] > 1.01
+
+
+def test_figure16(benchmark, show):
+    rows = benchmark.pedantic(run_figure16, rounds=1, iterations=1)
+    check_shape(rows)
+    show(format_figure16(rows))
+    sc = [r for r in rows if r["benchmark"] == "streamcluster"
+          and r["budget_pct"] == 20.0][0]
+    print(f"\nstreamcluster output error at 20% budget: "
+          f"{sc['output_error']:.3f} — the paper's noted outlier")

@@ -1,0 +1,24 @@
+"""Figure 17: bodytrack precise vs approximate output.
+
+Expected shape (§5.4): at the 10% data error budget the output track
+vectors differ by a few percent (paper: 2.4%) and the rendered frames are
+visually indistinguishable (high PSNR).
+"""
+
+from repro.harness import figure17, format_figure17
+
+
+def run_figure17():
+    return figure17(error_threshold_pct=10.0, n_frames=10, size=48)
+
+
+def check_shape(result):
+    assert result["track_error"] < 0.10
+    finite = [p for p in result["frame_psnr_db"] if p != float("inf")]
+    assert not finite or min(finite) > 30.0
+
+
+def test_figure17(benchmark, show):
+    result = benchmark.pedantic(run_figure17, rounds=1, iterations=1)
+    check_shape(result)
+    show(format_figure17(result))

@@ -1,0 +1,61 @@
+"""§5.4 full-system study: 64-node 8x8 mesh with coherence-accurate traffic.
+
+The paper's overall-performance experiment configures "a 64-core CMP
+connected by an 8x8 mesh network".  This benchmark drives the coherent-
+cache substrate (16 cores spread over the 64-node mesh, MSI directory,
+shared/producer-consumer/migratory sharing) to produce protocol-accurate
+traces, then replays them under every mechanism.  Expected shape: the
+ordering of Figure 9 survives the move from the 4x4 c-mesh to the full-
+system 8x8 mesh.
+"""
+
+from conftest import scaled
+
+from repro.harness import MECHANISM_ORDER, format_table, run_trace
+from repro.memory.workloads import benchmark_coherence_trace
+from repro.noc import NocConfig
+
+FULL_SYSTEM = NocConfig(mesh_width=8, mesh_height=8, concentration=1)
+
+
+def run_full_system():
+    rows = []
+    for bench_name in ("ssca2", "streamcluster"):
+        trace = benchmark_coherence_trace(
+            bench_name, n_cores=16, n_nodes=FULL_SYSTEM.n_nodes,
+            accesses_per_core=scaled(300, minimum=80), seed=11)
+        span = trace[-1].cycle + 1
+        warmup = span // 3
+        for mechanism in MECHANISM_ORDER:
+            result = run_trace(FULL_SYSTEM, mechanism, trace,
+                               warmup=warmup, measure=span - warmup)
+            rows.append({
+                "benchmark": bench_name, "mechanism": mechanism,
+                "latency": result.avg_packet_latency,
+                "data_flits": result.data_flits_injected,
+                "ratio": result.compression_ratio,
+                "quality": result.data_quality,
+            })
+    return rows
+
+
+def check_shape(rows):
+    by_key = {(r["benchmark"], r["mechanism"]): r for r in rows}
+    for bench_name in ("ssca2", "streamcluster"):
+        assert (by_key[(bench_name, "FP-VAXX")]["data_flits"]
+                <= by_key[(bench_name, "FP-COMP")]["data_flits"])
+        assert (by_key[(bench_name, "FP-VAXX")]["latency"]
+                <= by_key[(bench_name, "Baseline")]["latency"] * 1.05)
+        for mechanism in MECHANISM_ORDER:
+            assert by_key[(bench_name, mechanism)]["quality"] > 0.97
+
+
+def test_full_system(benchmark, show):
+    rows = benchmark.pedantic(run_full_system, rounds=1, iterations=1)
+    check_shape(rows)
+    show(format_table(
+        ["benchmark", "mechanism", "latency", "data_flits", "ratio",
+         "quality"],
+        [[r["benchmark"], r["mechanism"], r["latency"], r["data_flits"],
+          r["ratio"], r["quality"]] for r in rows],
+        title="Full system (8x8 mesh, coherence-accurate traffic)"))

@@ -1,0 +1,27 @@
+"""Table 1: the APPROX-NoC simulation configuration.
+
+Regenerates the configuration table and sanity-checks that the simulator's
+defaults are exactly the paper's (4x4 c-mesh, 3-stage routers, 4 VCs x
+4-flit buffers, 64-bit flits, 8-entry PMTs, 10%/75% defaults).
+"""
+
+from repro.compression.dictionary import DEFAULT_PMT_ENTRIES
+from repro.harness import format_table1, table1
+from repro.noc import PAPER_CONFIG
+
+
+def run_table1():
+    rows = table1()
+    mapping = dict(rows)
+    assert PAPER_CONFIG.n_nodes == 32
+    assert PAPER_CONFIG.router_stages == 3
+    assert PAPER_CONFIG.num_vcs == 4 and PAPER_CONFIG.vc_depth == 4
+    assert PAPER_CONFIG.flit_bytes * 8 == 64
+    assert DEFAULT_PMT_ENTRIES == 8
+    assert "wormhole" in mapping["Switching / routing"]
+    return rows
+
+
+def test_table1(benchmark, show):
+    rows = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    show(format_table1(rows))

@@ -1,0 +1,27 @@
+"""Shared configuration for the figure-regeneration benchmarks.
+
+Every module regenerates one table/figure of the paper and prints the rows.
+``REPRO_BENCH_SCALE`` (default 1.0) scales the simulation windows: set it
+below 1 for a quick smoke pass or above 1 for tighter statistics.
+"""
+
+import os
+
+import pytest
+
+#: Global scale factor for simulation windows.
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(cycles: int, minimum: int = 400) -> int:
+    """Scale a cycle budget, keeping it meaningfully large."""
+    return max(int(cycles * SCALE), minimum)
+
+
+@pytest.fixture
+def show():
+    """Print a figure's formatted rows under -s (and into captured logs)."""
+    def _show(text: str) -> None:
+        print()
+        print(text)
+    return _show

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Graph analytics under approximate communication (the paper's headline).
+
+SSCA2-style betweenness centrality on an R-MAT small-world graph, with the
+pair-wise dependency values crossing an APPROX-NoC at different error
+thresholds.  Reproduces the qualitative claim of the intro: a data-intensive
+graph workload keeps its top-ranked vertices while the network moves far
+fewer flits.
+"""
+
+import numpy as np
+
+from repro.apps.channel import ApproxChannel, IdentityChannel
+from repro.apps.ssca2 import (
+    betweenness_centrality,
+    generate_rmat_graph,
+    output_error,
+)
+from repro.harness import make_scheme
+
+
+def top_k(bc: np.ndarray, k: int = 10):
+    """Indices of the k most central vertices."""
+    return list(np.argsort(bc)[::-1][:k])
+
+
+def main() -> None:
+    graph = generate_rmat_graph(n_vertices=128, n_edges=640, seed=5)
+    degree = sum(len(n) for n in graph)
+    print(f"R-MAT graph: 128 vertices, {degree // 2} edges")
+
+    precise = betweenness_centrality(graph, IdentityChannel())
+    print(f"\nprecise top-10 central vertices: {top_k(precise)}")
+
+    print(f"\n{'threshold':>10} {'BC error':>10} {'top-10 overlap':>15} "
+          f"{'compression':>12} {'approx words':>13}")
+    for threshold in (5, 10, 20):
+        scheme = make_scheme("DI-VAXX", 32, error_threshold_pct=threshold)
+        approx = betweenness_centrality(graph, ApproxChannel(scheme))
+        overlap = len(set(top_k(precise)) & set(top_k(approx)))
+        print(f"{threshold:>9}% {output_error(precise, approx):>10.4f} "
+              f"{overlap:>12}/10 "
+              f"{scheme.stats.compression_ratio:>11.2f}x "
+              f"{scheme.quality.approx_fraction:>12.1%}")
+
+    print("\nKey entities survive approximation: the ranking that big-data")
+    print("analyses consume is stable well past the 10% default threshold.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""The paper's future work: window-based error budgets for video traffic.
+
+§7: "use cumulative error threshold over a set of data words defined by a
+window, so as to achieve more approximate matches.  This can be applicable
+especially in cases of video/image applications where the error rate over a
+frame is more appropriate than a conservative per word error threshold."
+
+A video stream has strong *temporal* value locality: frame N+1's pixels are
+close to frame N's, which is exactly what the DI-VAXX dictionary exploits.
+The conservative policy limits every word to the 10% threshold.  The
+window policy grants each word twice that latitude but lets a
+:class:`WindowErrorBudget` clamp the *running average* to the same 10% —
+admitting more approximate matches at equal frame-level error, the trade
+the paper proposes.
+"""
+
+import numpy as np
+
+from repro.core import CacheBlock, DiVaxxScheme, WindowErrorBudget
+from repro.util.rng import DeterministicRng
+
+
+def make_frames(n_frames=8, size=32, seed=3):
+    """Smoothly-varying 12-bit frames: a drifting gradient plus noise."""
+    rng = DeterministicRng(seed)
+    ys, xs = np.mgrid[0:size, 0:size]
+    frames = []
+    phase = 0.0
+    for _ in range(n_frames):
+        phase += 0.08
+        frame = (2100 + 1500 * np.sin(xs / 7.0 + phase)
+                 + 900 * np.cos(ys / 5.0 - phase))
+        noise = np.array([[rng.gauss(0, 20.0) for _ in range(size)]
+                          for _ in range(size)])
+        frames.append(np.clip(frame + noise, 16, 4080).astype(np.int64))
+    return frames
+
+
+def stream_frames(scheme, frames):
+    """Send every frame through the codec as 16-word cache blocks."""
+    total_err = 0.0
+    total_px = 0
+    for frame in frames:
+        flat = frame.ravel()
+        for start in range(0, len(flat), 16):
+            chunk = [int(v) for v in flat[start:start + 16]]
+            block = CacheBlock.from_ints(chunk, approximable=True)
+            delivered, _ = scheme.roundtrip(block, 0, 1)
+            for precise, approx in zip(chunk, delivered.as_ints()):
+                total_err += abs(approx - precise) / max(precise, 1)
+                total_px += 1
+    return total_err / total_px
+
+
+def main() -> None:
+    frames = make_frames()
+    budget = 10.0
+    print(f"video stream: {len(frames)} frames of "
+          f"{frames[0].shape[0]}x{frames[0].shape[1]} 12-bit px, "
+          f"{budget:.0f}% frame-level error budget\n")
+    print(f"{'policy':>14} {'approx words':>13} {'compression':>12} "
+          f"{'mean px error':>14}")
+
+    per_word = DiVaxxScheme(2, error_threshold_pct=budget,
+                            detect_threshold=2)
+    err = stream_frames(per_word, frames)
+    print(f"{'per-word 10%':>14} {per_word.quality.approx_fraction:>12.1%} "
+          f"{per_word.stats.compression_ratio:>11.2f}x {err:>13.4%}")
+
+    for window in (8, 32, 128):
+        scheme = DiVaxxScheme(
+            2, error_threshold_pct=2 * budget, detect_threshold=2,
+            budget_factory=lambda w=window: WindowErrorBudget(
+                threshold_pct=budget, window=w))
+        err = stream_frames(scheme, frames)
+        print(f"{f'window-{window}':>14} "
+              f"{scheme.quality.approx_fraction:>12.1%} "
+              f"{scheme.stats.compression_ratio:>11.2f}x {err:>13.4%}")
+
+    print("\nWindow policies admit individual deviations up to 20% that")
+    print("the per-word policy would never produce, while the cumulative")
+    print("budget pins the frame-average error at the same 10% — the")
+    print("match rate holds while the budget is used more fully, which is")
+    print("the trade §7 proposes for frame-oriented traffic.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""APPROX-NoC: a data approximation framework for NoC architectures.
+
+Python reproduction of Boyapati et al., ISCA 2017.  See README.md for the
+architecture overview and DESIGN.md for the per-experiment index.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    Avcl,
+    CacheBlock,
+    DataType,
+    DiVaxxScheme,
+    ErrorBudget,
+    FpVaxxScheme,
+    WindowErrorBudget,
+)
+from repro.compression import BaselineScheme, DiCompScheme, FpCompScheme
+
+__all__ = [
+    "__version__",
+    "Avcl",
+    "CacheBlock",
+    "DataType",
+    "DiVaxxScheme",
+    "ErrorBudget",
+    "FpVaxxScheme",
+    "WindowErrorBudget",
+    "BaselineScheme",
+    "DiCompScheme",
+    "FpCompScheme",
+]

@@ -1,0 +1,17 @@
+"""Application kernels for the output-quality studies (Figures 16-17).
+
+Small, deterministic re-implementations of each benchmark's approximable
+core (see DESIGN.md §4 for the substitution rationale), plus the
+:class:`~repro.apps.channel.ApproxChannel` that routes their shared data
+through the compression scheme under test.
+"""
+
+from repro.apps.channel import ApproxChannel, IdentityChannel
+from repro.apps.suite import APP_RUNNERS, run_app
+
+__all__ = [
+    "ApproxChannel",
+    "IdentityChannel",
+    "APP_RUNNERS",
+    "run_app",
+]

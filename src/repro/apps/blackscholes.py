@@ -1,0 +1,79 @@
+"""blackscholes: European option pricing (PARSEC kernel stand-in).
+
+The PARSEC benchmark prices a portfolio of European options with the
+Black-Scholes closed form.  The approximable data are the option parameters
+(spot, strike, rate, volatility, expiry) fetched by worker threads; the
+output-quality metric is the mean relative error of the computed prices —
+the standard metric used by the approximate-computing literature the paper
+builds on [23, 24, 29].
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.apps.channel import ApproxChannel, IdentityChannel
+from repro.util.rng import DeterministicRng
+
+
+@dataclass
+class OptionPortfolio:
+    """Input arrays for one pricing run."""
+
+    spot: np.ndarray
+    strike: np.ndarray
+    rate: np.ndarray
+    volatility: np.ndarray
+    expiry: np.ndarray
+    is_call: np.ndarray
+
+
+def generate_portfolio(n_options: int = 512,
+                       seed: int = 7) -> OptionPortfolio:
+    """A reproducible synthetic option portfolio."""
+    rng = DeterministicRng(seed)
+    spot = np.array([rng.random() * 150 + 10 for _ in range(n_options)])
+    strike = spot * np.array([0.7 + 0.6 * rng.random()
+                              for _ in range(n_options)])
+    rate = np.array([0.01 + 0.07 * rng.random() for _ in range(n_options)])
+    vol = np.array([0.10 + 0.50 * rng.random() for _ in range(n_options)])
+    expiry = np.array([0.25 + 2.0 * rng.random() for _ in range(n_options)])
+    is_call = np.array([rng.bernoulli(0.5) for _ in range(n_options)])
+    return OptionPortfolio(spot, strike, rate, vol, expiry, is_call)
+
+
+def _norm_cdf(x: np.ndarray) -> np.ndarray:
+    """Standard normal CDF via erf (no scipy needed on this path)."""
+    return 0.5 * (1.0 + np.vectorize(math.erf)(x / math.sqrt(2.0)))
+
+
+def price(portfolio: OptionPortfolio,
+          channel: Optional[ApproxChannel] = None) -> np.ndarray:
+    """Black-Scholes prices; inputs go through the channel when given."""
+    channel = channel or IdentityChannel()
+    spot = channel.transform_floats(portfolio.spot)
+    strike = channel.transform_floats(portfolio.strike)
+    rate = channel.transform_floats(portfolio.rate)
+    vol = channel.transform_floats(portfolio.volatility)
+    expiry = channel.transform_floats(portfolio.expiry)
+
+    sqrt_t = np.sqrt(expiry)
+    d1 = (np.log(spot / strike) + (rate + 0.5 * vol ** 2) * expiry) / (
+        vol * sqrt_t)
+    d2 = d1 - vol * sqrt_t
+    call = spot * _norm_cdf(d1) - strike * np.exp(-rate * expiry) * \
+        _norm_cdf(d2)
+    put = call - spot + strike * np.exp(-rate * expiry)  # put-call parity
+    return np.where(portfolio.is_call, call, put)
+
+
+def output_error(precise: np.ndarray, approx: np.ndarray) -> float:
+    """Mean relative price error (the application accuracy metric)."""
+    precise = np.asarray(precise, dtype=np.float64)
+    approx = np.asarray(approx, dtype=np.float64)
+    denom = np.maximum(np.abs(precise), 1e-3)
+    return float(np.mean(np.abs(approx - precise) / denom))

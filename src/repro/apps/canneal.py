@@ -1,0 +1,99 @@
+"""canneal: simulated-annealing chip routing cost (PARSEC kernel stand-in).
+
+PARSEC's canneal minimizes routing cost of a netlist by annealed element
+swaps.  The stand-in anneals a placement of netlist elements on a 2-D grid;
+the approximable data are the element coordinates that threads exchange
+when evaluating swap costs.  The accuracy metric is the relative difference
+of the final total wire length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.apps.channel import ApproxChannel, IdentityChannel
+from repro.util.rng import DeterministicRng
+
+
+@dataclass
+class Netlist:
+    """Elements on a grid plus their net connectivity."""
+
+    positions: np.ndarray      # (n, 2) integer grid coordinates
+    nets: List[Tuple[int, int]]
+
+
+def generate_netlist(n_elements: int = 200, n_nets: int = 500,
+                     grid: int = 64, seed: int = 17) -> Netlist:
+    """A reproducible random netlist with locality-biased nets."""
+    rng = DeterministicRng(seed)
+    positions = np.array([[rng.randint(0, grid - 1),
+                           rng.randint(0, grid - 1)]
+                          for _ in range(n_elements)])
+    nets = []
+    for _ in range(n_nets):
+        a = rng.randint(0, n_elements - 1)
+        # Nets prefer nearby ids (module locality).
+        b = (a + rng.randint(1, max(n_elements // 8, 2))) % n_elements
+        nets.append((a, b))
+    return Netlist(positions=positions, nets=nets)
+
+
+def wire_length(positions: np.ndarray,
+                nets: List[Tuple[int, int]]) -> float:
+    """Total Manhattan wire length of the placement."""
+    a = positions[[net[0] for net in nets]]
+    b = positions[[net[1] for net in nets]]
+    return float(np.abs(a - b).sum())
+
+
+def anneal(netlist: Netlist, sweeps: int = 30, seed: int = 23,
+           channel: Optional[ApproxChannel] = None) -> np.ndarray:
+    """Swap-based annealing over channel-delivered coordinates.
+
+    Swap-cost evaluation reads element coordinates through the channel
+    (approximation may mis-rank a few swaps); accepted swaps update the
+    precise placement, like the real benchmark where only evaluation data
+    is approximable.
+    """
+    channel = channel or IdentityChannel()
+    rng = DeterministicRng(seed)
+    positions = netlist.positions.copy()
+    n = len(positions)
+    # Per-element net membership for incremental cost.
+    member_nets: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
+    for net in netlist.nets:
+        member_nets[net[0]].append(net)
+        member_nets[net[1]].append(net)
+    temperature = 2.0
+    for sweep in range(sweeps):
+        observed = channel.transform_ints(positions)
+        for _ in range(n // 2):
+            a = rng.randint(0, n - 1)
+            b = rng.randint(0, n - 1)
+            if a == b:
+                continue
+            delta = 0
+            for u, v in member_nets[a] + member_nets[b]:
+                before = abs(observed[u] - observed[v]).sum()
+                swapped = {a: b, b: a}
+                uu, vv = swapped.get(u, u), swapped.get(v, v)
+                after = abs(observed[uu] - observed[vv]).sum()
+                delta += after - before
+            if delta < 0 or rng.random() < np.exp(
+                    -delta / max(temperature, 1e-6)):
+                positions[[a, b]] = positions[[b, a]]
+                observed[[a, b]] = observed[[b, a]]
+        temperature *= 0.85
+    return positions
+
+
+def output_error(netlist: Netlist, precise_positions: np.ndarray,
+                 approx_positions: np.ndarray) -> float:
+    """Relative difference of the final routing cost."""
+    precise_cost = wire_length(precise_positions, netlist.nets)
+    approx_cost = wire_length(approx_positions, netlist.nets)
+    return abs(approx_cost - precise_cost) / max(precise_cost, 1e-9)

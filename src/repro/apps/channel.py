@@ -1,0 +1,110 @@
+"""The approximation channel: how application data experiences the NoC.
+
+For the output-quality studies (§5.4, Figures 16-17) every shared data
+structure an application reads is treated as having been fetched across the
+network: values are blocked into cache lines, passed through the compression
+scheme's encode→decode round trip (where VAXX may approximate them within
+the error threshold) and handed back to the kernel.  Source/destination
+node pairs rotate across the mesh so dictionary mechanisms exercise their
+per-destination state exactly as they would under real sharing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.compression.base import CompressionScheme
+from repro.core.block import CacheBlock, DataType, WORDS_PER_BLOCK
+from repro.util.bitops import to_signed, to_unsigned
+
+
+class ApproxChannel:
+    """Passes arrays through a compression scheme as cache-block traffic."""
+
+    def __init__(self, scheme: CompressionScheme,
+                 words_per_block: int = WORDS_PER_BLOCK):
+        if words_per_block < 1:
+            raise ValueError("words_per_block must be >= 1")
+        if scheme is not None and scheme.n_nodes < 2:
+            raise ValueError("the channel needs at least two nodes")
+        self.scheme = scheme
+        self.words_per_block = words_per_block
+
+    def _pair_for(self, block_index: int) -> tuple:
+        """The (src, dst) pair a block travels between.
+
+        The pair is a pure function of the block's position — the software
+        analogue of address-interleaved home nodes — so re-reading a
+        structure sends each block across the same flow, and per-pair
+        dictionary state sees the repetition it would see in the real
+        system (the Pin study's "data response from another node").
+        """
+        n = self.scheme.n_nodes
+        src = block_index % n
+        dst = (src + 1) % n
+        return src, dst
+
+    # ------------------------------------------------------------- floats
+
+    def transform_floats(self, values: Sequence[float],
+                         approximable: bool = True) -> np.ndarray:
+        """Round-trip a float array through the network.
+
+        Returns a float64 array whose entries went through float32 blocks
+        (and possibly mantissa approximation).
+        """
+        flat = np.asarray(values, dtype=np.float64).ravel()
+        out: List[float] = []
+        for start in range(0, len(flat), self.words_per_block):
+            chunk = flat[start:start + self.words_per_block]
+            block = CacheBlock.from_floats(chunk.tolist(),
+                                           approximable=approximable)
+            src, dst = self._pair_for(start // self.words_per_block)
+            delivered, _ = self.scheme.roundtrip(block, src, dst)
+            out.extend(delivered.as_floats())
+        result = np.array(out[:len(flat)], dtype=np.float64)
+        return result.reshape(np.asarray(values).shape)
+
+    # -------------------------------------------------------------- ints
+
+    def transform_ints(self, values: Sequence[int],
+                       approximable: bool = True) -> np.ndarray:
+        """Round-trip an int32 array through the network."""
+        flat = np.asarray(values, dtype=np.int64).ravel()
+        if flat.size and (flat.max() > 2**31 - 1 or flat.min() < -2**31):
+            raise ValueError("values exceed 32-bit range")
+        out: List[int] = []
+        for start in range(0, len(flat), self.words_per_block):
+            chunk = flat[start:start + self.words_per_block]
+            block = CacheBlock.from_ints([int(v) for v in chunk],
+                                         approximable=approximable)
+            src, dst = self._pair_for(start // self.words_per_block)
+            delivered, _ = self.scheme.roundtrip(block, src, dst)
+            out.extend(delivered.as_ints())
+        result = np.array(out[:len(flat)], dtype=np.int64)
+        return result.reshape(np.asarray(values).shape)
+
+
+class IdentityChannel(ApproxChannel):
+    """A channel that delivers data untouched (the precise baseline).
+
+    Keeping the float32 quantization identical to the real channel isolates
+    the *approximation* error from representation error, so the precise and
+    approximate runs differ only by what VAXX did.
+    """
+
+    def __init__(self, words_per_block: int = WORDS_PER_BLOCK):
+        self.words_per_block = words_per_block
+        self.scheme = None
+
+    def transform_floats(self, values: Sequence[float],
+                         approximable: bool = True) -> np.ndarray:
+        """Identity delivery (float32 quantization only)."""
+        flat = np.asarray(values, dtype=np.float64)
+        return flat.astype(np.float32).astype(np.float64)
+
+    def transform_ints(self, values: Sequence[int],
+                       approximable: bool = True) -> np.ndarray:
+        return np.asarray(values, dtype=np.int64).copy()

@@ -1,0 +1,76 @@
+"""fluidanimate: SPH particle simulation (PARSEC kernel stand-in).
+
+PARSEC's fluidanimate integrates a smoothed-particle-hydrodynamics fluid.
+The stand-in runs a small 2-D SPH-like step loop (density from neighbors,
+pressure forces, Euler integration); the approximable data are the particle
+positions/velocities exchanged between the spatial partitions each thread
+owns.  The accuracy metric is the mean particle displacement between the
+precise and approximate final states, normalized by the domain size.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.apps.channel import ApproxChannel, IdentityChannel
+from repro.util.rng import DeterministicRng
+
+DOMAIN = 50.0
+SMOOTHING = 4.0
+STIFFNESS = 40.0
+REST_DENSITY = 1.2
+DT = 0.04
+GRAVITY = np.array([0.0, -2.0])
+
+
+def generate_particles(n_particles: int = 150,
+                       seed: int = 29) -> Tuple[np.ndarray, np.ndarray]:
+    """A reproducible dam-break style initial condition."""
+    rng = DeterministicRng(seed)
+    positions = np.array([[rng.random() * DOMAIN * 0.4 + 2.0,
+                           rng.random() * DOMAIN * 0.8 + 2.0]
+                          for _ in range(n_particles)])
+    velocities = np.zeros_like(positions)
+    return positions, velocities
+
+
+def simulate(positions: np.ndarray, velocities: np.ndarray,
+             steps: int = 20,
+             channel: Optional[ApproxChannel] = None) -> np.ndarray:
+    """Run ``steps`` SPH steps over channel-delivered neighbor data."""
+    channel = channel or IdentityChannel()
+    positions = positions.copy()
+    velocities = velocities.copy()
+    for _ in range(steps):
+        # Neighbor positions cross the NoC between spatial partitions.
+        observed = channel.transform_floats(positions)
+        deltas = observed[:, None, :] - observed[None, :, :]
+        distances = np.linalg.norm(deltas, axis=2)
+        kernel = np.maximum(1.0 - distances / SMOOTHING, 0.0) ** 2
+        np.fill_diagonal(kernel, 0.0)
+        density = kernel.sum(axis=1) + 1e-6
+        pressure = STIFFNESS * np.maximum(density - REST_DENSITY, 0.0)
+        # Symmetric pressure force along the neighbor directions.
+        direction = deltas / (distances[:, :, None] + 1e-9)
+        strength = (pressure[:, None] + pressure[None, :]) * kernel
+        force = (direction * strength[:, :, None]).sum(axis=1)
+        velocities += (force / density[:, None] + GRAVITY) * DT
+        velocities *= 0.995  # viscosity
+        positions += velocities * DT
+        # Reflecting walls.
+        for axis in range(2):
+            low = positions[:, axis] < 0.0
+            high = positions[:, axis] > DOMAIN
+            positions[low, axis] *= -1.0
+            positions[high, axis] = 2 * DOMAIN - positions[high, axis]
+            velocities[low | high, axis] *= -0.5
+    return positions
+
+
+def output_error(precise: np.ndarray, approx: np.ndarray) -> float:
+    """Mean particle displacement normalized by the domain size."""
+    displacement = np.linalg.norm(np.asarray(approx) - np.asarray(precise),
+                                  axis=1)
+    return float(np.mean(displacement)) / DOMAIN

@@ -1,0 +1,78 @@
+"""streamcluster: online k-median clustering (PARSEC kernel stand-in).
+
+The approximable data are the point coordinates streamed between threads.
+The paper singles this benchmark out (§5.4): approximating coordinates can
+flip which center a point maps to, so its output error exceeds the data
+error budget — a behaviour this kernel reproduces.  The accuracy metric is
+the relative increase in clustering cost plus the fraction of points whose
+assigned center changed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.apps.channel import ApproxChannel, IdentityChannel
+from repro.util.rng import DeterministicRng
+
+
+def generate_points(n_points: int = 400, n_dims: int = 3,
+                    n_clusters: int = 5, seed: int = 11) -> np.ndarray:
+    """Gaussian blobs around ``n_clusters`` ground-truth centers."""
+    rng = DeterministicRng(seed)
+    centers = np.array([[rng.random() * 100 for _ in range(n_dims)]
+                        for _ in range(n_clusters)])
+    points = np.empty((n_points, n_dims))
+    for i in range(n_points):
+        center = centers[rng.randint(0, n_clusters - 1)]
+        points[i] = [c + rng.gauss(0, 4.0) for c in center]
+    return points
+
+
+@dataclass
+class ClusteringResult:
+    """Centers, per-point assignment and total cost."""
+
+    centers: np.ndarray
+    assignment: np.ndarray
+    cost: float
+
+
+def cluster(points: np.ndarray, k: int = 5, iterations: int = 8,
+            channel: Optional[ApproxChannel] = None) -> ClusteringResult:
+    """Lloyd-style k-median clustering over channel-delivered coordinates.
+
+    Initial centers are the first *k* points (deterministic, as in the
+    PARSEC gsl stream ordering); each iteration re-reads the point stream
+    through the channel, which is where approximation enters.
+    """
+    channel = channel or IdentityChannel()
+    points = np.asarray(points, dtype=np.float64)
+    centers = points[:k].copy()
+    assignment = np.zeros(len(points), dtype=np.int64)
+    for _ in range(iterations):
+        observed = channel.transform_floats(points)
+        distances = np.linalg.norm(
+            observed[:, None, :] - centers[None, :, :], axis=2)
+        assignment = np.argmin(distances, axis=1)
+        for center_index in range(k):
+            members = observed[assignment == center_index]
+            if len(members):
+                centers[center_index] = np.median(members, axis=0)
+    final = np.linalg.norm(points[:, None, :] - centers[None, :, :], axis=2)
+    assignment = np.argmin(final, axis=1)
+    cost = float(final[np.arange(len(points)), assignment].sum())
+    return ClusteringResult(centers=centers, assignment=assignment,
+                            cost=cost)
+
+
+def output_error(precise: ClusteringResult,
+                 approx: ClusteringResult) -> float:
+    """Cost degradation plus center-mismatch fraction (§5.4's failure
+    mode: approximating coordinates mismatches centers)."""
+    cost_err = abs(approx.cost - precise.cost) / max(precise.cost, 1e-9)
+    mismatch = float(np.mean(precise.assignment != approx.assignment))
+    return cost_err + mismatch

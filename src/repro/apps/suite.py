@@ -1,0 +1,153 @@
+"""One-call application quality runners for the harness (Figure 16).
+
+Each runner builds the benchmark's inputs, evaluates the kernel once through
+an identity channel (precise) and once through the approximation channel of
+the scheme under test, and returns the application-specific output error —
+the quantity Figure 16 plots against the data error budget.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.apps import (
+    blackscholes,
+    bodytrack,
+    canneal,
+    fluidanimate,
+    ssca2,
+    streamcluster,
+    swaptions,
+    x264,
+)
+from repro.apps.channel import ApproxChannel, IdentityChannel
+from repro.compression.base import CompressionScheme
+
+#: Problem sizes chosen so a full 8-benchmark sweep runs in seconds while
+#: still exercising thousands of cache blocks per kernel.
+SIZES = {
+    "blackscholes": {"n_options": 512},
+    "bodytrack": {"n_frames": 8, "size": 40},
+    "canneal": {"n_elements": 120, "n_nets": 300, "sweeps": 15},
+    "fluidanimate": {"n_particles": 120, "steps": 12},
+    "streamcluster": {"n_points": 300, "k": 5, "iterations": 6},
+    "swaptions": {"n_swaptions": 48, "n_paths": 200},
+    "x264": {"size": 48, "search": 4},
+    "ssca2": {"n_vertices": 64, "n_edges": 256},
+}
+
+
+def run_blackscholes(scheme: Optional[CompressionScheme]) -> float:
+    """Output error of blackscholes under the scheme (0 when exact)."""
+    sizes = SIZES["blackscholes"]
+    portfolio = blackscholes.generate_portfolio(sizes["n_options"])
+    precise = blackscholes.price(portfolio, IdentityChannel())
+    channel = ApproxChannel(scheme) if scheme else IdentityChannel()
+    approx = blackscholes.price(portfolio, channel)
+    return blackscholes.output_error(precise, approx)
+
+
+def run_bodytrack(scheme: Optional[CompressionScheme]) -> float:
+    """Output error of bodytrack under the scheme (0 when exact)."""
+    sizes = SIZES["bodytrack"]
+    frames = bodytrack.generate_frames(sizes["n_frames"], sizes["size"])
+    precise = bodytrack.track(frames, IdentityChannel())
+    channel = ApproxChannel(scheme) if scheme else IdentityChannel()
+    approx = bodytrack.track(frames, channel)
+    return bodytrack.output_error(precise, approx)
+
+
+def run_canneal(scheme: Optional[CompressionScheme]) -> float:
+    """Output error of canneal under the scheme (0 when exact)."""
+    sizes = SIZES["canneal"]
+    netlist = canneal.generate_netlist(sizes["n_elements"], sizes["n_nets"])
+    precise = canneal.anneal(netlist, sweeps=sizes["sweeps"],
+                             channel=IdentityChannel())
+    channel = ApproxChannel(scheme) if scheme else IdentityChannel()
+    approx = canneal.anneal(netlist, sweeps=sizes["sweeps"], channel=channel)
+    return canneal.output_error(netlist, precise, approx)
+
+
+def run_fluidanimate(scheme: Optional[CompressionScheme]) -> float:
+    """Output error of fluidanimate under the scheme (0 when exact)."""
+    sizes = SIZES["fluidanimate"]
+    positions, velocities = fluidanimate.generate_particles(
+        sizes["n_particles"])
+    precise = fluidanimate.simulate(positions, velocities,
+                                    steps=sizes["steps"],
+                                    channel=IdentityChannel())
+    channel = ApproxChannel(scheme) if scheme else IdentityChannel()
+    approx = fluidanimate.simulate(positions, velocities,
+                                   steps=sizes["steps"], channel=channel)
+    return fluidanimate.output_error(precise, approx)
+
+
+def run_streamcluster(scheme: Optional[CompressionScheme]) -> float:
+    """Output error of streamcluster under the scheme (0 when exact)."""
+    sizes = SIZES["streamcluster"]
+    points = streamcluster.generate_points(sizes["n_points"])
+    precise = streamcluster.cluster(points, k=sizes["k"],
+                                    iterations=sizes["iterations"],
+                                    channel=IdentityChannel())
+    channel = ApproxChannel(scheme) if scheme else IdentityChannel()
+    approx = streamcluster.cluster(points, k=sizes["k"],
+                                   iterations=sizes["iterations"],
+                                   channel=channel)
+    return streamcluster.output_error(precise, approx)
+
+
+def run_swaptions(scheme: Optional[CompressionScheme]) -> float:
+    """Output error of swaptions under the scheme (0 when exact)."""
+    sizes = SIZES["swaptions"]
+    book = swaptions.generate_book(sizes["n_swaptions"])
+    precise = swaptions.price(book, n_paths=sizes["n_paths"],
+                              channel=IdentityChannel())
+    channel = ApproxChannel(scheme) if scheme else IdentityChannel()
+    approx = swaptions.price(book, n_paths=sizes["n_paths"], channel=channel)
+    return swaptions.output_error(precise, approx)
+
+
+def run_x264(scheme: Optional[CompressionScheme]) -> float:
+    """Output error of x264 under the scheme (0 when exact)."""
+    sizes = SIZES["x264"]
+    reference, current = x264.generate_frame_pair(sizes["size"])
+    precise = x264.motion_estimate(reference, current,
+                                   search=sizes["search"],
+                                   channel=IdentityChannel())
+    channel = ApproxChannel(scheme) if scheme else IdentityChannel()
+    approx = x264.motion_estimate(reference, current,
+                                  search=sizes["search"], channel=channel)
+    return x264.output_error(precise, approx, current)
+
+
+def run_ssca2(scheme: Optional[CompressionScheme]) -> float:
+    """Output error of ssca2 under the scheme (0 when exact)."""
+    sizes = SIZES["ssca2"]
+    graph = ssca2.generate_rmat_graph(sizes["n_vertices"],
+                                      sizes["n_edges"])
+    precise = ssca2.betweenness_centrality(graph, IdentityChannel())
+    channel = ApproxChannel(scheme) if scheme else IdentityChannel()
+    approx = ssca2.betweenness_centrality(graph, channel)
+    return ssca2.output_error(precise, approx)
+
+
+APP_RUNNERS: Dict[str, Callable[[Optional[CompressionScheme]], float]] = {
+    "blackscholes": run_blackscholes,
+    "bodytrack": run_bodytrack,
+    "canneal": run_canneal,
+    "fluidanimate": run_fluidanimate,
+    "streamcluster": run_streamcluster,
+    "swaptions": run_swaptions,
+    "x264": run_x264,
+    "ssca2": run_ssca2,
+}
+
+
+def run_app(name: str, scheme: Optional[CompressionScheme]) -> float:
+    """Output error of one application under one scheme (0 when exact)."""
+    try:
+        runner = APP_RUNNERS[name]
+    except KeyError:
+        raise ValueError(f"unknown application {name!r}; "
+                         f"choose from {sorted(APP_RUNNERS)}") from None
+    return runner(scheme)

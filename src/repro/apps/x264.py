@@ -1,0 +1,94 @@
+"""x264: block-matching motion estimation (PARSEC kernel stand-in).
+
+x264's dominant approximable traffic is reference-frame pixel data read by
+motion-estimation workers.  The stand-in performs exhaustive block matching
+(SAD) of a frame against a channel-delivered reference frame and
+reconstructs the motion-compensated prediction.  The accuracy metric is the
+PSNR drop of the reconstruction — the standard video-quality measure the
+approximate-computing literature uses for this benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.apps.channel import ApproxChannel, IdentityChannel
+from repro.util.rng import DeterministicRng
+
+BLOCK = 8
+
+
+def generate_frame_pair(size: int = 64,
+                        seed: int = 31) -> Tuple[np.ndarray, np.ndarray]:
+    """A reference frame and a shifted+noised current frame (8-bit)."""
+    rng = DeterministicRng(seed)
+    ys, xs = np.mgrid[0:size, 0:size]
+    reference = (
+        110
+        + 60 * np.sin(xs / 6.0)
+        + 50 * np.cos(ys / 9.0)
+        + 25 * np.sin((xs + 2 * ys) / 13.0)
+    )
+    reference = np.clip(reference, 0, 255).astype(np.int64)
+    current = np.roll(np.roll(reference, 3, axis=0), 2, axis=1).copy()
+    noise = np.array([[rng.randint(-4, 4) for _ in range(size)]
+                      for _ in range(size)])
+    current = np.clip(current + noise, 0, 255)
+    return reference, current
+
+
+def motion_estimate(reference: np.ndarray, current: np.ndarray,
+                    search: int = 6,
+                    channel: Optional[ApproxChannel] = None) -> np.ndarray:
+    """Motion-compensated prediction of ``current`` from the reference.
+
+    The reference frame is what crosses the NoC between the frame buffer
+    and the ME workers, so it goes through the channel.
+    """
+    channel = channel or IdentityChannel()
+    observed = channel.transform_ints(reference)
+    size = current.shape[0]
+    prediction = np.zeros_like(current)
+    for by in range(0, size, BLOCK):
+        for bx in range(0, size, BLOCK):
+            block = current[by:by + BLOCK, bx:bx + BLOCK]
+            best_sad = None
+            best = None
+            for dy in range(-search, search + 1):
+                for dx in range(-search, search + 1):
+                    y, x = by + dy, bx + dx
+                    if y < 0 or x < 0 or y + BLOCK > size or x + BLOCK > size:
+                        continue
+                    candidate = observed[y:y + BLOCK, x:x + BLOCK]
+                    sad = int(np.abs(candidate - block).sum())
+                    if best_sad is None or sad < best_sad:
+                        best_sad = sad
+                        best = (y, x)
+            y, x = best
+            # Reconstruct from the *approximated* reference (what the
+            # decoder-side core actually holds).
+            prediction[by:by + BLOCK, bx:bx + BLOCK] = \
+                observed[y:y + BLOCK, x:x + BLOCK]
+    return prediction
+
+
+def psnr(frame_a: np.ndarray, frame_b: np.ndarray,
+         peak: float = 255.0) -> float:
+    """Peak signal-to-noise ratio between two 8-bit frames."""
+    mse = float(np.mean((np.asarray(frame_a, dtype=np.float64)
+                         - np.asarray(frame_b, dtype=np.float64)) ** 2))
+    if mse == 0:
+        return float("inf")
+    return 10.0 * np.log10(peak * peak / mse)
+
+
+def output_error(precise_prediction: np.ndarray,
+                 approx_prediction: np.ndarray, current: np.ndarray) -> float:
+    """Relative PSNR degradation of the reconstruction."""
+    precise_quality = psnr(precise_prediction, current)
+    approx_quality = psnr(approx_prediction, current)
+    if precise_quality == float("inf"):
+        return 0.0 if approx_quality == float("inf") else 1.0
+    return max(0.0, (precise_quality - approx_quality) / precise_quality)

@@ -1,0 +1,112 @@
+"""Baseline (no compression) and exact FP-COMP schemes.
+
+The VAXX variants of the paper's contribution live in :mod:`repro.core`
+(:mod:`repro.core.fp_vaxx`, :mod:`repro.core.di_vaxx`); this module provides
+the comparison mechanisms every figure plots against.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.compression import fpc
+from repro.compression.base import (
+    CompressionScheme,
+    DecodeResult,
+    EncodedBlock,
+    NodeCodec,
+    WordEncoding,
+)
+from repro.core.block import CacheBlock
+
+
+class BaselineNode(NodeCodec):
+    """Identity codec: every word travels verbatim."""
+
+    def encode(self, block: CacheBlock, dst: int) -> EncodedBlock:
+        words = [WordEncoding(original=w, decoded=w, bits=32,
+                              compressed=False, approximated=False)
+                 for w in block.words]
+        return self._finish_encode(words, block, size_bits=32 * len(words))
+
+    def decode(self, encoded: EncodedBlock, src: int) -> DecodeResult:
+        return DecodeResult(block=CacheBlock(encoded.decoded_words(),
+                                             dtype=encoded.dtype,
+                                             approximable=encoded.approximable))
+
+
+class BaselineScheme(CompressionScheme):
+    """The uncompressed NoC every mechanism is normalized against."""
+
+    #: No codec in the NI, so no codec latency either.
+    compression_cycles = 0
+    decompression_cycles = 0
+
+    @property
+    def name(self) -> str:
+        return "Baseline"
+
+    def _make_node(self, node_id: int) -> NodeCodec:
+        return BaselineNode(self, node_id)
+
+
+def assemble_fpc_words(
+        matches: Sequence[Tuple[int, fpc.PatternClass, int, bool]],
+) -> Tuple[List[WordEncoding], int]:
+    """Turn per-word FPC matches into word encodings with zero-run merging.
+
+    ``matches`` holds ``(original, pattern_class, candidate, approximated)``
+    per word.  Consecutive zero-class words merge into runs of up to
+    :data:`fpc.MAX_ZERO_RUN`: the first word of a run pays prefix + 3-bit run
+    length, subsequent words ride free.
+    """
+    words: List[WordEncoding] = []
+    size_bits = 0
+    run_remaining = 0
+    for original, cls, candidate, approximated in matches:
+        if cls.code == 0b000:
+            if run_remaining > 0:
+                bits = 0
+                run_remaining -= 1
+            else:
+                bits = fpc.PREFIX_BITS + cls.data_bits
+                run_remaining = fpc.MAX_ZERO_RUN - 1
+        else:
+            run_remaining = 0
+            bits = fpc.PREFIX_BITS + cls.data_bits
+        compressed = cls.code != fpc.UNCOMPRESSED_CLASS.code
+        words.append(WordEncoding(original=original, decoded=candidate,
+                                  bits=bits, compressed=compressed,
+                                  approximated=approximated and compressed
+                                  and candidate != original,
+                                  code=cls.code))
+        size_bits += bits
+    return words, size_bits
+
+
+class FpCompNode(NodeCodec):
+    """Exact frequent-pattern compression (Das et al. [12])."""
+
+    def encode(self, block: CacheBlock, dst: int) -> EncodedBlock:
+        matches = []
+        for word in block.words:
+            cls, candidate = fpc.match_exact(word)
+            matches.append((word, cls, candidate, False))
+        words, size_bits = assemble_fpc_words(matches)
+        return self._finish_encode(words, block, size_bits)
+
+    def decode(self, encoded: EncodedBlock, src: int) -> DecodeResult:
+        return DecodeResult(block=CacheBlock(encoded.decoded_words(),
+                                             dtype=encoded.dtype,
+                                             approximable=encoded.approximable))
+
+
+class FpCompScheme(CompressionScheme):
+    """Static frequent pattern compression (FP-COMP)."""
+
+    @property
+    def name(self) -> str:
+        return "FP-COMP"
+
+    def _make_node(self, node_id: int) -> NodeCodec:
+        return FpCompNode(self, node_id)

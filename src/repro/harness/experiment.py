@@ -1,0 +1,166 @@
+"""Experiment infrastructure: mechanisms, warmup/measure runs, caching.
+
+Methodology (mirroring §5.1): benchmark traffic is recorded once into a
+trace, and every mechanism replays the *identical* trace.  Each run warms
+the network (and the dictionary state) before the measurement window, whose
+statistics are what the figures report; the run then drains so every
+measured packet completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.compression import BaselineScheme, DiCompScheme, FpCompScheme
+from repro.compression.base import CompressionScheme
+from repro.core import DiVaxxScheme, FpVaxxScheme
+from repro.noc import Network, NocConfig, PAPER_CONFIG
+from repro.noc.stats import NetworkStats
+from repro.power.energy import PowerReport, dynamic_power
+from repro.traffic import (
+    BenchmarkTraffic,
+    TraceTraffic,
+    get_benchmark,
+    record_trace,
+)
+
+#: The five mechanisms of every figure, in plot order.
+MECHANISM_ORDER: Tuple[str, ...] = (
+    "Baseline", "DI-COMP", "DI-VAXX", "FP-COMP", "FP-VAXX")
+
+
+def make_scheme(mechanism: str, n_nodes: int,
+                error_threshold_pct: float = 10.0,
+                avcl_mode: str = "paper",
+                budget_factory: Optional[Callable] = None
+                ) -> CompressionScheme:
+    """Instantiate a mechanism by its figure name."""
+    if mechanism == "Baseline":
+        return BaselineScheme(n_nodes)
+    if mechanism == "DI-COMP":
+        return DiCompScheme(n_nodes)
+    if mechanism == "FP-COMP":
+        return FpCompScheme(n_nodes)
+    if mechanism == "DI-VAXX":
+        return DiVaxxScheme(n_nodes, error_threshold_pct=error_threshold_pct,
+                            avcl_mode=avcl_mode,
+                            budget_factory=budget_factory)
+    if mechanism == "FP-VAXX":
+        return FpVaxxScheme(n_nodes, error_threshold_pct=error_threshold_pct,
+                            avcl_mode=avcl_mode,
+                            budget_factory=budget_factory)
+    raise ValueError(f"unknown mechanism {mechanism!r}; "
+                     f"choose from {MECHANISM_ORDER}")
+
+
+@dataclass
+class RunResult:
+    """Measured outcome of one (trace, mechanism) network run."""
+
+    mechanism: str
+    avg_queue_latency: float
+    avg_network_latency: float
+    avg_decode_latency: float
+    avg_packet_latency: float
+    data_flits_injected: int
+    total_flits_injected: int
+    packets_delivered: int
+    compression_ratio: float
+    encoded_fraction: float
+    exact_fraction: float
+    approx_fraction: float
+    data_quality: float
+    notifications: int
+    throughput: float
+    power: PowerReport
+
+    @classmethod
+    def from_network(cls, network: Network) -> "RunResult":
+        """Snapshot a finished network run."""
+        stats = network.stats
+        quality = network.scheme.quality
+        return cls(
+            mechanism=network.scheme.name,
+            avg_queue_latency=stats.avg_queue_latency,
+            avg_network_latency=stats.avg_network_latency,
+            avg_decode_latency=stats.avg_decode_latency,
+            avg_packet_latency=stats.avg_packet_latency,
+            data_flits_injected=stats.data_flits_injected,
+            total_flits_injected=stats.total_flits_injected,
+            packets_delivered=stats.total_packets_delivered,
+            compression_ratio=network.scheme.stats.compression_ratio,
+            encoded_fraction=quality.encoded_fraction,
+            exact_fraction=quality.exact_fraction,
+            approx_fraction=quality.approx_fraction,
+            data_quality=quality.data_quality,
+            notifications=network.scheme.stats.notifications,
+            throughput=stats.throughput_flits_per_node_cycle(
+                network.config.n_nodes),
+            power=dynamic_power(stats, network.scheme.name,
+                                network.config.frequency_ghz),
+        )
+
+
+_TRACE_CACHE: Dict[tuple, list] = {}
+
+
+def benchmark_trace(config: NocConfig, benchmark: str, cycles: int,
+                    seed: int = 11,
+                    approx_packet_ratio: float = 0.75) -> list:
+    """Record (and cache) one benchmark's traffic trace."""
+    key = (config.mesh_width, config.mesh_height, config.concentration,
+           benchmark, cycles, seed, approx_packet_ratio)
+    trace = _TRACE_CACHE.get(key)
+    if trace is None:
+        source = BenchmarkTraffic(config, get_benchmark(benchmark),
+                                  approx_packet_ratio=approx_packet_ratio,
+                                  seed=seed)
+        trace = record_trace(source, cycles)
+        _TRACE_CACHE[key] = trace
+    return trace
+
+
+def run_trace(config: NocConfig, mechanism: str, trace: list,
+              warmup: int, measure: int,
+              error_threshold_pct: float = 10.0,
+              approx_override: Optional[float] = None,
+              drain_budget: int = 200_000) -> RunResult:
+    """Replay a trace under one mechanism with warmup + measurement."""
+    scheme = make_scheme(mechanism, config.n_nodes, error_threshold_pct)
+    network = Network(config, scheme)
+    network.set_traffic(TraceTraffic(trace, loop=True,
+                                     approx_override=approx_override))
+    network.run(warmup)
+    network.stats.reset()
+    scheme.stats.reset()
+    scheme.quality.reset()
+    network.run(measure)
+    measured_cycles = network.stats.cycles
+    if not network.drain(drain_budget):
+        raise RuntimeError(
+            f"{mechanism} failed to drain within {drain_budget} cycles")
+    network.stats.cycles = measured_cycles  # drain isn't measurement time
+    return RunResult.from_network(network)
+
+
+def run_synthetic(config: NocConfig, mechanism: str, traffic_factory,
+                  warmup: int, measure: int,
+                  error_threshold_pct: float = 10.0,
+                  drain_budget: int = 400_000) -> RunResult:
+    """Run live synthetic traffic (Figure 12's methodology).
+
+    ``traffic_factory(config)`` builds a fresh traffic source so each
+    mechanism sees an identically-seeded stream.  Unlike :func:`run_trace`,
+    saturated networks are expected here: the run is *not* drained, and
+    latency reflects packets delivered inside the window.
+    """
+    scheme = make_scheme(mechanism, config.n_nodes, error_threshold_pct)
+    network = Network(config, scheme)
+    network.set_traffic(traffic_factory(config))
+    network.run(warmup)
+    network.stats.reset()
+    scheme.stats.reset()
+    scheme.quality.reset()
+    network.run(measure)
+    return RunResult.from_network(network)

@@ -1,0 +1,50 @@
+"""Plain-text table/series formatting for experiment output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    rendered_rows: List[List[str]] = [[_cell(value) for value in row]
+                                      for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(width) if _numeric(cell)
+                               else cell.ljust(width)
+                               for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(title: str, x_label: str, xs: Sequence,
+                  series: dict) -> str:
+    """Render latency-vs-load style curves as an aligned table."""
+    headers = [x_label] + list(series)
+    rows = []
+    for index, x in enumerate(xs):
+        rows.append([x] + [values[index] for values in series.values()])
+    return format_table(headers, rows, title=title)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def _numeric(cell: str) -> bool:
+    try:
+        float(cell)
+        return True
+    except ValueError:
+        return False

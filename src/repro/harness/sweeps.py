@@ -1,0 +1,86 @@
+"""Multi-seed statistics for experiment results.
+
+Single-seed trace runs carry sampling noise; this module repeats a
+(benchmark, mechanism) measurement across seeds and reports mean and
+standard deviation — the error bars the paper's figures omit but a
+reproduction should quantify.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.harness.experiment import (
+    MECHANISM_ORDER,
+    RunResult,
+    benchmark_trace,
+    run_trace,
+)
+from repro.noc import NocConfig, PAPER_CONFIG
+
+
+@dataclass(frozen=True)
+class SeedStats:
+    """Mean and standard deviation of one metric across seeds."""
+
+    mean: float
+    std: float
+    n: int
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "SeedStats":
+        """Compute mean/std over samples."""
+        values = list(values)
+        n = len(values)
+        if not n:
+            raise ValueError("no samples")
+        mean = sum(values) / n
+        variance = sum((v - mean) ** 2 for v in values) / n
+        return cls(mean=mean, std=math.sqrt(variance), n=n)
+
+    @property
+    def rel_std(self) -> float:
+        """Coefficient of variation (std / |mean|)."""
+        return self.std / abs(self.mean) if self.mean else 0.0
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} ± {self.std:.3f}"
+
+
+def seed_sweep(benchmark: str, mechanism: str,
+               seeds: Sequence[int] = (11, 23, 47),
+               config: NocConfig = PAPER_CONFIG,
+               metric: Callable[[RunResult], float] = (
+                   lambda r: r.avg_packet_latency),
+               error_threshold_pct: float = 10.0,
+               trace_cycles: int = 4000, warmup: int = 2000,
+               measure: int = 2000) -> SeedStats:
+    """Repeat one (benchmark, mechanism) run across seeds."""
+    samples = []
+    for seed in seeds:
+        trace = benchmark_trace(config, benchmark, trace_cycles, seed=seed)
+        result = run_trace(config, mechanism, trace, warmup, measure,
+                           error_threshold_pct=error_threshold_pct)
+        samples.append(metric(result))
+    return SeedStats.of(samples)
+
+
+def mechanism_comparison_with_error_bars(
+        benchmark: str, seeds: Sequence[int] = (11, 23, 47),
+        config: NocConfig = PAPER_CONFIG,
+        mechanisms: Sequence[str] = MECHANISM_ORDER,
+        **run_kw) -> Dict[str, SeedStats]:
+    """Latency of every mechanism on one benchmark, with error bars."""
+    return {mechanism: seed_sweep(benchmark, mechanism, seeds=seeds,
+                                  config=config, **run_kw)
+            for mechanism in mechanisms}
+
+
+def significantly_better(a: SeedStats, b: SeedStats,
+                         sigmas: float = 1.0) -> bool:
+    """Is ``a``'s mean lower than ``b``'s by more than their combined
+    spread?  A coarse separation test for ordering claims."""
+    spread = math.sqrt(a.std ** 2 + b.std ** 2)
+    return a.mean + sigmas * spread < b.mean

@@ -1,0 +1,34 @@
+"""Coherent-cache substrate: the gem5/Pin stand-in.
+
+Private L1 caches over a directory MSI protocol with all inter-node data
+transfers routed through the compression scheme under test, plus a trace
+collector that turns coherence traffic into replayable NoC traces.
+"""
+
+from repro.memory.cache import CacheLine, CacheStats, SetAssociativeCache
+from repro.memory.system import (
+    CmpMemorySystem,
+    CoherenceStats,
+    DirectoryEntry,
+    Region,
+)
+from repro.memory.tracegen import TraceCollector
+from repro.memory.workloads import (
+    CmpWorkload,
+    SharingMix,
+    benchmark_coherence_trace,
+)
+
+__all__ = [
+    "CacheLine",
+    "CacheStats",
+    "SetAssociativeCache",
+    "CmpMemorySystem",
+    "CoherenceStats",
+    "DirectoryEntry",
+    "Region",
+    "TraceCollector",
+    "CmpWorkload",
+    "SharingMix",
+    "benchmark_coherence_trace",
+]

@@ -1,0 +1,125 @@
+"""Set-associative cache with LRU replacement.
+
+Building block for the multicore cache system of :mod:`repro.memory.system`
+(the paper's Pin-based coherent cache tool, §5.4: 16 cores, 64 KB two-way L1
+data caches, 64-byte lines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses over accesses (0 when untouched)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class CacheLine:
+    """One resident line: tag plus coherence/dirty state."""
+
+    tag: int
+    state: str = "S"
+    dirty: bool = False
+
+
+class SetAssociativeCache:
+    """A classical set-associative LRU cache indexed by block address.
+
+    Addresses are *block* addresses (already shifted by the line offset);
+    the cache only tracks presence and state — data lives in the backing
+    store of the memory system, which is what keeps the approximation
+    accounting in one place.
+    """
+
+    def __init__(self, size_bytes: int = 64 * 1024, ways: int = 2,
+                 line_bytes: int = 64):
+        if size_bytes % (ways * line_bytes):
+            raise ValueError(
+                f"cache geometry does not divide: {size_bytes} B / "
+                f"{ways} ways / {line_bytes} B lines")
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.n_sets = size_bytes // (ways * line_bytes)
+        # Per set: list of lines in LRU order (front = most recent).
+        self._sets: List[List[CacheLine]] = [[] for _ in range(self.n_sets)]
+        self.stats = CacheStats()
+
+    def _set_of(self, block_addr: int) -> List[CacheLine]:
+        return self._sets[block_addr % self.n_sets]
+
+    def _tag_of(self, block_addr: int) -> int:
+        return block_addr // self.n_sets
+
+    def lookup(self, block_addr: int, touch: bool = True
+               ) -> Optional[CacheLine]:
+        """Find a resident line; promotes it to MRU when ``touch``."""
+        lines = self._set_of(block_addr)
+        tag = self._tag_of(block_addr)
+        for index, line in enumerate(lines):
+            if line.tag == tag:
+                if touch:
+                    lines.insert(0, lines.pop(index))
+                return line
+        return None
+
+    def access(self, block_addr: int) -> bool:
+        """Lookup with hit/miss accounting; True on hit."""
+        line = self.lookup(block_addr)
+        if line is not None:
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    def fill(self, block_addr: int, state: str = "S",
+             dirty: bool = False) -> Optional[Tuple[int, CacheLine]]:
+        """Insert a line; returns ``(victim_block_addr, victim_line)`` when
+        an eviction was needed."""
+        lines = self._set_of(block_addr)
+        tag = self._tag_of(block_addr)
+        victim = None
+        if len(lines) >= self.ways:
+            victim_line = lines.pop()  # LRU
+            victim_addr = victim_line.tag * self.n_sets + (
+                block_addr % self.n_sets)
+            self.stats.evictions += 1
+            if victim_line.dirty:
+                self.stats.writebacks += 1
+            victim = (victim_addr, victim_line)
+        lines.insert(0, CacheLine(tag=tag, state=state, dirty=dirty))
+        return victim
+
+    def invalidate(self, block_addr: int) -> Optional[CacheLine]:
+        """Remove a line (coherence invalidation); returns it if present."""
+        lines = self._set_of(block_addr)
+        tag = self._tag_of(block_addr)
+        for index, line in enumerate(lines):
+            if line.tag == tag:
+                return lines.pop(index)
+        return None
+
+    def resident_blocks(self) -> List[int]:
+        """Block addresses currently cached (diagnostics/tests)."""
+        blocks = []
+        for set_index, lines in enumerate(self._sets):
+            for line in lines:
+                blocks.append(line.tag * self.n_sets + set_index)
+        return blocks

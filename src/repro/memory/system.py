@@ -1,0 +1,301 @@
+"""A multicore coherent-cache system — the paper's Pin-tool stand-in (§5.4).
+
+"We implement our approximate functionalities on top of a coherent cache
+simulator tool.  We model a system with 16 cores and each core has a 64 KB
+two-way L1 private data cache of cache line size of 64 Bytes.  We emulate
+packet response whenever a miss happens, that requires a data response from
+another node."
+
+This module provides exactly that: private L1s over a directory-based MSI
+protocol with a shared backing store, where **every data transfer between
+nodes passes through the compression scheme under test** — so an
+approximating scheme perturbs the values an application computes with, which
+is what the Figure 16/17 output-quality studies measure.  An optional
+``on_message`` hook receives every coherence message, letting the harness
+record NoC traces from real cache-miss traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.compression.base import CompressionScheme
+from repro.core.block import CacheBlock, DataType
+from repro.memory.cache import SetAssociativeCache
+from repro.noc.packet import PacketKind
+
+#: Golden-ratio hash spreads block homes across nodes.
+_HOME_HASH = 2654435761
+
+
+@dataclass
+class Region:
+    """A registered address region with approximation metadata."""
+
+    name: str
+    base_block: int
+    n_blocks: int
+    dtype: DataType
+    approximable: bool
+
+    def contains(self, block_addr: int) -> bool:
+        """Block-address membership."""
+        return self.base_block <= block_addr < self.base_block + self.n_blocks
+
+
+@dataclass
+class DirectoryEntry:
+    """MSI directory state for one block."""
+
+    owner: Optional[int] = None
+    sharers: Set[int] = field(default_factory=set)
+
+
+@dataclass
+class CoherenceStats:
+    """Message and transaction accounting."""
+
+    reads: int = 0
+    writes: int = 0
+    read_misses: int = 0
+    write_misses: int = 0
+    upgrades: int = 0
+    invalidations: int = 0
+    writebacks: int = 0
+    control_messages: int = 0
+    data_messages: int = 0
+
+
+@dataclass
+class _Line:
+    """Private-cache data copy (values a core computes with)."""
+
+    words: Tuple[int, ...]
+
+
+class CmpMemorySystem:
+    """16-core (configurable) CMP with private L1s and a distributed home
+    directory, transporting data blocks through a compression scheme."""
+
+    def __init__(self, n_cores: int = 16,
+                 scheme: Optional[CompressionScheme] = None,
+                 n_nodes: Optional[int] = None,
+                 l1_size_bytes: int = 64 * 1024, l1_ways: int = 2,
+                 line_bytes: int = 64,
+                 on_message: Optional[Callable] = None):
+        self.n_cores = n_cores
+        self.scheme = scheme
+        self.n_nodes = n_nodes or (scheme.n_nodes if scheme else n_cores)
+        if self.n_cores > self.n_nodes:
+            raise ValueError(
+                f"{n_cores} cores cannot map onto {self.n_nodes} nodes")
+        self.line_bytes = line_bytes
+        self.words_per_block = line_bytes // 4
+        self.l1s = [SetAssociativeCache(l1_size_bytes, l1_ways, line_bytes)
+                    for _ in range(n_cores)]
+        self._data: List[Dict[int, _Line]] = [{} for _ in range(n_cores)]
+        self._memory: Dict[int, Tuple[int, ...]] = {}
+        self._directory: Dict[int, DirectoryEntry] = {}
+        self._regions: List[Region] = []
+        self.stats = CoherenceStats()
+        self.on_message = on_message
+
+    # ----------------------------------------------------------- geometry
+
+    def node_of_core(self, core: int) -> int:
+        """NoC node a core attaches to (cores spread across the mesh)."""
+        return core * self.n_nodes // self.n_cores
+
+    def home_of(self, block_addr: int) -> int:
+        """Home node (directory + L2 slice) of a block."""
+        return (block_addr * _HOME_HASH) % self.n_nodes
+
+    # ------------------------------------------------------------ regions
+
+    def register_region(self, name: str, base_block: int, n_blocks: int,
+                        dtype: DataType = DataType.INT,
+                        approximable: bool = False) -> Region:
+        """Annotate an address region (the compiler/programmer annotation of
+        §2.2); data in approximable regions may be value-approximated in
+        flight."""
+        region = Region(name, base_block, n_blocks, dtype, approximable)
+        self._regions.append(region)
+        return region
+
+    def _region_of(self, block_addr: int) -> Optional[Region]:
+        for region in self._regions:
+            if region.contains(block_addr):
+                return region
+        return None
+
+    # ------------------------------------------------------- data movement
+
+    def _message(self, src_node: int, dst_node: int, kind: PacketKind,
+                 block: Optional[CacheBlock] = None) -> None:
+        if kind is PacketKind.DATA:
+            self.stats.data_messages += 1
+        else:
+            self.stats.control_messages += 1
+        if self.on_message is not None and src_node != dst_node:
+            self.on_message(src_node, dst_node, kind, block)
+
+    def _transfer(self, words: Tuple[int, ...], src_node: int,
+                  dst_node: int, block_addr: int) -> Tuple[int, ...]:
+        """Move a data block between nodes through the codec."""
+        region = self._region_of(block_addr)
+        dtype = region.dtype if region else DataType.INT
+        approximable = region.approximable if region else False
+        block = CacheBlock(tuple(words), dtype=dtype,
+                           approximable=approximable)
+        self._message(src_node, dst_node, PacketKind.DATA, block)
+        if self.scheme is None or src_node == dst_node:
+            return tuple(words)
+        delivered, _encoded = self.scheme.roundtrip(block, src_node,
+                                                    dst_node)
+        return delivered.words
+
+    def _backing(self, block_addr: int) -> Tuple[int, ...]:
+        if block_addr not in self._memory:
+            self._memory[block_addr] = (0,) * self.words_per_block
+        return self._memory[block_addr]
+
+    # ----------------------------------------------------------- protocol
+
+    def _dir_entry(self, block_addr: int) -> DirectoryEntry:
+        entry = self._directory.get(block_addr)
+        if entry is None:
+            entry = DirectoryEntry()
+            self._directory[block_addr] = entry
+        return entry
+
+    def _writeback_owner(self, block_addr: int,
+                         entry: DirectoryEntry) -> None:
+        """Pull the dirty copy from the current owner back to the home."""
+        owner = entry.owner
+        if owner is None:
+            return
+        line = self.l1s[owner].lookup(block_addr, touch=False)
+        if line is not None:
+            self.l1s[owner].invalidate(block_addr)
+        words = self._data[owner].pop(block_addr, None)
+        if words is not None:
+            self.stats.writebacks += 1
+            home = self.home_of(block_addr)
+            self._memory[block_addr] = self._transfer(
+                words.words, self.node_of_core(owner), home, block_addr)
+        entry.owner = None
+
+    def _invalidate_sharers(self, block_addr: int, entry: DirectoryEntry,
+                            except_core: Optional[int] = None) -> None:
+        home = self.home_of(block_addr)
+        for sharer in sorted(entry.sharers):
+            if sharer == except_core:
+                continue
+            self.stats.invalidations += 1
+            self._message(home, self.node_of_core(sharer),
+                          PacketKind.CONTROL)
+            self.l1s[sharer].invalidate(block_addr)
+            self._data[sharer].pop(block_addr, None)
+        entry.sharers = ({except_core} if except_core in entry.sharers
+                         else set())
+
+    def _evict(self, core: int, victim_addr: int, dirty: bool) -> None:
+        entry = self._dir_entry(victim_addr)
+        words = self._data[core].pop(victim_addr, None)
+        if dirty and words is not None:
+            self.stats.writebacks += 1
+            home = self.home_of(victim_addr)
+            self._memory[victim_addr] = self._transfer(
+                words.words, self.node_of_core(core), home, victim_addr)
+        if entry.owner == core:
+            entry.owner = None
+        entry.sharers.discard(core)
+
+    def _fill(self, core: int, block_addr: int, words: Tuple[int, ...],
+              state: str) -> None:
+        victim = self.l1s[core].fill(block_addr, state=state,
+                                     dirty=(state == "M"))
+        if victim is not None:
+            victim_addr, victim_line = victim
+            self._evict(core, victim_addr, victim_line.dirty)
+        self._data[core][block_addr] = _Line(words=tuple(words))
+
+    # ------------------------------------------------------------- access
+
+    def read_block(self, core: int, block_addr: int) -> Tuple[int, ...]:
+        """Coherent read of one cache block; returns the words the core
+        observes (possibly an approximated version of memory)."""
+        self.stats.reads += 1
+        if self.l1s[core].access(block_addr):
+            return self._data[core][block_addr].words
+        self.stats.read_misses += 1
+        entry = self._dir_entry(block_addr)
+        home = self.home_of(block_addr)
+        node = self.node_of_core(core)
+        self._message(node, home, PacketKind.CONTROL)  # GetS
+        if entry.owner is not None and entry.owner != core:
+            self._writeback_owner(block_addr, entry)
+        words = self._transfer(self._backing(block_addr), home, node,
+                               block_addr)
+        entry.sharers.add(core)
+        self._fill(core, block_addr, words, state="S")
+        return words
+
+    def write_block(self, core: int, block_addr: int,
+                    words: Tuple[int, ...]) -> None:
+        """Coherent write of one cache block."""
+        self.stats.writes += 1
+        if len(words) != self.words_per_block:
+            raise ValueError(
+                f"expected {self.words_per_block} words, got {len(words)}")
+        entry = self._dir_entry(block_addr)
+        home = self.home_of(block_addr)
+        node = self.node_of_core(core)
+        line = self.l1s[core].lookup(block_addr)
+        if line is not None and line.state == "M":
+            self._data[core][block_addr] = _Line(words=tuple(words))
+            line.dirty = True
+            return
+        if line is not None:  # S -> M upgrade
+            self.stats.upgrades += 1
+            self._message(node, home, PacketKind.CONTROL)  # GetM/upgrade
+            self._invalidate_sharers(block_addr, entry, except_core=core)
+            line.state = "M"
+            line.dirty = True
+            entry.owner = core
+            entry.sharers = {core}
+            self._data[core][block_addr] = _Line(words=tuple(words))
+            return
+        self.stats.write_misses += 1
+        self._message(node, home, PacketKind.CONTROL)  # GetM
+        if entry.owner is not None and entry.owner != core:
+            self._writeback_owner(block_addr, entry)
+        self._invalidate_sharers(block_addr, entry, except_core=None)
+        # Whole-block write: no fetched data needed, fill in M.
+        entry.owner = core
+        entry.sharers = {core}
+        self._fill(core, block_addr, tuple(words), state="M")
+
+    def flush(self) -> None:
+        """Write every dirty line back to memory (end of computation)."""
+        for core in range(self.n_cores):
+            for block_addr in list(self._data[core]):
+                line = self.l1s[core].lookup(block_addr, touch=False)
+                if line is not None and line.dirty:
+                    self._evict(core, block_addr, dirty=True)
+                    self.l1s[core].invalidate(block_addr)
+                    entry = self._dir_entry(block_addr)
+                    entry.sharers.discard(core)
+
+    def preload(self, block_addr: int, words: Tuple[int, ...]) -> None:
+        """Initialize backing-store contents without protocol traffic
+        (program initialization before the measured region of interest)."""
+        if len(words) != self.words_per_block:
+            raise ValueError(
+                f"expected {self.words_per_block} words, got {len(words)}")
+        self._memory[block_addr] = tuple(w & 0xFFFFFFFF for w in words)
+
+    def memory_words(self, block_addr: int) -> Tuple[int, ...]:
+        """Backing-store contents of one block (tests/diagnostics)."""
+        return self._backing(block_addr)

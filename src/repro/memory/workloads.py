@@ -1,0 +1,149 @@
+"""Synthetic multicore access streams for the coherent-cache substrate.
+
+Drives :class:`~repro.memory.tracegen.TraceCollector` with the classical
+CMP sharing taxonomy, so the traces it produces carry *protocol-accurate*
+coherence traffic (GetS/GetM/Inv/WB + data responses) rather than
+statistically-generated packets:
+
+* **private** accesses — each core streams over its own region (capacity
+  misses, no sharing);
+* **shared read-only** — all cores read a hot region (S-state sharing);
+* **producer-consumer** — one core writes blocks other cores then read
+  (M→S downgrades with writebacks);
+* **migratory** — a block is read-modified-written by one core after
+  another (the M-state ping-pong canneal/fluidanimate exhibit).
+
+The mix weights are per-benchmark, reusing the value models of
+:mod:`repro.traffic.profiles` for the data the blocks contain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.block import DataType
+from repro.memory.tracegen import TraceCollector
+from repro.traffic.datagen import BlockGenerator
+from repro.traffic.profiles import BenchmarkProfile, get_benchmark
+from repro.util.rng import DeterministicRng
+
+#: Region layout (block addresses).
+PRIVATE_BASE = 0
+PRIVATE_BLOCKS_PER_CORE = 512
+SHARED_BASE = 1 << 20
+SHARED_BLOCKS = 256
+PRODUCED_BASE = 1 << 21
+PRODUCED_BLOCKS = 256
+MIGRATORY_BASE = 1 << 22
+MIGRATORY_BLOCKS = 64
+
+
+@dataclass(frozen=True)
+class SharingMix:
+    """Probabilities of each access class (must sum to <= 1; the rest are
+    private-region accesses)."""
+
+    shared_read: float = 0.3
+    producer_consumer: float = 0.2
+    migratory: float = 0.1
+
+
+class CmpWorkload:
+    """Generates a timed access stream for one benchmark profile."""
+
+    def __init__(self, profile: BenchmarkProfile, n_cores: int = 16,
+                 n_nodes: Optional[int] = None, seed: int = 1,
+                 mix: SharingMix = SharingMix(),
+                 scheme=None, **collector_kw):
+        self.profile = profile
+        self.mix = mix
+        self.n_cores = n_cores
+        self._rng = DeterministicRng(seed)
+        self._blocks = BlockGenerator(profile.model, self._rng.fork(7))
+        self.collector = TraceCollector(n_cores=n_cores, scheme=scheme,
+                                        n_nodes=n_nodes, **collector_kw)
+        approximable = profile.data_ratio > 0
+        system = self.collector.system
+        system.register_region("private", PRIVATE_BASE,
+                               PRIVATE_BLOCKS_PER_CORE * n_cores,
+                               profile.model.dtype, approximable)
+        for name, base, blocks in (("shared", SHARED_BASE, SHARED_BLOCKS),
+                                   ("produced", PRODUCED_BASE,
+                                    PRODUCED_BLOCKS),
+                                   ("migratory", MIGRATORY_BASE,
+                                    MIGRATORY_BLOCKS)):
+            system.register_region(name, base, blocks,
+                                   profile.model.dtype, approximable)
+        # Program initialization: the regions hold benchmark data before
+        # the measured region of interest starts.
+        for base, blocks in ((SHARED_BASE, SHARED_BLOCKS),
+                             (PRODUCED_BASE, PRODUCED_BLOCKS),
+                             (MIGRATORY_BASE, MIGRATORY_BLOCKS)):
+            for offset in range(blocks):
+                system.preload(base + offset, self._payload())
+        for core in range(n_cores):
+            for offset in range(0, PRIVATE_BLOCKS_PER_CORE, 4):
+                system.preload(PRIVATE_BASE
+                               + core * PRIVATE_BLOCKS_PER_CORE + offset,
+                               self._payload())
+
+    # ------------------------------------------------------------ helpers
+
+    def _payload(self) -> Tuple[int, ...]:
+        return self._blocks.next_block(
+            self.collector.system.words_per_block).words
+
+    def _private_addr(self, core: int) -> int:
+        return (PRIVATE_BASE + core * PRIVATE_BLOCKS_PER_CORE
+                + self._rng.randint(0, PRIVATE_BLOCKS_PER_CORE - 1))
+
+    # ------------------------------------------------------------- stream
+
+    def step(self, core: int) -> None:
+        """One access by ``core``, drawn from the sharing mix."""
+        rng = self._rng
+        r = rng.random()
+        mix = self.mix
+        if r < mix.shared_read:
+            addr = SHARED_BASE + rng.randint(0, SHARED_BLOCKS - 1)
+            self.collector.read(core, addr)
+            return
+        r -= mix.shared_read
+        if r < mix.producer_consumer:
+            addr = PRODUCED_BASE + rng.randint(0, PRODUCED_BLOCKS - 1)
+            if core == addr % self.n_cores:  # the region's producer
+                self.collector.write(core, addr, self._payload())
+            else:
+                self.collector.read(core, addr)
+            return
+        r -= mix.producer_consumer
+        if r < mix.migratory:
+            addr = MIGRATORY_BASE + rng.randint(0, MIGRATORY_BLOCKS - 1)
+            words = self.collector.read(core, addr)
+            bumped = tuple((w + 1) & 0xFFFFFFFF for w in words)
+            self.collector.write(core, addr, bumped)
+            return
+        addr = self._private_addr(core)
+        if rng.bernoulli(0.3):
+            self.collector.write(core, addr, self._payload())
+        else:
+            self.collector.read(core, addr)
+
+    def run(self, accesses_per_core: int = 200) -> list:
+        """Round-robin the cores through the access stream; returns the
+        collected NoC trace."""
+        for _ in range(accesses_per_core):
+            for core in range(self.n_cores):
+                self.step(core)
+        return self.collector.records
+
+
+def benchmark_coherence_trace(benchmark: str, n_cores: int = 16,
+                              n_nodes: int = 32,
+                              accesses_per_core: int = 200,
+                              seed: int = 1, scheme=None) -> list:
+    """One-call coherence-accurate trace for a named benchmark."""
+    workload = CmpWorkload(get_benchmark(benchmark), n_cores=n_cores,
+                           n_nodes=n_nodes, seed=seed, scheme=scheme)
+    return workload.run(accesses_per_core)

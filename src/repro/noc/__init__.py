@@ -1,0 +1,34 @@
+"""Cycle-accurate NoC substrate (Table 1 of the paper).
+
+Wormhole-switched virtual-channel mesh with three-stage routers,
+credit-based flow control, XY routing and compression-aware network
+interfaces.
+"""
+
+from repro.noc.config import NocConfig, PAPER_CONFIG, TINY_CONFIG
+from repro.noc.network import Network
+from repro.noc.ni import NetworkInterface, TrafficRequest
+from repro.noc.packet import Flit, Packet, PacketKind, fragment
+from repro.noc.router import Router
+from repro.noc.routing import get_routing_fn, xy_route, yx_route
+from repro.noc.stats import NetworkStats
+from repro.noc.topology import MeshTopology
+
+__all__ = [
+    "NocConfig",
+    "PAPER_CONFIG",
+    "TINY_CONFIG",
+    "Network",
+    "NetworkInterface",
+    "TrafficRequest",
+    "Flit",
+    "Packet",
+    "PacketKind",
+    "fragment",
+    "Router",
+    "get_routing_fn",
+    "xy_route",
+    "yx_route",
+    "NetworkStats",
+    "MeshTopology",
+]

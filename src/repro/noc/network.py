@@ -1,0 +1,210 @@
+"""The network: routers + NIs wired over a mesh, advanced cycle by cycle.
+
+Per-cycle sequencing (all effects of cycle *t* become visible at *t+1*):
+
+1. deliver flits sent at *t-1* into router buffers / NI ejection;
+2. run traffic generation and NI decode completions;
+3. NIs inject (at most one flit each) into their router's local port;
+4. routers run RC/VA/SA and traverse winning flits (departures are queued
+   for delivery at *t+1*; credits are collected);
+5. credits collected in (4) are applied, becoming usable at *t+1*.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.compression.base import CompressionScheme
+from repro.noc.config import NocConfig
+from repro.noc.ni import NetworkInterface, TrafficRequest
+from repro.noc.packet import Flit, PacketKind
+from repro.noc.router import Router
+from repro.noc.routing import get_routing_fn
+from repro.noc.stats import NetworkStats
+from repro.noc.topology import MeshTopology, NUM_DIRECTIONS
+
+#: Effectively infinite credit for ejection ports: the NI sink never
+#: backpressures (decode bandwidth is provisioned, §4.3).
+EJECTION_CREDITS = 1 << 30
+
+
+class Network:
+    """A complete simulated NoC under one compression scheme."""
+
+    def __init__(self, config: NocConfig, scheme: CompressionScheme,
+                 routing: str = "xy",
+                 on_deliver: Optional[Callable] = None):
+        if scheme.n_nodes != config.n_nodes:
+            raise ValueError(
+                f"scheme built for {scheme.n_nodes} nodes but the network "
+                f"has {config.n_nodes}")
+        self.config = config
+        self.scheme = scheme
+        self.topology = MeshTopology(config)
+        self.stats = NetworkStats()
+        self._route = get_routing_fn(routing)
+        self.cycle = 0
+        self.routers = [
+            Router(r, self.topology.ports_per_router, config.num_vcs,
+                   config.vc_depth, config.router_stages, self.stats)
+            for r in range(config.n_routers)]
+        for router in self.routers:
+            for port in range(NUM_DIRECTIONS, self.topology.ports_per_router):
+                router.set_output_credits(port, EJECTION_CREDITS)
+        self.nis = [
+            NetworkInterface(node, scheme, config.num_vcs, config.vc_depth,
+                             self.stats, flit_bytes=config.flit_bytes,
+                             on_deliver=on_deliver,
+                             overlap_compression=config.overlap_compression)
+            for node in range(config.n_nodes)]
+        self.traffic_source = None
+        # (dst_router, port, vc, flit) due next cycle.
+        self._pending_router_arrivals: List[Tuple[int, int, int, Flit]] = []
+        # (node, flit) ejections due next cycle.
+        self._pending_ejections: List[Tuple[int, Flit]] = []
+        # (router, port, vc) credits to apply at end of cycle.
+        self._credit_events: List[Tuple[int, int, int]] = []
+        self._route_fns = [self._make_route_fn(r)
+                           for r in range(config.n_routers)]
+        self._send_fns = [self._make_send_fn(r)
+                          for r in range(config.n_routers)]
+        self._credit_fns = [self._make_credit_fn(r)
+                            for r in range(config.n_routers)]
+        self._accept_fns = [self._make_accept_fn(n)
+                            for n in range(config.n_nodes)]
+
+    # -------------------------------------------------------------- wiring
+
+    def _make_route_fn(self, router_id: int):
+        topology = self.topology
+        route = self._route
+
+        def route_fn(flit: Flit) -> int:
+            return route(topology, router_id, flit.packet.dst)
+
+        return route_fn
+
+    def _make_send_fn(self, rid: int):
+        topology = self.topology
+        stats = self.stats
+
+        def send(out_port: int, out_vc: int, flit: Flit) -> None:
+            link = topology.link(rid, out_port)
+            if link is not None:
+                stats.link_traversals += 1
+                self._pending_router_arrivals.append(
+                    (link.dst_router, link.dst_port, out_vc, flit))
+            else:
+                node = topology.node_at(rid, out_port)
+                self._pending_ejections.append((node, flit))
+
+        return send
+
+    def _make_credit_fn(self, rid: int):
+        events = self._credit_events
+
+        def credit(in_port: int, in_vc: int) -> None:
+            events.append((rid, in_port, in_vc))
+
+        return credit
+
+    def _make_accept_fn(self, node: int):
+        router = self.routers[self.topology.router_of(node)]
+        port = self.topology.local_port_of(node)
+
+        def accept(vc: int, flit: Flit, now: int) -> None:
+            router.accept(port, vc, flit, now)
+
+        return accept
+
+    def set_traffic(self, source) -> None:
+        """Attach a traffic source (``generate(cycle) -> [TrafficRequest]``)."""
+        self.traffic_source = source
+
+    def submit(self, request: TrafficRequest) -> None:
+        """Directly enqueue one request at its source NI (trace replay and
+        cache-simulator driven modes use this)."""
+        self.nis[request.src].submit(request, self.cycle)
+
+    # ---------------------------------------------------------- main loop
+
+    def step(self) -> None:
+        """Advance the network by one cycle."""
+        now = self.cycle
+        self._deliver_arrivals(now)
+        if self.traffic_source is not None:
+            for request in self.traffic_source.generate(now):
+                self.nis[request.src].submit(request, now)
+        for ni in self.nis:
+            ni.process(now)
+        self._inject_all(now)
+        self._cycle_routers(now)
+        self._apply_credits()
+        self.cycle += 1
+        self.stats.cycles += 1
+
+    def run(self, cycles: int) -> None:
+        """Advance by ``cycles`` cycles."""
+        for _ in range(cycles):
+            self.step()
+
+    def drain(self, max_cycles: int = 100_000) -> bool:
+        """Run with traffic off until the network is empty.
+
+        Returns True when fully drained, False on the cycle budget expiring
+        (which a test would treat as a deadlock).
+        """
+        saved = self.traffic_source
+        self.traffic_source = None
+        try:
+            for _ in range(max_cycles):
+                if self.idle():
+                    return True
+                self.step()
+            return self.idle()
+        finally:
+            self.traffic_source = saved
+
+    def idle(self) -> bool:
+        """No flit buffered, in flight, queued or pending anywhere."""
+        if self._pending_router_arrivals or self._pending_ejections:
+            return False
+        if any(ni.busy() for ni in self.nis):
+            return False
+        return all(router.occupancy() == 0 for router in self.routers)
+
+    # ------------------------------------------------------------ phases
+
+    def _deliver_arrivals(self, now: int) -> None:
+        router_arrivals = self._pending_router_arrivals
+        ejections = self._pending_ejections
+        self._pending_router_arrivals = []
+        self._pending_ejections = []
+        for router_id, port, vc, flit in router_arrivals:
+            self.routers[router_id].accept(port, vc, flit, now)
+        for node, flit in ejections:
+            self.nis[node].eject(flit, now)
+
+    def _inject_all(self, now: int) -> None:
+        for ni, accept in zip(self.nis, self._accept_fns):
+            ni.inject(now, accept)
+
+    def _cycle_routers(self, now: int) -> None:
+        for router in self.routers:
+            rid = router.router_id
+            router.cycle(now, self._route_fns[rid], self._send_fns[rid],
+                         self._credit_fns[rid])
+
+    def _apply_credits(self) -> None:
+        topology = self.topology
+        for rid, in_port, vc in self._credit_events:
+            if in_port >= NUM_DIRECTIONS:
+                node = topology.node_at(rid, in_port)
+                self.nis[node].credit(vc)
+            else:
+                upstream = topology.neighbor(rid, in_port)
+                if upstream is None:  # pragma: no cover - impossible by wiring
+                    continue
+                opposite = {0: 2, 2: 0, 1: 3, 3: 1}[in_port]
+                self.routers[upstream].credit_return(opposite, vc)
+        del self._credit_events[:]

@@ -1,0 +1,107 @@
+"""Packets and flits.
+
+NoC traffic is a mix of single-flit **control** packets (coherence requests,
+acks) and multi-flit **data** packets carrying one cache block (§3.1).  The
+dictionary protocol's update/invalidate notifications ride as single-flit
+control packets too.
+
+A packet is fragmented into flits at the source NI; the head flit carries
+routing information (and is never compressed, which is what lets VC
+arbitration overlap with compression, §4.3).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.compression.base import EncodedBlock, Notification
+from repro.core.block import CacheBlock
+
+
+class PacketKind(enum.Enum):
+    """Traffic classes the simulator distinguishes."""
+
+    CONTROL = "control"
+    DATA = "data"
+    NOTIFICATION = "notification"
+
+    @property
+    def is_single_flit(self) -> bool:
+        """Control and protocol packets fit in one flit."""
+        return self is not PacketKind.DATA
+
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """One network packet, with its latency-accounting timestamps."""
+
+    src: int
+    dst: int
+    kind: PacketKind
+    size_flits: int = 1
+    block: Optional[CacheBlock] = None
+    encoded: Optional[EncodedBlock] = None
+    notification: Optional[Notification] = None
+    #: Cycle the producer handed the packet to the NI.
+    created: int = 0
+    #: Earliest cycle injection may start (creation + compression latency;
+    #: compression overlaps with queueing per §4.3).
+    inject_ready: int = 0
+    #: Whether the (non-overlapped) compression stall was already applied.
+    compression_started: bool = False
+    #: Cycle the head flit entered the router.
+    head_injected: int = -1
+    #: Cycle the tail flit was ejected at the destination.
+    tail_ejected: int = -1
+    pid: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError("packet source and destination must differ")
+        if self.size_flits < 1:
+            raise ValueError("a packet needs at least one flit")
+
+    @property
+    def queue_latency(self) -> int:
+        """NI queueing (+ non-overlapped compression) latency."""
+        return self.head_injected - self.created
+
+    @property
+    def network_latency(self) -> int:
+        """Head injection to tail ejection."""
+        return self.tail_ejected - self.head_injected
+
+
+class Flit:
+    """One flow-control unit.  Lean on purpose: millions are created."""
+
+    __slots__ = ("packet", "is_head", "is_tail", "ready_at")
+
+    def __init__(self, packet: Packet, is_head: bool, is_tail: bool):
+        self.packet = packet
+        self.is_head = is_head
+        self.is_tail = is_tail
+        #: Earliest cycle this flit may leave the current router (set on
+        #: arrival to model the router pipeline).
+        self.ready_at = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        role = "H" if self.is_head else ("T" if self.is_tail else "B")
+        return f"<Flit {role} pkt={self.packet.pid}>"
+
+
+def fragment(packet: Packet) -> List[Flit]:
+    """Split a packet into its flits (head first, tail last)."""
+    n = packet.size_flits
+    if n == 1:
+        flit = Flit(packet, is_head=True, is_tail=True)
+        return [flit]
+    flits = [Flit(packet, is_head=(i == 0), is_tail=(i == n - 1))
+             for i in range(n)]
+    return flits

@@ -1,0 +1,204 @@
+"""The three-stage virtual-channel wormhole router (Table 1).
+
+Pipeline model: a flit arriving at cycle *t* becomes eligible for switch
+allocation at ``t + stages - 1`` (route computation and VC allocation occupy
+the first stage, switch allocation the second) and, when granted, traverses
+switch + link to arrive at the next router at ``t + stages`` — a 3-cycle
+per-hop zero-load latency for the paper's three-stage router.
+
+Flow control is credit-based: one credit per downstream buffer slot,
+decremented on switch traversal and returned when the downstream router (or
+NI) drains the flit.  Virtual-channel allocation is per packet (wormhole):
+an output VC is owned from head grant to tail traversal; round-robin
+arbiters keep VA and SA fair.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, List, Optional, Tuple
+
+from repro.noc.packet import Flit
+
+
+class InputVc:
+    """State of one input virtual channel."""
+
+    __slots__ = ("buffer", "route", "out_vc")
+
+    def __init__(self):
+        self.buffer: deque = deque()
+        self.route: Optional[int] = None
+        self.out_vc: Optional[int] = None
+
+
+class Router:
+    """One mesh router.
+
+    The router is driven by :class:`~repro.noc.network.Network`, which calls
+    :meth:`accept` for arriving flits and :meth:`cycle` once per simulated
+    cycle with callbacks for flit departure and credit return.
+    """
+
+    def __init__(self, router_id: int, n_ports: int, num_vcs: int,
+                 vc_depth: int, stages: int, stats):
+        self.router_id = router_id
+        self.n_ports = n_ports
+        self.num_vcs = num_vcs
+        self.vc_depth = vc_depth
+        self.pipe_delay = max(stages - 1, 0)
+        self.stats = stats
+        self.inputs: List[List[InputVc]] = [
+            [InputVc() for _ in range(num_vcs)]
+            for _ in range(n_ports)]
+        # Downstream credit view and packet ownership per (out port, out VC).
+        self.out_credits: List[List[int]] = [
+            [vc_depth] * num_vcs for _ in range(n_ports)]
+        self.out_owner: List[List[Optional[Tuple[int, int]]]] = [
+            [None] * num_vcs for _ in range(n_ports)]
+        self._va_rr = [0] * n_ports
+        self._va_input_rr = 0
+        self._sa_rr = [0] * n_ports
+        self._port_rr = 0
+        # Buffered-flit count: lets idle routers skip their cycle entirely.
+        self._buffered = 0
+
+    # ------------------------------------------------------------ ingress
+
+    def accept(self, port: int, vc: int, flit: Flit, now: int) -> None:
+        """Buffer a flit arriving on an input VC (credit was pre-spent by
+        the sender)."""
+        ivc = self.inputs[port][vc]
+        if len(ivc.buffer) >= self.vc_depth:
+            raise RuntimeError(
+                f"router {self.router_id} port {port} vc {vc}: buffer "
+                f"overflow — upstream violated credit flow control")
+        flit.ready_at = now + self.pipe_delay
+        ivc.buffer.append(flit)
+        self._buffered += 1
+        self.stats.buffer_writes += 1
+
+    def set_output_credits(self, port: int, credits: int) -> None:
+        """Resize the credit pool of an output port (ejection ports use a
+        large value: the NI sink never backpressures)."""
+        self.out_credits[port] = [credits] * self.num_vcs
+
+    def credit_return(self, port: int, vc: int) -> None:
+        """A downstream buffer slot freed up."""
+        self.out_credits[port][vc] += 1
+
+    # ---------------------------------------------------------- main loop
+
+    def cycle(self, now: int, route_fn: Callable[[Flit], int],
+              send: Callable[[int, int, Flit], None],
+              credit: Callable[[int, int], None]) -> None:
+        """Run one router cycle.
+
+        ``route_fn(flit) -> out_port`` computes the route of a head flit at
+        this router.  ``send(out_port, out_vc, flit)`` hands a traversing
+        flit to the network; ``credit(in_port, in_vc)`` returns a credit
+        upstream.
+        """
+        if self._buffered == 0:
+            return
+        self._route_and_allocate_vcs(route_fn)
+        self._switch_allocate_and_traverse(now, send, credit)
+
+    def _route_and_allocate_vcs(self, route_fn) -> None:
+        """Stage 1: route computation + VC allocation for new heads.
+
+        Input VCs are visited in a rotating order so that, when output VCs
+        are scarce, no input port can monopolize them across cycles.
+        """
+        total = self.n_ports * self.num_vcs
+        rotate = self._va_input_rr
+        self._va_input_rr = (self._va_input_rr + self.num_vcs) % total
+        for k in range(total):
+            slot = (rotate + k) % total
+            port, vc = divmod(slot, self.num_vcs)
+            ivc = self.inputs[port][vc]
+            if not ivc.buffer:
+                continue
+            head = ivc.buffer[0]
+            if not head.is_head or ivc.out_vc is not None:
+                continue
+            if ivc.route is None:
+                ivc.route = route_fn(head)
+            out_port = ivc.route
+            start = self._va_rr[out_port]
+            owners = self.out_owner[out_port]
+            for j in range(self.num_vcs):
+                cand = (start + j) % self.num_vcs
+                if owners[cand] is None:
+                    owners[cand] = (port, vc)
+                    ivc.out_vc = cand
+                    self._va_rr[out_port] = (cand + 1) % self.num_vcs
+                    self.stats.vc_allocations += 1
+                    break
+
+    def _switch_allocate_and_traverse(self, now, send, credit) -> None:
+        """Stages 2+3: switch allocation, then switch/link traversal.
+
+        A single pass over the input VCs collects the switch requests; each
+        output port then picks one winner round-robin, subject to the
+        one-flit-per-input-port crossbar constraint.
+        """
+        requests: dict = {}
+        num_vcs = self.num_vcs
+        for port, vcs in enumerate(self.inputs):
+            for vc in range(num_vcs):
+                ivc = vcs[vc]
+                if ivc.out_vc is None or not ivc.buffer:
+                    continue
+                flit = ivc.buffer[0]
+                if (flit.ready_at > now
+                        or self.out_credits[ivc.route][ivc.out_vc] <= 0):
+                    continue
+                requests.setdefault(ivc.route, []).append(
+                    (port * num_vcs + vc, port, vc))
+        if not requests:
+            return
+        granted_inputs = set()
+        total = self.n_ports * num_vcs
+        port_order = sorted(
+            requests, key=lambda p: (p - self._port_rr) % self.n_ports)
+        self._port_rr = (self._port_rr + 1) % self.n_ports
+        for out_port in port_order:
+            start = self._sa_rr[out_port]
+            winner = None
+            best_rank = total
+            for slot, port, vc in requests[out_port]:
+                if port in granted_inputs:
+                    continue
+                rank = (slot - start) % total
+                if rank < best_rank:
+                    best_rank, winner = rank, (slot, port, vc)
+            if winner is None:
+                continue
+            slot, in_port, in_vc = winner
+            granted_inputs.add(in_port)
+            self._sa_rr[out_port] = (slot + 1) % total
+            self._traverse(in_port, in_vc, out_port, send, credit)
+
+    def _traverse(self, in_port: int, in_vc: int, out_port: int,
+                  send, credit) -> None:
+        """Pop the winning flit, spend a credit, release state on tail."""
+        ivc = self.inputs[in_port][in_vc]
+        flit = ivc.buffer.popleft()
+        self._buffered -= 1
+        out_vc = ivc.out_vc
+        self.out_credits[out_port][out_vc] -= 1
+        self.stats.buffer_reads += 1
+        self.stats.crossbar_traversals += 1
+        if flit.is_tail:
+            self.out_owner[out_port][out_vc] = None
+            ivc.route = None
+            ivc.out_vc = None
+        credit(in_port, in_vc)
+        send(out_port, out_vc, flit)
+
+    # -------------------------------------------------------- inspection
+
+    def occupancy(self) -> int:
+        """Total buffered flits (used by drain detection and tests)."""
+        return sum(len(vc.buffer) for port in self.inputs for vc in port)

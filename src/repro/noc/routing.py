@@ -1,0 +1,61 @@
+"""Routing functions.
+
+The paper uses dimension-ordered XY routing (Table 1): packets first travel
+along X (east/west), then along Y (north/south), which is deadlock-free on a
+mesh without extra virtual-channel classes.  YX is provided for ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.noc.topology import EAST, MeshTopology, NORTH, SOUTH, WEST
+
+#: A routing function maps (topology, current router, destination node) to
+#: the output port the head flit must request.
+RoutingFn = Callable[[MeshTopology, int, int], int]
+
+
+def xy_route(topology: MeshTopology, router: int, dst_node: int) -> int:
+    """Dimension-ordered XY: correct X first, then Y, then eject."""
+    dst_router = topology.router_of(dst_node)
+    cx, cy = topology.coords(router)
+    dx, dy = topology.coords(dst_router)
+    if cx < dx:
+        return EAST
+    if cx > dx:
+        return WEST
+    if cy < dy:
+        return SOUTH
+    if cy > dy:
+        return NORTH
+    return topology.local_port_of(dst_node)
+
+
+def yx_route(topology: MeshTopology, router: int, dst_node: int) -> int:
+    """Dimension-ordered YX: correct Y first, then X, then eject."""
+    dst_router = topology.router_of(dst_node)
+    cx, cy = topology.coords(router)
+    dx, dy = topology.coords(dst_router)
+    if cy < dy:
+        return SOUTH
+    if cy > dy:
+        return NORTH
+    if cx < dx:
+        return EAST
+    if cx > dx:
+        return WEST
+    return topology.local_port_of(dst_node)
+
+
+ROUTING_FUNCTIONS = {"xy": xy_route, "yx": yx_route}
+
+
+def get_routing_fn(name: str) -> RoutingFn:
+    """Look up a routing function by name."""
+    try:
+        return ROUTING_FUNCTIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown routing function {name!r}; "
+            f"choose from {sorted(ROUTING_FUNCTIONS)}") from None

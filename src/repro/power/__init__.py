@@ -1,0 +1,31 @@
+"""Power and area models (Figure 15 and §5.5)."""
+
+from repro.power.area import (
+    AreaReport,
+    di_comp_encoder_area,
+    di_vaxx_encoder_area,
+    encoder_area,
+    fp_comp_encoder_area,
+    fp_vaxx_encoder_area,
+)
+from repro.power.energy import (
+    CODEC_ENERGY_PJ,
+    EVENT_ENERGY_PJ,
+    PowerReport,
+    dynamic_power,
+    normalized_power,
+)
+
+__all__ = [
+    "AreaReport",
+    "di_comp_encoder_area",
+    "di_vaxx_encoder_area",
+    "encoder_area",
+    "fp_comp_encoder_area",
+    "fp_vaxx_encoder_area",
+    "CODEC_ENERGY_PJ",
+    "EVENT_ENERGY_PJ",
+    "PowerReport",
+    "dynamic_power",
+    "normalized_power",
+]

@@ -1,0 +1,44 @@
+"""Traffic generation: patterns, benchmark value models, traces.
+
+This package is the stand-in for the paper's gem5/PARSEC trace collection
+(see DESIGN.md §4): benchmark profiles model the value locality and timing
+the real workloads exhibit, and the trace module records/replays the exact
+packet streams so every mechanism is compared on identical traffic.
+"""
+
+from repro.traffic.datagen import BlockGenerator, ValueModel
+from repro.traffic.generator import BenchmarkTraffic, SyntheticTraffic
+from repro.traffic.patterns import PATTERNS, get_pattern
+from repro.traffic.profiles import (
+    BENCHMARK_ORDER,
+    BENCHMARKS,
+    BenchmarkProfile,
+    BurstModel,
+    get_benchmark,
+)
+from repro.traffic.trace import (
+    TraceRecord,
+    TraceTraffic,
+    load_trace,
+    record_trace,
+    save_trace,
+)
+
+__all__ = [
+    "BlockGenerator",
+    "ValueModel",
+    "BenchmarkTraffic",
+    "SyntheticTraffic",
+    "PATTERNS",
+    "get_pattern",
+    "BENCHMARK_ORDER",
+    "BENCHMARKS",
+    "BenchmarkProfile",
+    "BurstModel",
+    "get_benchmark",
+    "TraceRecord",
+    "TraceTraffic",
+    "load_trace",
+    "record_trace",
+    "save_trace",
+]

@@ -1,0 +1,147 @@
+"""Benchmark value-locality models — the gem5/PARSEC trace substitute.
+
+What APPROX-NoC exploits in application traffic is entirely captured by the
+*value content* of data packets (§2.1): exact repetition of patterns
+(compression), approximate similarity between patterns (VAXX), the int/float
+mix, and how the working set of values drifts over time (which is what makes
+dictionary mechanisms re-learn, §5.2.1).  This module models those properties
+directly, per benchmark, instead of replaying the authors' gem5 traces which
+we do not have.  See DESIGN.md §4 for the substitution rationale.
+
+A :class:`ValueModel` produces cache blocks from a mixture distribution:
+
+* ``p_zero`` — the word is zero (zero runs dominate real cache traffic);
+* ``p_small`` — a narrow integer (sign-extends from a byte);
+* ``p_pool`` — a draw from a slowly drifting *working-set pool* of base
+  values, perturbed by ``cluster_noise`` relative jitter.  Exact repetition
+  (compression) comes from zero-noise draws; approximate similarity (VAXX)
+  from the jittered ones;
+* remainder — a full-entropy random word (incompressible).
+
+``phase_length`` blocks between pool mutations models program phases.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.block import CacheBlock, DataType
+from repro.util.bitops import float_to_bits, to_unsigned
+from repro.util.rng import DeterministicRng
+
+
+@dataclass(frozen=True)
+class ValueModel:
+    """Parameters of one benchmark's data-value distribution."""
+
+    name: str
+    dtype: DataType = DataType.INT
+    p_zero: float = 0.2
+    p_small: float = 0.2
+    p_pool: float = 0.4
+    pool_size: int = 16
+    #: Relative jitter applied to pool draws (0 = exact repetition only).
+    cluster_noise: float = 0.02
+    #: Fraction of pool draws that repeat the base value exactly.
+    exact_repeat: float = 0.5
+    #: Blocks between working-set mutations (program phase length).
+    phase_length: int = 200
+    #: Fraction of the pool replaced at each phase change.
+    phase_churn: float = 0.25
+    #: Magnitude scale of generated values.
+    scale: float = 1e4
+    #: Zipf exponent for pool draws: hot values dominate real cache traffic
+    #: (a handful of frequent values carries most of the repetition that
+    #: dictionary compression exploits).  0 = uniform pool.
+    pool_zipf: float = 1.2
+    #: Probability a whole block is *array-like*: every word is the same
+    #: pool base plus a small delta (what base-delta compression exploits,
+    #: and a strong case for dictionary/approximate matching too).
+    p_block_coherent: float = 0.15
+    #: Relative spread of the deltas inside a coherent block.
+    coherent_spread: float = 0.002
+
+    def __post_init__(self) -> None:
+        total = self.p_zero + self.p_small + self.p_pool
+        if total > 1.0 + 1e-9:
+            raise ValueError(
+                f"{self.name}: mixture probabilities sum to {total} > 1")
+        if self.pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+
+
+class BlockGenerator:
+    """Stateful generator of cache blocks following a :class:`ValueModel`."""
+
+    def __init__(self, model: ValueModel, rng: DeterministicRng):
+        self.model = model
+        self._rng = rng
+        self._blocks_emitted = 0
+        self._pool: List[float] = [self._base_value()
+                                   for _ in range(model.pool_size)]
+        self._pool_weights = [1.0 / (rank + 1) ** model.pool_zipf
+                              for rank in range(model.pool_size)]
+
+    def _base_value(self) -> float:
+        """A fresh working-set base value."""
+        magnitude = self._rng.expovariate(1.0 / self.model.scale)
+        sign = -1.0 if self._rng.bernoulli(0.3) else 1.0
+        return sign * max(magnitude, 1.0)
+
+    def _mutate_pool(self) -> None:
+        """Phase change: replace a fraction of the working set.
+
+        Mutation prefers the cold (high-rank) end of the pool: a program
+        phase change swaps working-set values, but globally hot constants
+        (0-adjacent sentinels, scale factors) persist.
+        """
+        replace = max(1, int(len(self._pool) * self.model.phase_churn))
+        cold_start = len(self._pool) - max(replace * 2, 1)
+        for _ in range(replace):
+            index = self._rng.randint(max(cold_start, 0),
+                                      len(self._pool) - 1)
+            self._pool[index] = self._base_value()
+
+    def _word(self) -> float:
+        """Draw one value from the mixture (as a float; encoded later)."""
+        model = self.model
+        r = self._rng.random()
+        if r < model.p_zero:
+            return 0.0
+        r -= model.p_zero
+        if r < model.p_small:
+            return float(self._rng.randint(-128, 127))
+        r -= model.p_small
+        if r < model.p_pool:
+            base = self._rng.choices(self._pool, self._pool_weights, 1)[0]
+            if self._rng.bernoulli(model.exact_repeat):
+                return base
+            jitter = 1.0 + self._rng.gauss(0.0, model.cluster_noise)
+            return base * jitter
+        # Incompressible tail: full-entropy pattern.
+        return float(self._rng.randbits(31) - (1 << 30))
+
+    def _coherent_values(self, words: int) -> List[float]:
+        """An array-like block: one base value plus small deltas."""
+        base = self._rng.choices(self._pool, self._pool_weights, 1)[0]
+        spread = abs(base) * self.model.coherent_spread + 1.0
+        return [base + self._rng.gauss(0.0, spread) for _ in range(words)]
+
+    def next_block(self, words: int = 16,
+                   approximable: bool = True) -> CacheBlock:
+        """Produce the next cache block of the stream."""
+        self._blocks_emitted += 1
+        if self._blocks_emitted % self.model.phase_length == 0:
+            self._mutate_pool()
+        if self._rng.bernoulli(self.model.p_block_coherent):
+            values = self._coherent_values(words)
+        else:
+            values = [self._word() for _ in range(words)]
+        if self.model.dtype is DataType.FLOAT:
+            return CacheBlock.from_floats(values, approximable=approximable)
+        return CacheBlock.from_ints(
+            [int(v) & 0xFFFFFFFF if v >= 0 else to_unsigned(int(v))
+             for v in values],
+            approximable=approximable)

@@ -1,0 +1,99 @@
+"""Destination patterns for synthetic traffic (§5.2.2).
+
+The paper's throughput study uses Uniform Random (UR) and Transpose (TR);
+bit-complement, bit-reverse, neighbor and hotspot are provided for wider
+sweeps.  A pattern maps a source node to a destination node given the
+topology; stochastic patterns draw from the supplied RNG.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.noc.topology import MeshTopology
+from repro.util.rng import DeterministicRng
+
+#: A pattern maps (src_node, topology, rng) -> dst_node (or None when the
+#: pattern sends this source nowhere, e.g. transpose fixed points).
+PatternFn = Callable[[int, MeshTopology, DeterministicRng], Optional[int]]
+
+
+def uniform_random(src: int, topology: MeshTopology,
+                   rng: DeterministicRng) -> Optional[int]:
+    """Every other node equally likely."""
+    dst = rng.randint(0, topology.n_nodes - 2)
+    if dst >= src:
+        dst += 1
+    return dst
+
+
+def transpose(src: int, topology: MeshTopology,
+              rng: DeterministicRng) -> Optional[int]:
+    """Mesh-coordinate transpose: router (x, y) sends to router (y, x).
+
+    Nodes on diagonal routers have no distinct partner and stay silent,
+    matching the classical definition.  Concentration is preserved: local
+    slot *k* talks to local slot *k*.
+    """
+    router = topology.router_of(src)
+    x, y = topology.coords(router)
+    if x >= topology.height or y >= topology.width:
+        return None  # no mirror router on a non-square mesh
+    mirror = topology.router_at(y, x)
+    if mirror == router:
+        return None
+    slot = topology.local_port_of(src)
+    return topology.node_at(mirror, slot)
+
+
+def bit_complement(src: int, topology: MeshTopology,
+                   rng: DeterministicRng) -> Optional[int]:
+    """Destination is the bitwise complement of the source node id."""
+    n = topology.n_nodes
+    if n & (n - 1):
+        raise ValueError("bit-complement needs a power-of-two node count")
+    dst = (~src) & (n - 1)
+    return dst if dst != src else None
+
+def bit_reverse(src: int, topology: MeshTopology,
+                rng: DeterministicRng) -> Optional[int]:
+    """Destination is the bit-reversed source node id."""
+    n = topology.n_nodes
+    if n & (n - 1):
+        raise ValueError("bit-reverse needs a power-of-two node count")
+    bits = n.bit_length() - 1
+    dst = int(format(src, f"0{bits}b")[::-1], 2)
+    return dst if dst != src else None
+
+
+def neighbor(src: int, topology: MeshTopology,
+             rng: DeterministicRng) -> Optional[int]:
+    """Nearest-neighbor traffic: the next node id, wrapping around."""
+    return (src + 1) % topology.n_nodes
+
+
+def hotspot(src: int, topology: MeshTopology,
+            rng: DeterministicRng) -> Optional[int]:
+    """10% of traffic targets node 0 (a memory controller), rest uniform."""
+    if src != 0 and rng.bernoulli(0.1):
+        return 0
+    return uniform_random(src, topology, rng)
+
+
+PATTERNS: Dict[str, PatternFn] = {
+    "uniform_random": uniform_random,
+    "transpose": transpose,
+    "bit_complement": bit_complement,
+    "bit_reverse": bit_reverse,
+    "neighbor": neighbor,
+    "hotspot": hotspot,
+}
+
+
+def get_pattern(name: str) -> PatternFn:
+    """Look up a traffic pattern by name."""
+    try:
+        return PATTERNS[name]
+    except KeyError:
+        raise ValueError(f"unknown traffic pattern {name!r}; "
+                         f"choose from {sorted(PATTERNS)}") from None

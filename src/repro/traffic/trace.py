@@ -1,0 +1,152 @@
+"""Communication-trace format, IO and replay.
+
+The paper collects gem5 region-of-interest communication traces and feeds
+them to the NoC simulator (§5.1).  We mirror that flow: any traffic source
+(synthetic, benchmark models, the cache simulator) can be *recorded* into a
+trace, saved as JSON-lines, and replayed cycle-accurately under a different
+compression mechanism — which is precisely how the figures compare
+mechanisms on identical traffic.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from repro.core.block import CacheBlock, DataType
+from repro.noc.ni import TrafficRequest
+from repro.noc.packet import PacketKind
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One packet injection event."""
+
+    cycle: int
+    src: int
+    dst: int
+    kind: PacketKind
+    words: Optional[tuple] = None
+    dtype: DataType = DataType.INT
+    approximable: bool = False
+
+    def to_request(self) -> TrafficRequest:
+        """Convert to the NI-facing request."""
+        block = None
+        if self.kind is PacketKind.DATA:
+            block = CacheBlock(tuple(self.words), dtype=self.dtype,
+                               approximable=self.approximable)
+        return TrafficRequest(self.src, self.dst, self.kind, block)
+
+    def to_json(self) -> str:
+        """Serialize to one JSON line."""
+        payload = {"c": self.cycle, "s": self.src, "d": self.dst,
+                   "k": self.kind.value}
+        if self.kind is PacketKind.DATA:
+            payload["w"] = list(self.words)
+            payload["t"] = self.dtype.value
+            payload["a"] = int(self.approximable)
+        return json.dumps(payload, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceRecord":
+        """Parse one JSON line."""
+        payload = json.loads(line)
+        kind = PacketKind(payload["k"])
+        words = tuple(payload["w"]) if "w" in payload else None
+        return cls(cycle=payload["c"], src=payload["s"], dst=payload["d"],
+                   kind=kind, words=words,
+                   dtype=DataType(payload.get("t", "int")),
+                   approximable=bool(payload.get("a", 0)))
+
+
+def record_trace(source, cycles: int) -> List[TraceRecord]:
+    """Run a traffic source standalone and capture its injections."""
+    records = []
+    for cycle in range(cycles):
+        for request in source.generate(cycle):
+            words = request.block.words if request.block is not None else None
+            dtype = (request.block.dtype if request.block is not None
+                     else DataType.INT)
+            approximable = (request.block.approximable
+                            if request.block is not None else False)
+            records.append(TraceRecord(
+                cycle=cycle, src=request.src, dst=request.dst,
+                kind=request.kind, words=words, dtype=dtype,
+                approximable=approximable))
+    return records
+
+
+def save_trace(records: Iterable[TraceRecord],
+               path: Union[str, Path]) -> None:
+    """Write a trace as JSON lines."""
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(record.to_json())
+            handle.write("\n")
+
+
+def load_trace(path: Union[str, Path]) -> List[TraceRecord]:
+    """Read a JSON-lines trace."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(TraceRecord.from_json(line))
+    return records
+
+
+class TraceTraffic:
+    """Replays a recorded trace into the network.
+
+    ``loop`` restarts the trace when exhausted (with cycle offsets), so a
+    short trace can drive an arbitrarily long measurement window.
+    ``approx_override`` forces the approximable-packet ratio to a different
+    value than recorded (used by the Figure 14 sensitivity sweep): packets
+    are re-marked deterministically by packet ordinal.
+    """
+
+    def __init__(self, records: List[TraceRecord], loop: bool = False,
+                 approx_override: Optional[float] = None):
+        self._records = sorted(records, key=lambda r: r.cycle)
+        self.loop = loop
+        self.approx_override = approx_override
+        self._index = 0
+        self._offset = 0
+        self._span = (self._records[-1].cycle + 1) if self._records else 0
+        self._ordinal = 0
+
+    def exhausted(self, cycle: int) -> bool:
+        """True when a non-looping trace has been fully injected."""
+        return not self.loop and self._index >= len(self._records)
+
+    def _mark(self, request: TrafficRequest) -> TrafficRequest:
+        if (self.approx_override is None
+                or request.kind is not PacketKind.DATA):
+            return request
+        self._ordinal += 1
+        # Deterministic stride marking: the same packets flip for every
+        # mechanism under test, keeping comparisons paired.
+        approximable = (self._ordinal * self.approx_override) % 1.0 \
+            >= (1.0 - self.approx_override)
+        block = CacheBlock(request.block.words, dtype=request.block.dtype,
+                           approximable=approximable)
+        return TrafficRequest(request.src, request.dst, request.kind, block)
+
+    def generate(self, cycle: int) -> List[TrafficRequest]:
+        """Requests recorded for this cycle."""
+        requests = []
+        while self._index < len(self._records):
+            record = self._records[self._index]
+            when = record.cycle + self._offset
+            if when > cycle:
+                break
+            requests.append(self._mark(record.to_request()))
+            self._index += 1
+            if self._index >= len(self._records) and self.loop:
+                self._index = 0
+                self._offset = cycle + 1
+        return requests

@@ -1,0 +1,41 @@
+"""Low-level helpers shared by every APPROX-NoC subsystem.
+
+The whole framework operates on 32-bit machine words (the paper's word
+granularity) carried inside 64-byte cache blocks, so this package centralizes
+two's-complement and IEEE-754 bit manipulation, plus a tiny deterministic RNG
+wrapper used by traffic and workload generators.
+"""
+
+from repro.util.bitops import (
+    WORD_BITS,
+    WORD_MASK,
+    SIGN_BIT,
+    to_signed,
+    to_unsigned,
+    sign_extends_from,
+    float_to_bits,
+    bits_to_float,
+    float_fields,
+    fields_to_float,
+    clamp,
+    bit_length,
+    popcount,
+)
+from repro.util.rng import DeterministicRng
+
+__all__ = [
+    "WORD_BITS",
+    "WORD_MASK",
+    "SIGN_BIT",
+    "to_signed",
+    "to_unsigned",
+    "sign_extends_from",
+    "float_to_bits",
+    "bits_to_float",
+    "float_fields",
+    "fields_to_float",
+    "clamp",
+    "bit_length",
+    "popcount",
+    "DeterministicRng",
+]

@@ -1,0 +1,100 @@
+"""Two's-complement and IEEE-754 single precision bit manipulation.
+
+All APPROX-NoC structures (AVCL, APCL, the pattern-match tables) operate on
+raw 32-bit patterns; these helpers are the single source of truth for the
+integer <-> pattern <-> float conversions used throughout the library.
+"""
+
+from __future__ import annotations
+
+import struct
+
+WORD_BITS = 32
+WORD_MASK = 0xFFFFFFFF
+SIGN_BIT = 0x80000000
+
+# IEEE-754 single precision field layout.
+MANTISSA_BITS = 23
+MANTISSA_MASK = (1 << MANTISSA_BITS) - 1
+EXPONENT_BITS = 8
+EXPONENT_MASK = (1 << EXPONENT_BITS) - 1
+EXPONENT_SHIFT = MANTISSA_BITS
+SIGN_SHIFT = 31
+
+
+def to_signed(pattern: int) -> int:
+    """Interpret a 32-bit pattern as a two's-complement signed integer."""
+    pattern &= WORD_MASK
+    if pattern & SIGN_BIT:
+        return pattern - (1 << WORD_BITS)
+    return pattern
+
+
+def to_unsigned(value: int) -> int:
+    """Encode a signed integer as its 32-bit two's-complement pattern."""
+    return value & WORD_MASK
+
+
+def sign_extends_from(pattern: int, bits: int) -> bool:
+    """Return True when ``pattern`` is the sign extension of its low ``bits``.
+
+    This is the membership test for the frequent-pattern classes of Figure 5
+    (4-bit / one-byte / halfword sign-extended patterns).
+    """
+    if not 0 < bits <= WORD_BITS:
+        raise ValueError(f"bits must be in 1..{WORD_BITS}, got {bits}")
+    value = to_signed(pattern)
+    low = 1 << (bits - 1)
+    return -low <= value < low
+
+
+def float_to_bits(value: float) -> int:
+    """Return the IEEE-754 single precision pattern of ``value``.
+
+    The conversion round-trips through ``struct`` so NaN payloads, infinities
+    and denormals survive unchanged (modulo the float64 -> float32 rounding
+    inherent to storing a Python float in 32 bits).
+    """
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+def bits_to_float(pattern: int) -> float:
+    """Decode a 32-bit pattern as an IEEE-754 single precision value."""
+    return struct.unpack("<f", struct.pack("<I", pattern & WORD_MASK))[0]
+
+
+def float_fields(pattern: int) -> tuple[int, int, int]:
+    """Split a float pattern into ``(sign, exponent, mantissa)`` fields."""
+    pattern &= WORD_MASK
+    sign = pattern >> SIGN_SHIFT
+    exponent = (pattern >> EXPONENT_SHIFT) & EXPONENT_MASK
+    mantissa = pattern & MANTISSA_MASK
+    return sign, exponent, mantissa
+
+
+def fields_to_float(sign: int, exponent: int, mantissa: int) -> int:
+    """Assemble a float pattern from its fields (inverse of float_fields)."""
+    if sign not in (0, 1):
+        raise ValueError(f"sign must be 0 or 1, got {sign}")
+    if not 0 <= exponent <= EXPONENT_MASK:
+        raise ValueError(f"exponent out of range: {exponent}")
+    if not 0 <= mantissa <= MANTISSA_MASK:
+        raise ValueError(f"mantissa out of range: {mantissa}")
+    return (sign << SIGN_SHIFT) | (exponent << EXPONENT_SHIFT) | mantissa
+
+
+def clamp(value: int, low: int, high: int) -> int:
+    """Clamp ``value`` to the inclusive interval [low, high]."""
+    if low > high:
+        raise ValueError(f"empty interval [{low}, {high}]")
+    return low if value < low else high if value > high else value
+
+
+def bit_length(value: int) -> int:
+    """Number of bits needed to represent ``value`` (0 for 0)."""
+    return int(value).bit_length()
+
+
+def popcount(pattern: int) -> int:
+    """Number of set bits in ``pattern``."""
+    return bin(pattern & WORD_MASK).count("1")

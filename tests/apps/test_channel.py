@@ -1,0 +1,72 @@
+"""Tests for the approximation channel."""
+
+import numpy as np
+import pytest
+
+from repro.apps.channel import ApproxChannel, IdentityChannel
+from repro.compression import BaselineScheme
+from repro.core import DiVaxxScheme, FpVaxxScheme
+
+
+class TestIdentityChannel:
+    def test_floats_quantized_to_float32(self):
+        channel = IdentityChannel()
+        values = np.array([1 / 3, 2 / 3])
+        out = channel.transform_floats(values)
+        assert out[0] == np.float32(1 / 3)
+
+    def test_ints_untouched(self):
+        channel = IdentityChannel()
+        values = np.array([1, -5, 70000])
+        assert (channel.transform_ints(values) == values).all()
+
+
+class TestApproxChannel:
+    def test_baseline_scheme_is_exact_modulo_float32(self):
+        channel = ApproxChannel(BaselineScheme(8))
+        values = np.linspace(-5, 5, 37)
+        out = channel.transform_floats(values)
+        assert (out == values.astype(np.float32).astype(np.float64)).all()
+
+    def test_shape_preserved(self):
+        channel = ApproxChannel(BaselineScheme(8))
+        values = np.arange(24, dtype=np.float64).reshape(4, 6)
+        assert channel.transform_floats(values).shape == (4, 6)
+
+    def test_int_range_validated(self):
+        channel = ApproxChannel(BaselineScheme(8))
+        with pytest.raises(ValueError):
+            channel.transform_ints(np.array([2**40]))
+
+    def test_needs_two_nodes(self):
+        with pytest.raises(ValueError):
+            ApproxChannel(BaselineScheme(1))
+
+    def test_fp_vaxx_error_bounded(self):
+        channel = ApproxChannel(FpVaxxScheme(8, error_threshold_pct=10))
+        values = np.array([70000 + i for i in range(64)], dtype=np.int64)
+        out = channel.transform_ints(values)
+        rel = np.abs(out - values) / values
+        assert rel.max() <= 0.4  # paper-mode slack over the nominal 10%
+
+    def test_non_approximable_is_exact(self):
+        channel = ApproxChannel(FpVaxxScheme(8, error_threshold_pct=20))
+        values = np.array([70000 + i for i in range(64)], dtype=np.int64)
+        out = channel.transform_ints(values, approximable=False)
+        assert (out == values).all()
+
+    def test_pair_mapping_is_positional(self):
+        channel = ApproxChannel(BaselineScheme(8))
+        assert channel._pair_for(0) == (0, 1)
+        assert channel._pair_for(8) == (0, 1)
+        assert channel._pair_for(7) == (7, 0)
+
+    def test_dictionary_learns_across_rereads(self):
+        """Re-reading the same array repeatedly becomes compressible."""
+        scheme = DiVaxxScheme(16, error_threshold_pct=10,
+                              detect_threshold=2)
+        channel = ApproxChannel(scheme)
+        values = np.array([1000.5] * 256)
+        for _ in range(4):
+            channel.transform_floats(values)
+        assert scheme.quality.encoded_fraction > 0.2

@@ -1,0 +1,176 @@
+"""Tests for the application kernels (correctness + error behaviour)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps import blackscholes, bodytrack, canneal, fluidanimate
+from repro.apps import ssca2, streamcluster, swaptions, x264
+from repro.apps.channel import ApproxChannel, IdentityChannel
+from repro.apps.suite import APP_RUNNERS, run_app
+from repro.core import DiVaxxScheme, FpVaxxScheme
+
+
+class TestBlackscholes:
+    def test_put_call_parity(self):
+        portfolio = blackscholes.generate_portfolio(64)
+        prices = blackscholes.price(portfolio)
+        # spot-check one option against a hand-computed value
+        assert (prices >= -1e-9).all()
+
+    def test_known_value(self):
+        """S=100, K=100, r=5%, v=20%, T=1: call = 10.4506 (textbook)."""
+        portfolio = blackscholes.OptionPortfolio(
+            spot=np.array([100.0]), strike=np.array([100.0]),
+            rate=np.array([0.05]), volatility=np.array([0.2]),
+            expiry=np.array([1.0]), is_call=np.array([True]))
+        price = blackscholes.price(portfolio)[0]
+        assert price == pytest.approx(10.4506, abs=2e-3)
+
+    def test_deterministic(self):
+        p1 = blackscholes.price(blackscholes.generate_portfolio(32))
+        p2 = blackscholes.price(blackscholes.generate_portfolio(32))
+        assert (p1 == p2).all()
+
+    def test_error_zero_without_approximation(self):
+        portfolio = blackscholes.generate_portfolio(32)
+        a = blackscholes.price(portfolio, IdentityChannel())
+        b = blackscholes.price(portfolio, IdentityChannel())
+        assert blackscholes.output_error(a, b) == 0.0
+
+
+class TestSsca2:
+    def test_bc_matches_networkx(self):
+        networkx = pytest.importorskip("networkx")
+        adjacency = ssca2.generate_rmat_graph(32, 96, seed=2)
+        ours = ssca2.betweenness_centrality(adjacency)
+        graph = networkx.Graph()
+        graph.add_nodes_from(range(32))
+        for u, neighbors in enumerate(adjacency):
+            for v in neighbors:
+                graph.add_edge(u, v)
+        reference = networkx.betweenness_centrality(graph, normalized=False)
+        for vertex in range(32):
+            # rel tolerance absorbs the channel's float32 quantization
+            assert ours[vertex] == pytest.approx(reference[vertex],
+                                                 rel=1e-5, abs=1e-6)
+
+    def test_rmat_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            ssca2.generate_rmat_graph(100, 200)
+
+    def test_rmat_no_self_loops(self):
+        adjacency = ssca2.generate_rmat_graph(64, 128, seed=3)
+        for vertex, neighbors in enumerate(adjacency):
+            assert vertex not in neighbors
+
+    def test_path_graph_bc(self):
+        # path 0-1-2: only vertex 1 lies on a shortest path
+        adjacency = [[1], [0, 2], [1]]
+        bc = ssca2.betweenness_centrality(adjacency)
+        assert bc[0] == pytest.approx(0.0)
+        assert bc[1] == pytest.approx(1.0)
+        assert bc[2] == pytest.approx(0.0)
+
+
+class TestStreamcluster:
+    def test_cost_positive(self):
+        points = streamcluster.generate_points(100)
+        result = streamcluster.cluster(points, k=4)
+        assert result.cost > 0
+        assert len(result.assignment) == 100
+
+    def test_clusters_found(self):
+        """Well-separated blobs should be clustered near-optimally."""
+        points = streamcluster.generate_points(200, n_clusters=4, seed=1)
+        result = streamcluster.cluster(points, k=4, iterations=10)
+        # mean distance to assigned center should be close to blob sigma
+        mean_distance = result.cost / len(points)
+        assert mean_distance < 15
+
+
+class TestBodytrack:
+    def test_track_follows_blob(self):
+        frames = bodytrack.generate_frames(10, 48, seed=4)
+        result = bodytrack.track(frames)
+        # the blob walks right/down; the track should, too
+        assert result.track[-1][0] > result.track[0][0]
+
+    def test_frame_psnr_identical_is_infinite(self):
+        frame = bodytrack.generate_frames(1, 32)[0]
+        assert bodytrack.frame_psnr(frame, frame) == float("inf")
+
+    def test_error_zero_on_identical_runs(self):
+        frames = bodytrack.generate_frames(6, 32)
+        a = bodytrack.track(frames)
+        b = bodytrack.track(frames)
+        assert bodytrack.output_error(a, b) == 0.0
+
+
+class TestCanneal:
+    def test_annealing_reduces_wire_length(self):
+        netlist = canneal.generate_netlist(100, 250, seed=5)
+        before = canneal.wire_length(netlist.positions, netlist.nets)
+        after_positions = canneal.anneal(netlist, sweeps=20)
+        after = canneal.wire_length(after_positions, netlist.nets)
+        assert after < before
+
+
+class TestFluidanimate:
+    def test_particles_stay_in_domain(self):
+        positions, velocities = fluidanimate.generate_particles(80)
+        final = fluidanimate.simulate(positions, velocities, steps=15)
+        assert (final >= -1e-6).all()
+        assert (final <= fluidanimate.DOMAIN + 1e-6).all()
+
+    def test_gravity_pulls_down(self):
+        positions, velocities = fluidanimate.generate_particles(80)
+        final = fluidanimate.simulate(positions, velocities, steps=10)
+        assert final[:, 1].mean() < positions[:, 1].mean()
+
+
+class TestX264:
+    def test_motion_estimation_recovers_shift(self):
+        reference, current = x264.generate_frame_pair(48, seed=6)
+        prediction = x264.motion_estimate(reference, current, search=5)
+        quality = x264.psnr(prediction, current)
+        # np.roll wraps at the frame edges, so border blocks cannot be
+        # matched perfectly; 20 dB still indicates the shift was found.
+        assert quality > 20
+
+    def test_psnr_identical(self):
+        frame = np.full((8, 8), 100)
+        assert x264.psnr(frame, frame) == float("inf")
+
+
+class TestSuite:
+    def test_all_apps_registered(self):
+        assert set(APP_RUNNERS) == {
+            "blackscholes", "bodytrack", "canneal", "fluidanimate",
+            "streamcluster", "swaptions", "x264", "ssca2"}
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ValueError):
+            run_app("doom", None)
+
+    def test_exact_scheme_zero_error(self):
+        for name in ("blackscholes", "swaptions", "ssca2"):
+            assert run_app(name, None) == 0.0
+
+    @pytest.mark.parametrize("name", sorted(APP_RUNNERS))
+    def test_error_under_20pct_budget_is_finite_and_sane(self, name):
+        scheme = FpVaxxScheme(n_nodes=32, error_threshold_pct=20)
+        error = run_app(name, scheme)
+        assert 0.0 <= error < 1.0
+
+    def test_streamcluster_error_grows_with_budget(self):
+        """The paper's §5.4 observation: streamcluster's output error can
+        exceed the data budget because approximated coordinates mismatch
+        centers."""
+        errors = []
+        for threshold in (5, 20):
+            scheme = DiVaxxScheme(n_nodes=32, error_threshold_pct=threshold,
+                                  detect_threshold=2)
+            errors.append(run_app("streamcluster", scheme))
+        assert errors[1] > errors[0]

@@ -1,0 +1,113 @@
+"""Tests for base-delta compression and its VAXX coupling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.delta import (
+    BdCompScheme,
+    BdVaxxScheme,
+    DELTA_WIDTHS,
+    _clamp_to_width,
+    _fits,
+)
+from repro.core.block import CacheBlock
+
+
+class TestPrimitives:
+    def test_fits_boundaries(self):
+        assert _fits(7, 4) and _fits(-8, 4)
+        assert not _fits(8, 4) and not _fits(-9, 4)
+
+    def test_clamp(self):
+        assert _clamp_to_width(1000, 0, 8) == 127
+        assert _clamp_to_width(-1000, 0, 8) == -128
+        assert _clamp_to_width(50, 0, 8) == 50
+
+
+class TestBdComp:
+    def test_narrow_deltas_compress(self):
+        block = CacheBlock.from_ints([1000, 1001, 999, 1005])
+        scheme = BdCompScheme(2)
+        out, encoded = scheme.roundtrip(block, 0, 1)
+        assert out.words == block.words
+        # 2 selector + 32 base + 3 x 4-bit deltas
+        assert encoded.size_bits == 2 + 32 + 3 * 4
+
+    def test_width_escalation(self):
+        block = CacheBlock.from_ints([1000, 1100, 900, 1000])
+        scheme = BdCompScheme(2)
+        _, encoded = scheme.roundtrip(block, 0, 1)
+        assert encoded.size_bits == 2 + 32 + 3 * 8
+
+    def test_wide_deltas_ship_raw(self):
+        block = CacheBlock.from_ints([0, 10_000_000, -10_000_000, 5])
+        scheme = BdCompScheme(2)
+        out, encoded = scheme.roundtrip(block, 0, 1)
+        assert out.words == block.words
+        assert encoded.size_bits == 4 * 32
+
+    def test_single_word_block(self):
+        block = CacheBlock.from_ints([42])
+        scheme = BdCompScheme(2)
+        out, encoded = scheme.roundtrip(block, 0, 1)
+        assert out.words == block.words
+
+    @given(st.lists(st.integers(-(2**31), 2**31 - 1), min_size=1,
+                    max_size=16))
+    @settings(max_examples=50, deadline=None)
+    def test_exactness_property(self, values):
+        scheme = BdCompScheme(2)
+        block = CacheBlock.from_ints(values)
+        out, encoded = scheme.roundtrip(block, 0, 1)
+        assert out.words == block.words
+        assert encoded.size_bits <= 32 * len(values)
+
+
+class TestBdVaxx:
+    def test_approximation_rescues_outliers(self):
+        """Words past the delta range get nudged into the narrowest width
+        the masks admit — here every delta squeezes into 4 bits."""
+        block = CacheBlock.from_ints([100000, 100010, 100140, 99990],
+                                     approximable=True)
+        exact = BdCompScheme(2)
+        vaxx = BdVaxxScheme(2, error_threshold_pct=10)
+        _, enc_exact = exact.roundtrip(block, 0, 1)
+        out, enc_vaxx = vaxx.roundtrip(block, 0, 1)
+        assert enc_vaxx.size_bits < enc_exact.size_bits
+        assert enc_vaxx.size_bits == 2 + 32 + 3 * 4
+        # each delivered word is the clamp of the original into [b-8, b+7]
+        assert out.as_ints() == [100000, 100007, 100007, 99992]
+
+    def test_error_within_mask(self):
+        block = CacheBlock.from_ints([100000, 100140], approximable=True)
+        vaxx = BdVaxxScheme(2, error_threshold_pct=10)
+        out, _ = vaxx.roundtrip(block, 0, 1)
+        for precise, approx in zip(block.as_ints(), out.as_ints()):
+            assert abs(approx - precise) <= 4 * abs(precise) * 0.10 + 1
+
+    def test_non_approximable_stays_exact(self):
+        block = CacheBlock.from_ints([100000, 100140], approximable=False)
+        vaxx = BdVaxxScheme(2, error_threshold_pct=10)
+        out, _ = vaxx.roundtrip(block, 0, 1)
+        assert out.words == block.words
+
+    def test_prefers_exact_when_same_size(self):
+        block = CacheBlock.from_ints([1000, 1001, 1002], approximable=True)
+        vaxx = BdVaxxScheme(2, error_threshold_pct=20)
+        out, _ = vaxx.roundtrip(block, 0, 1)
+        assert out.words == block.words  # exact 4-bit deltas already fit
+
+    def test_scheme_name(self):
+        assert BdVaxxScheme(2).name == "BD-VAXX"
+        assert BdCompScheme(2).name == "BD-COMP"
+
+    @given(st.lists(st.integers(-(2**31), 2**31 - 1), min_size=1,
+                    max_size=16))
+    @settings(max_examples=40, deadline=None)
+    def test_error_bound_property(self, values):
+        vaxx = BdVaxxScheme(2, error_threshold_pct=10)
+        block = CacheBlock.from_ints(values, approximable=True)
+        out, _ = vaxx.roundtrip(block, 0, 1)
+        for precise, approx in zip(block.as_ints(), out.as_ints()):
+            assert abs(approx - precise) <= 4 * abs(precise) * 0.10 + 1

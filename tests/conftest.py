@@ -1,0 +1,23 @@
+"""Shared fixtures for the APPROX-NoC test suite."""
+
+import pytest
+
+from repro.core.block import CacheBlock
+
+
+@pytest.fixture
+def int_block():
+    """A representative approximable integer block."""
+    return CacheBlock.from_ints(
+        [0, 0, 5, -5, 127, -128, 1000, -1000,
+         65536, 70000, 12345, -12345, 9, 9, 2**30, -2**30],
+        approximable=True)
+
+
+@pytest.fixture
+def float_block():
+    """A representative approximable float block."""
+    return CacheBlock.from_floats(
+        [0.0, 1.0, 1.5, -2.25, 3.14159, 100.5, -0.001, 1e10,
+         2.0, 2.001, 4.0, -4.0, 0.5, 8.125, 1234.5, -777.25],
+        approximable=True)

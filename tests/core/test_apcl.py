@@ -1,0 +1,103 @@
+"""Dedicated tests for ternary patterns and the APCL."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.apcl import Apcl, TernaryPattern
+from repro.core.avcl import Avcl
+from repro.core.block import DataType
+from repro.util.bitops import float_to_bits, to_unsigned
+
+WORDS = st.integers(0, 0xFFFFFFFF)
+MASKS = st.integers(0, 23).map(lambda k: (1 << k) - 1)
+
+
+class TestTernaryPattern:
+    def test_masks_are_canonicalized(self):
+        t = TernaryPattern(value=0x1FFFFFFFF, mask=0x100000003)
+        assert t.value == 0xFFFFFFFF
+        assert t.mask == 3
+
+    def test_exact_pattern_matches_only_itself(self):
+        t = TernaryPattern(value=0xAB, mask=0)
+        assert t.matches(0xAB)
+        assert not t.matches(0xAA)
+
+    def test_full_mask_matches_everything(self):
+        t = TernaryPattern(value=0, mask=0xFFFFFFFF)
+        assert t.matches(0xDEADBEEF)
+        assert t.dont_care_bits() == 32
+
+    @given(WORDS, MASKS)
+    def test_value_always_matches_own_pattern(self, value, mask):
+        assert TernaryPattern(value=value, mask=mask).matches(value)
+
+    @given(WORDS, MASKS, WORDS)
+    def test_match_iff_care_bits_equal(self, value, mask, candidate):
+        t = TernaryPattern(value=value, mask=mask)
+        expected = (candidate & ~mask & 0xFFFFFFFF) == \
+            (value & ~mask & 0xFFFFFFFF)
+        assert t.matches(candidate) == expected
+
+    @given(WORDS, MASKS)
+    def test_covers_is_reflexive(self, value, mask):
+        t = TernaryPattern(value=value, mask=mask)
+        assert t.covers(t)
+
+    @given(WORDS, st.integers(0, 22))
+    def test_wider_pattern_covers_narrower(self, value, k):
+        narrow = TernaryPattern(value=value, mask=(1 << k) - 1)
+        wide = TernaryPattern(value=value, mask=(1 << (k + 1)) - 1)
+        assert wide.covers(narrow)
+
+    @given(WORDS, MASKS, WORDS, MASKS)
+    def test_covers_implies_match_subset(self, v1, m1, v2, m2):
+        """If A covers B, any word matching B matches A (checked on B's
+        extremes)."""
+        a = TernaryPattern(value=v1, mask=m1)
+        b = TernaryPattern(value=v2, mask=m2)
+        if not a.covers(b):
+            return
+        low = b.value & ~b.mask & 0xFFFFFFFF
+        high = low | b.mask
+        assert a.matches(low) and a.matches(high)
+
+    def test_str_renders_32_symbols(self):
+        t = TernaryPattern(value=0b1001, mask=0b11)
+        rendered = str(t)
+        assert len(rendered) == 32
+        assert set(rendered) <= {"0", "1", "x"}
+
+
+class TestApcl:
+    def test_int_pattern_value_is_the_word(self):
+        apcl = Apcl(Avcl(10))
+        word = to_unsigned(-70000)
+        assert apcl.compute(word, DataType.INT).value == word
+
+    def test_float_pattern_value_is_the_word(self):
+        """The ternary lives in word space (the TCAM search key)."""
+        apcl = Apcl(Avcl(10))
+        word = float_to_bits(3.14159)
+        t = apcl.compute(word, DataType.FLOAT)
+        assert t.value == word
+        assert 0 < t.mask < (1 << 23)  # mantissa-only don't cares
+
+    def test_float_mask_never_touches_exponent(self):
+        apcl = Apcl(Avcl(100))
+        t = apcl.compute(float_to_bits(1.75), DataType.FLOAT)
+        assert t.mask < (1 << 23)
+
+    @given(st.floats(min_value=1e-30, max_value=1e30, allow_nan=False))
+    def test_any_match_shares_sign_and_exponent(self, value):
+        apcl = Apcl(Avcl(20))
+        word = float_to_bits(value)
+        t = apcl.compute(word, DataType.FLOAT)
+        # the top 9 bits (sign+exponent) are always care bits
+        assert (t.mask >> 23) == 0
+
+    def test_threshold_widens_mask(self):
+        tight = Apcl(Avcl(5)).compute(70000, DataType.INT)
+        loose = Apcl(Avcl(20)).compute(70000, DataType.INT)
+        assert loose.mask >= tight.mask

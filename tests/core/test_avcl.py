@@ -1,0 +1,209 @@
+"""Unit and property tests for the Approximate Value Compute Logic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.avcl import Avcl, shift_bits_for_threshold
+from repro.core.block import DataType
+from repro.util.bitops import (
+    bits_to_float,
+    float_fields,
+    float_to_bits,
+    to_signed,
+    to_unsigned,
+)
+
+
+class TestShiftPrecompute:
+    def test_paper_example_25pct(self):
+        # "for an error threshold of 25% ... when the data pattern value is
+        # 128, the error_range can be easily determined to be 32"
+        shift = shift_bits_for_threshold(25, mode="paper")
+        assert 128 >> shift == 32
+
+    def test_paper_mode_10pct(self):
+        # 100/10 = 10 -> floor(log2 10) = 3
+        assert shift_bits_for_threshold(10, mode="paper") == 3
+
+    def test_strict_mode_rounds_up(self):
+        # strict rounds the divisor up: ceil(log2 10) = 4
+        assert shift_bits_for_threshold(10, mode="strict") == 4
+
+    def test_equal_at_powers_of_two(self):
+        assert (shift_bits_for_threshold(25, mode="paper")
+                == shift_bits_for_threshold(25, mode="strict") == 2)
+
+    def test_100pct_threshold(self):
+        assert shift_bits_for_threshold(100, mode="paper") == 0
+
+    @pytest.mark.parametrize("bad", [0, -5, 101])
+    def test_invalid_threshold(self, bad):
+        with pytest.raises(ValueError):
+            shift_bits_for_threshold(bad)
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            shift_bits_for_threshold(10, mode="fuzzy")
+
+
+class TestIntegerApproximation:
+    def test_paper_example_9_at_20pct(self):
+        # Pattern 1001 (9) @ 20% -> approximate pattern "10xx" (2 don't-care
+        # bits) per the worked example in §3.2.
+        avcl = Avcl(20, mode="paper")
+        info = avcl.evaluate_int(9)
+        assert info.dont_care_bits == 2
+        assert info.matches(8)
+        assert info.matches(9)
+        assert info.matches(10)
+        assert info.matches(11)
+        assert not info.matches(12)
+        assert not info.matches(7)
+
+    def test_strict_mode_is_conservative(self):
+        avcl = Avcl(20, mode="strict")
+        info = avcl.evaluate_int(9)
+        # strict: divisor 8, range 9>>3 = 1, mask of 1 bit
+        assert info.dont_care_bits == 1
+        assert info.matches(8)
+        assert info.matches(9)
+        assert not info.matches(10)
+
+    def test_zero_value_has_no_slack(self):
+        avcl = Avcl(20)
+        info = avcl.evaluate_int(0)
+        assert info.dont_care_bits == 0
+        assert info.error_range == 0
+
+    def test_negative_values_use_magnitude(self):
+        avcl = Avcl(20, mode="paper")
+        pos = avcl.evaluate_int(9)
+        neg = avcl.evaluate_int(to_unsigned(-9))
+        assert neg.dont_care_bits == pos.dont_care_bits
+
+    def test_negative_match_is_nearby(self):
+        avcl = Avcl(20, mode="paper")
+        info = avcl.evaluate_int(to_unsigned(-9))
+        # -9 = ...10111; with 2 don't-care bits the block is [-12, -9]
+        assert info.matches(to_unsigned(-12))
+        assert info.matches(to_unsigned(-9))
+        assert not info.matches(to_unsigned(-8))
+
+    def test_set_threshold_updates_shift(self):
+        avcl = Avcl(5)
+        before = avcl.shift
+        avcl.set_threshold(20)
+        assert avcl.shift < before
+        assert avcl.error_threshold_pct == 20
+
+    @given(st.integers(-(2**31), 2**31 - 1),
+           st.sampled_from([5.0, 10.0, 20.0, 25.0, 50.0]))
+    def test_strict_mode_bound(self, value, threshold):
+        """strict mode: any masked match deviates by at most e% of |value|."""
+        avcl = Avcl(threshold, mode="strict")
+        info = avcl.evaluate_int(to_unsigned(value))
+        worst = info.mask  # largest low-bit deviation a match can have
+        assert worst <= abs(value) * threshold / 100 + 1e-9
+
+    @given(st.integers(-(2**31), 2**31 - 1),
+           st.sampled_from([5.0, 10.0, 20.0, 25.0]))
+    def test_paper_mode_bound_within_4x(self, value, threshold):
+        """paper mode may overshoot (the 9 @ 20% example does): the shift
+        floor loses up to 2x and the mask rounding another 2x, so the
+        deviation stays within 4x the nominal threshold plus one quantum."""
+        avcl = Avcl(threshold, mode="paper")
+        info = avcl.evaluate_int(to_unsigned(value))
+        assert info.mask <= 4 * abs(value) * threshold / 100 + 1
+
+    @given(st.integers(-(2**31), 2**31 - 1))
+    def test_value_always_matches_itself(self, value):
+        avcl = Avcl(10)
+        info = avcl.evaluate_int(to_unsigned(value))
+        assert info.matches(to_unsigned(value))
+
+    @given(st.integers(-(2**31), 2**31 - 1),
+           st.integers(0, 0xFFFFFFFF))
+    def test_match_implies_same_care_bits(self, value, candidate):
+        avcl = Avcl(10)
+        info = avcl.evaluate_int(to_unsigned(value))
+        matched = info.matches(candidate)
+        same_care = (candidate & ~info.mask & 0xFFFFFFFF) == info.care_pattern
+        assert matched == same_care
+
+
+class TestFloatApproximation:
+    def test_significand_extraction(self):
+        # 1.5 = significand 1.1000... -> 24-bit 0xC00000
+        pattern = float_to_bits(1.5)
+        significand = Avcl.extract_significand(pattern)
+        assert significand == 0xC00000
+
+    def test_zero_bypasses(self):
+        avcl = Avcl(10)
+        info = avcl.evaluate_float(float_to_bits(0.0))
+        assert info.bypass
+        assert info.dont_care_bits == 0
+
+    @pytest.mark.parametrize("special", [
+        float("inf"), float("-inf"), float("nan"), 1e-40, -1e-42,
+    ])
+    def test_specials_bypass(self, special):
+        avcl = Avcl(20)
+        info = avcl.evaluate_float(float_to_bits(special))
+        assert info.bypass
+
+    def test_normal_float_gets_mask(self):
+        avcl = Avcl(10)
+        info = avcl.evaluate_float(float_to_bits(1.5))
+        assert not info.bypass
+        assert info.dont_care_bits > 0
+
+    def test_mask_never_reaches_exponent(self):
+        avcl = Avcl(100)  # maximal threshold
+        info = avcl.evaluate_float(float_to_bits(1.75))
+        assert info.dont_care_bits <= 23
+
+    def test_replace_significand_preserves_sign_exponent(self):
+        pattern = float_to_bits(-6.5)
+        significand = Avcl.extract_significand(pattern)
+        rebuilt = Avcl.replace_significand(pattern, significand)
+        assert rebuilt == pattern
+
+    def test_replace_significand_rejects_denormalized(self):
+        with pytest.raises(ValueError):
+            Avcl.replace_significand(float_to_bits(1.0), 0x100)
+
+    @given(st.floats(min_value=1e-30, max_value=1e30, allow_nan=False),
+           st.sampled_from([5.0, 10.0, 20.0]))
+    def test_masked_float_error_is_bounded(self, value, threshold):
+        """Any float matching the mask deviates by a bounded relative error.
+
+        The significand carries the implicit leading 1 (>= 2^23) so a low-bit
+        mask of k bits changes the value by < 2^k / 2^23 relative — and the
+        mask construction keeps 2^k within ~2x the error range in paper mode.
+        """
+        avcl = Avcl(threshold, mode="paper")
+        pattern = float_to_bits(value)
+        info = avcl.evaluate_float(pattern)
+        if info.bypass:
+            return
+        # Build the worst-case matching candidate: flip all don't-care bits.
+        worst = pattern ^ info.mask
+        worst_value = bits_to_float(worst)
+        rel = abs(worst_value - value) / abs(value)
+        assert rel <= 4 * threshold / 100 + 1e-6
+
+    @given(st.floats(min_value=1e-30, max_value=1e30, allow_nan=False))
+    def test_dispatch_matches_direct_calls(self, value):
+        avcl = Avcl(10)
+        pattern = float_to_bits(value)
+        assert avcl.evaluate(pattern, DataType.FLOAT) == \
+            avcl.evaluate_float(pattern)
+
+    @given(st.integers(-(2**31), 2**31 - 1))
+    def test_dispatch_int(self, value):
+        avcl = Avcl(10)
+        pattern = to_unsigned(value)
+        assert avcl.evaluate(pattern, DataType.INT) == \
+            avcl.evaluate_int(pattern)

@@ -1,0 +1,127 @@
+"""Unit and property tests for the bit-manipulation helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import bitops
+
+WORDS = st.integers(min_value=0, max_value=0xFFFFFFFF)
+SIGNED = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+
+
+class TestSignedConversion:
+    def test_zero(self):
+        assert bitops.to_signed(0) == 0
+        assert bitops.to_unsigned(0) == 0
+
+    def test_minus_one(self):
+        assert bitops.to_signed(0xFFFFFFFF) == -1
+        assert bitops.to_unsigned(-1) == 0xFFFFFFFF
+
+    def test_int_min(self):
+        assert bitops.to_signed(0x80000000) == -(2**31)
+        assert bitops.to_unsigned(-(2**31)) == 0x80000000
+
+    def test_int_max(self):
+        assert bitops.to_signed(0x7FFFFFFF) == 2**31 - 1
+
+    @given(SIGNED)
+    def test_roundtrip_signed(self, value):
+        assert bitops.to_signed(bitops.to_unsigned(value)) == value
+
+    @given(WORDS)
+    def test_roundtrip_unsigned(self, pattern):
+        assert bitops.to_unsigned(bitops.to_signed(pattern)) == pattern
+
+
+class TestSignExtension:
+    @pytest.mark.parametrize("pattern,bits,expected", [
+        (0, 4, True),
+        (7, 4, True),
+        (8, 4, False),
+        (0xFFFFFFF8, 4, True),   # -8
+        (0xFFFFFFF7, 4, False),  # -9
+        (0x7F, 8, True),
+        (0x80, 8, False),
+        (0xFFFFFF80, 8, True),   # -128
+        (0x7FFF, 16, True),
+        (0x8000, 16, False),
+        (0xDEADBEEF, 32, True),  # everything sign-extends from 32 bits
+    ])
+    def test_examples(self, pattern, bits, expected):
+        assert bitops.sign_extends_from(pattern, bits) is expected
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ValueError):
+            bitops.sign_extends_from(0, 0)
+        with pytest.raises(ValueError):
+            bitops.sign_extends_from(0, 33)
+
+    @given(SIGNED, st.integers(min_value=1, max_value=32))
+    def test_matches_arithmetic_definition(self, value, bits):
+        expected = -(1 << (bits - 1)) <= value < (1 << (bits - 1))
+        assert bitops.sign_extends_from(
+            bitops.to_unsigned(value), bits) is expected
+
+
+class TestFloatBits:
+    @pytest.mark.parametrize("value,pattern", [
+        (0.0, 0x00000000),
+        (1.0, 0x3F800000),
+        (-2.0, 0xC0000000),
+        (0.5, 0x3F000000),
+        (float("inf"), 0x7F800000),
+        (float("-inf"), 0xFF800000),
+    ])
+    def test_known_encodings(self, value, pattern):
+        assert bitops.float_to_bits(value) == pattern
+        assert bitops.bits_to_float(pattern) == value
+
+    def test_nan_roundtrip(self):
+        pattern = bitops.float_to_bits(float("nan"))
+        decoded = bitops.bits_to_float(pattern)
+        assert decoded != decoded
+
+    @given(st.floats(width=32, allow_nan=False))
+    def test_roundtrip(self, value):
+        assert bitops.bits_to_float(bitops.float_to_bits(value)) == value
+
+    @given(WORDS)
+    def test_fields_roundtrip(self, pattern):
+        sign, exponent, mantissa = bitops.float_fields(pattern)
+        assert bitops.fields_to_float(sign, exponent, mantissa) == pattern
+
+    def test_fields_of_one(self):
+        sign, exponent, mantissa = bitops.float_fields(0x3F800000)
+        assert (sign, exponent, mantissa) == (0, 127, 0)
+
+    def test_fields_validation(self):
+        with pytest.raises(ValueError):
+            bitops.fields_to_float(2, 0, 0)
+        with pytest.raises(ValueError):
+            bitops.fields_to_float(0, 256, 0)
+        with pytest.raises(ValueError):
+            bitops.fields_to_float(0, 0, 1 << 23)
+
+
+class TestMisc:
+    def test_clamp(self):
+        assert bitops.clamp(5, 0, 10) == 5
+        assert bitops.clamp(-1, 0, 10) == 0
+        assert bitops.clamp(11, 0, 10) == 10
+
+    def test_clamp_empty_interval(self):
+        with pytest.raises(ValueError):
+            bitops.clamp(0, 5, 4)
+
+    def test_popcount(self):
+        assert bitops.popcount(0) == 0
+        assert bitops.popcount(0xFFFFFFFF) == 32
+        assert bitops.popcount(0b1011) == 3
+
+    @given(WORDS)
+    def test_popcount_matches_bin(self, pattern):
+        assert bitops.popcount(pattern) == bin(pattern).count("1")

@@ -1,0 +1,109 @@
+"""Tests for error-control policies and quality accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.block import DataType
+from repro.core.error_control import ErrorBudget, WindowErrorBudget
+from repro.core.quality import QualityTracker
+from repro.util.bitops import to_unsigned
+
+
+class TestErrorBudget:
+    def test_default_policy_admits_everything(self):
+        budget = ErrorBudget()
+        assert budget.admits(to_unsigned(100), to_unsigned(50), DataType.INT)
+
+    def test_record_returns_relative_error(self):
+        budget = ErrorBudget()
+        err = budget.record(to_unsigned(100), to_unsigned(90), DataType.INT)
+        assert err == pytest.approx(0.10)
+
+
+class TestWindowErrorBudget:
+    def test_admits_within_budget(self):
+        budget = WindowErrorBudget(threshold_pct=10, window=4)
+        assert budget.admits(to_unsigned(100), to_unsigned(95), DataType.INT)
+
+    def test_rejects_over_budget(self):
+        budget = WindowErrorBudget(threshold_pct=10, window=1)
+        assert not budget.admits(to_unsigned(100), to_unsigned(80),
+                                 DataType.INT)
+
+    def test_window_amortizes_spikes(self):
+        """A 20% spike is admitted when surrounded by exact words."""
+        budget = WindowErrorBudget(threshold_pct=10, window=4)
+        for _ in range(3):
+            budget.record(to_unsigned(100), to_unsigned(100), DataType.INT)
+        assert budget.admits(to_unsigned(100), to_unsigned(80), DataType.INT)
+
+    def test_rejection_does_not_consume_budget(self):
+        budget = WindowErrorBudget(threshold_pct=10, window=1)
+        budget.admits(to_unsigned(100), to_unsigned(50), DataType.INT)
+        # a small substitution still fits: the rejection left no trace
+        assert budget.admits(to_unsigned(100), to_unsigned(95), DataType.INT)
+
+    def test_sliding_window_forgets(self):
+        budget = WindowErrorBudget(threshold_pct=10, window=2)
+        budget.record(to_unsigned(100), to_unsigned(85), DataType.INT)
+        budget.record(to_unsigned(100), to_unsigned(100), DataType.INT)
+        budget.record(to_unsigned(100), to_unsigned(100), DataType.INT)
+        assert budget.current_mean() == 0.0
+
+    def test_reset(self):
+        budget = WindowErrorBudget(threshold_pct=10, window=4)
+        budget.record(to_unsigned(100), to_unsigned(80), DataType.INT)
+        budget.reset()
+        assert budget.current_mean() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowErrorBudget(window=0)
+        with pytest.raises(ValueError):
+            WindowErrorBudget(threshold_pct=0)
+
+    @given(st.lists(st.integers(90, 110), min_size=1, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_admitted_mean_never_exceeds_threshold(self, approxes):
+        """Invariant: the window mean stays within the threshold after any
+        sequence of admit attempts against reference value 100."""
+        budget = WindowErrorBudget(threshold_pct=5, window=8)
+        for approx in approxes:
+            budget.admits(to_unsigned(100), to_unsigned(approx), DataType.INT)
+            assert budget.current_mean() <= 0.05 + 1e-12
+
+
+class TestQualityTracker:
+    def test_empty_tracker_is_perfect(self):
+        tracker = QualityTracker()
+        assert tracker.data_quality == 1.0
+        assert tracker.encoded_fraction == 0.0
+
+    def test_fractions(self):
+        tracker = QualityTracker()
+        tracker.record_word(encoded=True, approximated=False)
+        tracker.record_word(encoded=True, approximated=True,
+                            relative_error=0.1)
+        tracker.record_word(encoded=False, approximated=False)
+        assert tracker.encoded_fraction == pytest.approx(2 / 3)
+        assert tracker.exact_fraction == pytest.approx(1 / 3)
+        assert tracker.approx_fraction == pytest.approx(1 / 3)
+        assert tracker.data_quality == pytest.approx(1 - 0.1 / 3)
+
+    def test_merge(self):
+        a, b = QualityTracker(), QualityTracker()
+        a.record_word(encoded=True, approximated=False)
+        b.record_word(encoded=True, approximated=True, relative_error=0.2)
+        b.record_block(approximable=True)
+        a.merge(b)
+        assert a.total_words == 2
+        assert a.approx_encoded_words == 1
+        assert a.max_word_error == 0.2
+        assert a.approximable_blocks == 1
+
+    def test_as_dict_keys(self):
+        tracker = QualityTracker()
+        summary = tracker.as_dict()
+        assert {"data_quality", "encoded_fraction", "approx_fraction",
+                "exact_fraction"} <= set(summary)

@@ -1,0 +1,63 @@
+"""Tests for multi-seed statistics."""
+
+import pytest
+
+from repro.harness.sweeps import (
+    SeedStats,
+    mechanism_comparison_with_error_bars,
+    seed_sweep,
+    significantly_better,
+)
+from repro.noc import NocConfig
+
+SMALL = NocConfig(mesh_width=2, mesh_height=2, concentration=2)
+FAST = dict(trace_cycles=800, warmup=300, measure=400)
+
+
+class TestSeedStats:
+    def test_of_constant_samples(self):
+        stats = SeedStats.of([3.0, 3.0, 3.0])
+        assert stats.mean == 3.0 and stats.std == 0.0 and stats.n == 3
+
+    def test_of_spread(self):
+        stats = SeedStats.of([1.0, 3.0])
+        assert stats.mean == 2.0
+        assert stats.std == pytest.approx(1.0)
+        assert stats.rel_std == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SeedStats.of([])
+
+    def test_str(self):
+        assert "±" in str(SeedStats.of([1.0, 2.0]))
+
+    def test_significantly_better(self):
+        fast = SeedStats.of([10.0, 10.2])
+        slow = SeedStats.of([14.0, 14.4])
+        assert significantly_better(fast, slow)
+        assert not significantly_better(slow, fast)
+        close = SeedStats.of([10.1, 10.4])
+        assert not significantly_better(fast, close)
+
+
+class TestSweeps:
+    def test_seed_sweep_produces_stats(self):
+        stats = seed_sweep("x264", "FP-VAXX", seeds=(1, 2), config=SMALL,
+                           **FAST)
+        assert stats.n == 2
+        assert stats.mean > 0
+
+    def test_comparison_covers_mechanisms(self):
+        comparison = mechanism_comparison_with_error_bars(
+            "ssca2", seeds=(1, 2), config=SMALL,
+            mechanisms=("Baseline", "FP-VAXX"), **FAST)
+        assert set(comparison) == {"Baseline", "FP-VAXX"}
+        for stats in comparison.values():
+            assert stats.n == 2
+
+    def test_variance_is_moderate(self):
+        """Seed-to-seed latency variation should stay within ~30%."""
+        stats = seed_sweep("blackscholes", "Baseline", seeds=(1, 2, 3),
+                           config=SMALL, **FAST)
+        assert stats.rel_std < 0.3

@@ -1,0 +1,46 @@
+"""Smoke tests: the runnable examples execute cleanly.
+
+The heavyweight sweep example is exercised indirectly through the Figure 12
+harness tests; here we run the fast ones end-to-end as subprocesses, the
+way a user would.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "graph_analytics.py",
+    "custom_compressor.py",
+    "image_pipeline.py",
+    "video_window_budget.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+def test_quickstart_mentions_both_layers():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True, text=True, timeout=300)
+    assert "Codec layer" in result.stdout
+    assert "Network layer" in result.stdout
+
+
+def test_all_examples_exist():
+    present = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {"quickstart.py", "graph_analytics.py", "throughput_sweep.py",
+            "image_pipeline.py", "custom_compressor.py",
+            "video_window_budget.py"} <= present

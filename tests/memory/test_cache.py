@@ -1,0 +1,98 @@
+"""Tests for the set-associative cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.cache import SetAssociativeCache
+
+
+def tiny_cache(ways=2, sets=4):
+    return SetAssociativeCache(size_bytes=ways * sets * 64, ways=ways,
+                               line_bytes=64)
+
+
+class TestGeometry:
+    def test_paper_l1_geometry(self):
+        cache = SetAssociativeCache(64 * 1024, ways=2, line_bytes=64)
+        assert cache.n_sets == 512
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(1000, ways=3, line_bytes=64)
+
+
+class TestBasicOps:
+    def test_miss_then_hit(self):
+        cache = tiny_cache()
+        assert cache.access(5) is False
+        cache.fill(5)
+        assert cache.access(5) is True
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_lru_eviction(self):
+        cache = tiny_cache(ways=2, sets=1)
+        cache.fill(0)
+        cache.fill(1)
+        cache.access(0)          # 0 becomes MRU
+        victim = cache.fill(2)   # evicts 1
+        assert victim is not None
+        assert victim[0] == 1
+
+    def test_dirty_eviction_counts_writeback(self):
+        cache = tiny_cache(ways=1, sets=1)
+        cache.fill(0, dirty=True)
+        cache.fill(1)
+        assert cache.stats.writebacks == 1
+
+    def test_invalidate(self):
+        cache = tiny_cache()
+        cache.fill(7)
+        assert cache.invalidate(7) is not None
+        assert cache.access(7) is False
+        assert cache.invalidate(7) is None
+
+    def test_victim_address_reconstruction(self):
+        cache = tiny_cache(ways=1, sets=4)
+        cache.fill(6)            # set 2
+        victim = cache.fill(10)  # also set 2 (10 % 4 == 2)
+        assert victim[0] == 6
+
+    def test_resident_blocks(self):
+        cache = tiny_cache()
+        for addr in (1, 2, 3):
+            cache.fill(addr)
+        assert sorted(cache.resident_blocks()) == [1, 2, 3]
+
+    def test_miss_rate(self):
+        cache = tiny_cache()
+        cache.access(1)
+        cache.fill(1)
+        cache.access(1)
+        assert cache.stats.miss_rate == pytest.approx(0.5)
+
+    @given(st.lists(st.integers(0, 63), min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_capacity_invariant(self, addresses):
+        """The cache never holds more lines than ways x sets."""
+        cache = tiny_cache(ways=2, sets=4)
+        for addr in addresses:
+            if not cache.access(addr):
+                cache.fill(addr)
+        assert len(cache.resident_blocks()) <= 8
+        # and no set exceeds its way count
+        from collections import Counter
+        per_set = Counter(addr % 4 for addr in cache.resident_blocks())
+        assert all(count <= 2 for count in per_set.values())
+
+    @given(st.lists(st.integers(0, 31), min_size=1, max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_rehit_after_fill(self, addresses):
+        """A filled block hits until evicted or invalidated."""
+        cache = tiny_cache(ways=4, sets=8)  # 32 lines: no evictions here
+        for addr in addresses:
+            if not cache.access(addr):
+                cache.fill(addr)
+        for addr in set(addresses):
+            assert cache.lookup(addr, touch=False) is not None

@@ -1,0 +1,161 @@
+"""Tests for the coherent multicore memory system."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import BaselineScheme
+from repro.core import CacheBlock, DataType, FpVaxxScheme
+from repro.memory import CmpMemorySystem, TraceCollector
+from repro.noc.packet import PacketKind
+
+WORDS = tuple(range(16))
+
+
+def make_system(scheme=None, n_cores=4):
+    return CmpMemorySystem(n_cores=n_cores, scheme=scheme,
+                           n_nodes=max(n_cores, scheme.n_nodes
+                                       if scheme else n_cores))
+
+
+class TestBasicCoherence:
+    def test_read_after_write_same_core(self):
+        sys = make_system()
+        sys.write_block(0, 100, WORDS)
+        assert sys.read_block(0, 100) == WORDS
+
+    def test_read_after_write_other_core(self):
+        sys = make_system()
+        sys.write_block(0, 100, WORDS)
+        assert sys.read_block(1, 100) == WORDS
+
+    def test_write_invalidates_sharers(self):
+        sys = make_system()
+        sys.write_block(0, 100, WORDS)
+        sys.read_block(1, 100)
+        sys.read_block(2, 100)
+        new = tuple(w + 1 for w in WORDS)
+        sys.write_block(1, 100, new)
+        assert sys.stats.invalidations >= 1
+        assert sys.read_block(2, 100) == new
+
+    def test_ping_pong_writebacks(self):
+        sys = make_system()
+        sys.write_block(0, 100, WORDS)
+        sys.write_block(1, 100, tuple(w + 1 for w in WORDS))
+        assert sys.stats.writebacks >= 1
+
+    def test_upgrade_on_shared_copy(self):
+        sys = make_system()
+        sys.write_block(0, 100, WORDS)
+        sys.read_block(1, 100)
+        sys.write_block(1, 100, WORDS)
+        assert sys.stats.upgrades >= 1
+
+    def test_flush_writes_dirty_data_back(self):
+        sys = make_system()
+        sys.write_block(0, 100, WORDS)
+        sys.flush()
+        assert sys.memory_words(100) == WORDS
+
+    def test_hit_does_not_message(self):
+        sys = make_system()
+        sys.write_block(0, 100, WORDS)
+        before = sys.stats.control_messages + sys.stats.data_messages
+        sys.read_block(0, 100)
+        after = sys.stats.control_messages + sys.stats.data_messages
+        assert after == before
+
+    def test_word_count_validated(self):
+        sys = make_system()
+        with pytest.raises(ValueError):
+            sys.write_block(0, 100, (1, 2, 3))
+
+    def test_core_node_mapping_spreads(self):
+        sys = CmpMemorySystem(n_cores=16, n_nodes=32)
+        nodes = {sys.node_of_core(c) for c in range(16)}
+        assert len(nodes) == 16
+
+    def test_too_many_cores_rejected(self):
+        with pytest.raises(ValueError):
+            CmpMemorySystem(n_cores=8, n_nodes=4)
+
+
+class TestApproximationThroughTransfers:
+    def test_non_approximable_region_is_exact(self):
+        scheme = FpVaxxScheme(n_nodes=16, error_threshold_pct=20)
+        sys = CmpMemorySystem(n_cores=4, scheme=scheme, n_nodes=16)
+        sys.register_region("precise", 0, 1000, DataType.INT,
+                            approximable=False)
+        payload = tuple((70003 + i) & 0xFFFFFFFF for i in range(16))
+        sys.write_block(0, 100, payload)
+        sys.flush()
+        assert sys.read_block(1, 100) == payload
+
+    def test_approximable_region_bounded_error(self):
+        scheme = FpVaxxScheme(n_nodes=16, error_threshold_pct=10)
+        sys = CmpMemorySystem(n_cores=4, scheme=scheme, n_nodes=16)
+        sys.register_region("approx", 0, 1000, DataType.INT,
+                            approximable=True)
+        payload = tuple(70000 + i for i in range(16))
+        sys.write_block(0, 100, payload)
+        sys.flush()
+        observed = sys.read_block(1, 100)
+        for precise, approx in zip(payload, observed):
+            assert abs(approx - precise) <= 4 * precise * 0.10 + 1
+
+    def test_baseline_scheme_never_perturbs(self):
+        scheme = BaselineScheme(16)
+        sys = CmpMemorySystem(n_cores=4, scheme=scheme, n_nodes=16)
+        sys.register_region("approx", 0, 1000, DataType.INT,
+                            approximable=True)
+        payload = tuple(12345 + 7 * i for i in range(16))
+        sys.write_block(0, 200, payload)
+        sys.flush()
+        assert sys.read_block(2, 200) == payload
+
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 20),
+                              st.booleans()),
+                    min_size=1, max_size=60))
+    @settings(max_examples=20, deadline=None)
+    def test_coherence_without_approximation_is_sequential(self, ops):
+        """With an exact scheme, the system behaves like a plain memory."""
+        sys = make_system()
+        shadow = {}
+        counter = [0]
+        for core, addr, is_write in ops:
+            if is_write:
+                counter[0] += 1
+                value = tuple((counter[0] + i) & 0xFFFFFFFF
+                              for i in range(16))
+                sys.write_block(core, addr, value)
+                shadow[addr] = value
+            else:
+                expected = shadow.get(addr, (0,) * 16)
+                assert sys.read_block(core, addr) == expected
+
+
+class TestTraceCollector:
+    def test_misses_produce_records(self):
+        collector = TraceCollector(n_cores=4, n_nodes=32)
+        collector.write(0, 100, WORDS)
+        collector.read(1, 100)
+        kinds = {r.kind for r in collector.records}
+        assert PacketKind.CONTROL in kinds
+        assert PacketKind.DATA in kinds
+
+    def test_clock_advances_more_on_miss(self):
+        collector = TraceCollector(n_cores=4, n_nodes=32, compute_gap=2,
+                                   miss_penalty=50)
+        collector.write(0, 100, WORDS)
+        t_after_miss = collector._clock
+        collector.read(0, 100)  # hit
+        assert collector._clock - t_after_miss == 2
+
+    def test_records_are_time_ordered(self):
+        collector = TraceCollector(n_cores=4, n_nodes=32)
+        for i in range(20):
+            collector.write(i % 4, i, WORDS)
+            collector.read((i + 1) % 4, i)
+        cycles = [r.cycle for r in collector.records]
+        assert cycles == sorted(cycles)

@@ -1,0 +1,79 @@
+"""Tests for the CMP workload generator and coherence-accurate traces."""
+
+import pytest
+
+from repro.core import FpVaxxScheme
+from repro.memory.workloads import (
+    CmpWorkload,
+    SharingMix,
+    benchmark_coherence_trace,
+)
+from repro.noc import Network, NocConfig, PacketKind
+from repro.traffic import TraceTraffic, get_benchmark
+
+SMALL = NocConfig(mesh_width=2, mesh_height=2, concentration=2)
+
+
+class TestWorkload:
+    def test_produces_trace(self):
+        trace = benchmark_coherence_trace("ssca2", n_cores=4, n_nodes=8,
+                                          accesses_per_core=50)
+        assert trace
+        kinds = {r.kind for r in trace}
+        assert PacketKind.CONTROL in kinds
+        assert PacketKind.DATA in kinds
+
+    def test_deterministic(self):
+        a = benchmark_coherence_trace("x264", n_cores=4, n_nodes=8,
+                                      accesses_per_core=30, seed=5)
+        b = benchmark_coherence_trace("x264", n_cores=4, n_nodes=8,
+                                      accesses_per_core=30, seed=5)
+        assert [(r.cycle, r.src, r.dst, r.kind) for r in a] == \
+            [(r.cycle, r.src, r.dst, r.kind) for r in b]
+
+    def test_sharing_produces_invalidations(self):
+        workload = CmpWorkload(get_benchmark("canneal"), n_cores=4,
+                               n_nodes=8, seed=2,
+                               mix=SharingMix(shared_read=0.1,
+                                              producer_consumer=0.5,
+                                              migratory=0.3))
+        workload.run(100)
+        stats = workload.collector.system.stats
+        assert stats.invalidations > 0
+        assert stats.writebacks > 0
+
+    def test_private_only_mix_has_no_invalidations(self):
+        workload = CmpWorkload(get_benchmark("canneal"), n_cores=4,
+                               n_nodes=8, seed=3,
+                               mix=SharingMix(0.0, 0.0, 0.0))
+        workload.run(60)
+        assert workload.collector.system.stats.invalidations == 0
+
+    def test_migratory_blocks_ping_pong(self):
+        workload = CmpWorkload(get_benchmark("fluidanimate"), n_cores=4,
+                               n_nodes=8, seed=4,
+                               mix=SharingMix(0.0, 0.0, 1.0))
+        workload.run(50)
+        stats = workload.collector.system.stats
+        assert stats.writebacks > 0  # M copies migrate between cores
+
+    def test_trace_replays_on_network(self):
+        trace = benchmark_coherence_trace("ssca2", n_cores=4,
+                                          n_nodes=SMALL.n_nodes,
+                                          accesses_per_core=40)
+        network = Network(SMALL, FpVaxxScheme(SMALL.n_nodes, 10))
+        network.set_traffic(TraceTraffic(trace))
+        network.run(trace[-1].cycle + 1)
+        assert network.drain(100_000)
+        assert (sum(network.stats.packets_injected.values())
+                == network.stats.total_packets_delivered == len(trace))
+
+    def test_approximation_through_coherence(self):
+        """With a VAXX scheme attached, shared float data is approximated
+        in flight but the coherence protocol still functions."""
+        scheme = FpVaxxScheme(8, error_threshold_pct=10)
+        workload = CmpWorkload(get_benchmark("streamcluster"), n_cores=4,
+                               n_nodes=8, seed=6, scheme=scheme)
+        workload.run(80)
+        assert scheme.quality.total_words > 0
+        assert scheme.quality.data_quality > 0.97

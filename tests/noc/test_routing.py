@@ -1,0 +1,91 @@
+"""Tests for XY / YX routing: progress, minimality, deadlock-freedom
+preconditions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.noc.config import NocConfig
+from repro.noc.routing import get_routing_fn, xy_route, yx_route
+from repro.noc.topology import EAST, MeshTopology, NORTH, SOUTH, WEST
+
+TOPO = MeshTopology(NocConfig())  # 4x4 cmesh, 32 nodes
+NODES = st.integers(0, TOPO.n_nodes - 1)
+
+
+def walk(route_fn, src_node, dst_node):
+    """Follow a routing function from source to ejection; returns the list
+    of routers traversed."""
+    router = TOPO.router_of(src_node)
+    path = [router]
+    for _ in range(100):
+        port = route_fn(TOPO, router, dst_node)
+        if port >= 4:  # local port: ejection
+            assert TOPO.node_at(router, port) == dst_node
+            return path
+        router = TOPO.neighbor(router, port)
+        assert router is not None, "routed off the mesh edge"
+        path.append(router)
+    raise AssertionError("routing did not converge")
+
+
+class TestXyRoute:
+    def test_local_delivery(self):
+        port = xy_route(TOPO, TOPO.router_of(5), 5)
+        assert port == TOPO.local_port_of(5)
+
+    def test_x_first(self):
+        # router 0 (0,0) to a node on router 15 (3,3): go EAST first
+        assert xy_route(TOPO, 0, 31) == EAST
+
+    def test_then_y(self):
+        # router 3 (3,0) to node on router 15 (3,3): x done, go SOUTH
+        assert xy_route(TOPO, 3, 31) == SOUTH
+
+    def test_west_and_north(self):
+        assert xy_route(TOPO, 15, 0) == WEST
+        assert xy_route(TOPO, 12, 0) == NORTH
+
+    @given(NODES, NODES)
+    def test_path_is_minimal(self, src, dst):
+        if src == dst:
+            return
+        path = walk(xy_route, src, dst)
+        assert len(path) == TOPO.hop_count(src, dst)
+
+    @given(NODES, NODES)
+    def test_dimension_order_invariant(self, src, dst):
+        """Once an XY packet moves in Y it never moves in X again."""
+        if src == dst:
+            return
+        path = walk(xy_route, src, dst)
+        moved_y = False
+        for a, b in zip(path, path[1:]):
+            ax, ay = TOPO.coords(a)
+            bx, by = TOPO.coords(b)
+            if ay != by:
+                moved_y = True
+            if ax != bx:
+                assert not moved_y, "X move after Y move breaks XY ordering"
+
+
+class TestYxRoute:
+    @given(NODES, NODES)
+    def test_path_is_minimal(self, src, dst):
+        if src == dst:
+            return
+        path = walk(yx_route, src, dst)
+        assert len(path) == TOPO.hop_count(src, dst)
+
+    def test_y_first(self):
+        assert yx_route(TOPO, 0, 31) == SOUTH
+
+
+class TestLookup:
+    def test_names(self):
+        assert get_routing_fn("xy") is xy_route
+        assert get_routing_fn("yx") is yx_route
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            get_routing_fn("adaptive")

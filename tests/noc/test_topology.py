@@ -1,0 +1,118 @@
+"""Tests for mesh geometry, node mapping and link wiring."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.noc.config import NocConfig
+from repro.noc.topology import (
+    EAST,
+    MeshTopology,
+    NORTH,
+    NUM_DIRECTIONS,
+    SOUTH,
+    WEST,
+)
+
+
+@pytest.fixture
+def cmesh():
+    """The paper's 4x4 concentrated mesh (32 nodes)."""
+    return MeshTopology(NocConfig())
+
+
+@pytest.fixture
+def mesh3():
+    return MeshTopology(NocConfig(mesh_width=3, mesh_height=3,
+                                  concentration=1))
+
+
+class TestGeometry:
+    def test_counts(self, cmesh):
+        assert cmesh.n_routers == 16
+        assert cmesh.n_nodes == 32
+        assert cmesh.ports_per_router == 6
+
+    def test_coords_roundtrip(self, cmesh):
+        for router in range(cmesh.n_routers):
+            x, y = cmesh.coords(router)
+            assert cmesh.router_at(x, y) == router
+
+    def test_corner_neighbors(self, mesh3):
+        assert mesh3.neighbor(0, NORTH) is None
+        assert mesh3.neighbor(0, WEST) is None
+        assert mesh3.neighbor(0, EAST) == 1
+        assert mesh3.neighbor(0, SOUTH) == 3
+
+    def test_center_neighbors(self, mesh3):
+        assert mesh3.neighbor(4, NORTH) == 1
+        assert mesh3.neighbor(4, SOUTH) == 7
+        assert mesh3.neighbor(4, EAST) == 5
+        assert mesh3.neighbor(4, WEST) == 3
+
+    def test_bad_router_rejected(self, mesh3):
+        with pytest.raises(ValueError):
+            mesh3.coords(9)
+
+    def test_bad_direction_rejected(self, mesh3):
+        with pytest.raises(ValueError):
+            mesh3.neighbor(0, 7)
+
+
+class TestNodeMapping:
+    def test_concentration_mapping(self, cmesh):
+        assert cmesh.router_of(0) == 0
+        assert cmesh.router_of(1) == 0
+        assert cmesh.router_of(2) == 1
+        assert cmesh.local_port_of(0) == NUM_DIRECTIONS
+        assert cmesh.local_port_of(1) == NUM_DIRECTIONS + 1
+
+    def test_node_at_inverse(self, cmesh):
+        for node in range(cmesh.n_nodes):
+            router = cmesh.router_of(node)
+            port = cmesh.local_port_of(node)
+            assert cmesh.node_at(router, port) == node
+
+    def test_node_at_rejects_direction_port(self, cmesh):
+        with pytest.raises(ValueError):
+            cmesh.node_at(0, NORTH)
+
+
+class TestLinks:
+    def test_links_are_symmetric(self, cmesh):
+        opposite = {NORTH: SOUTH, SOUTH: NORTH, EAST: WEST, WEST: EAST}
+        for router in range(cmesh.n_routers):
+            for direction in range(NUM_DIRECTIONS):
+                link = cmesh.link(router, direction)
+                if link is None:
+                    assert cmesh.neighbor(router, direction) is None
+                    continue
+                back = cmesh.link(link.dst_router, opposite[direction])
+                assert back is not None
+                assert back.dst_router == router
+
+    def test_local_ports_have_no_link(self, cmesh):
+        assert cmesh.link(0, NUM_DIRECTIONS) is None
+
+    def test_link_count(self, mesh3):
+        # 3x3 mesh: 2 * (2*3) * 2 directions = 24 unidirectional links
+        count = sum(1 for r in range(9) for d in range(4)
+                    if mesh3.link(r, d) is not None)
+        assert count == 24
+
+
+class TestHopCount:
+    def test_same_router_nodes(self, cmesh):
+        assert cmesh.hop_count(0, 1) == 1
+
+    def test_adjacent(self, cmesh):
+        assert cmesh.hop_count(0, 2) == 2
+
+    def test_diagonal(self, cmesh):
+        # node 0 at router 0 (0,0); node 31 at router 15 (3,3)
+        assert cmesh.hop_count(0, 31) == 7
+
+    @given(st.integers(0, 31), st.integers(0, 31))
+    def test_symmetric(self, a, b):
+        topo = MeshTopology(NocConfig())
+        assert topo.hop_count(a, b) == topo.hop_count(b, a)

@@ -1,0 +1,108 @@
+"""Tests for the energy and area models."""
+
+import pytest
+
+from repro.noc.stats import NetworkStats
+from repro.power.area import (
+    di_comp_encoder_area,
+    di_vaxx_encoder_area,
+    encoder_area,
+    fp_comp_encoder_area,
+    fp_vaxx_encoder_area,
+)
+from repro.power.energy import (
+    CODEC_ENERGY_PJ,
+    PowerReport,
+    dynamic_power,
+    normalized_power,
+)
+
+
+def make_stats(**kw):
+    stats = NetworkStats()
+    for key, value in kw.items():
+        setattr(stats, key, value)
+    return stats
+
+
+class TestEnergyModel:
+    def test_zero_activity_zero_energy(self):
+        report = dynamic_power(make_stats(cycles=100), "Baseline")
+        assert report.total_energy_pj == 0.0
+        assert report.dynamic_power_mw == 0.0
+
+    def test_events_accumulate(self):
+        stats = make_stats(cycles=100, buffer_writes=10, buffer_reads=10,
+                           crossbar_traversals=10, link_traversals=10,
+                           vc_allocations=4)
+        report = dynamic_power(stats, "Baseline")
+        assert report.router_energy_pj == pytest.approx(
+            10 * (1.20 + 0.95 + 1.55 + 2.10) + 4 * 0.25)
+
+    def test_codec_energy_ordering(self):
+        """TCAM search costs more than CAM, which costs more than static
+        comparators (the [1] model)."""
+        assert (CODEC_ENERGY_PJ["DI-VAXX"]["compress"]
+                > CODEC_ENERGY_PJ["DI-COMP"]["compress"]
+                > CODEC_ENERGY_PJ["FP-VAXX"]["compress"]
+                > CODEC_ENERGY_PJ["FP-COMP"]["compress"]
+                > CODEC_ENERGY_PJ["Baseline"]["compress"])
+
+    def test_codec_events_charged(self):
+        stats = make_stats(cycles=10, compression_ops=5,
+                           decompression_ops=5)
+        baseline = dynamic_power(stats, "Baseline")
+        vaxx = dynamic_power(stats, "DI-VAXX")
+        assert baseline.codec_energy_pj == 0.0
+        assert vaxx.codec_energy_pj > 0.0
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            dynamic_power(make_stats(cycles=1), "LZ77")
+
+    def test_power_units(self):
+        # 2000 pJ over 1000 cycles at 2 GHz = 2000e-12 J / 500e-9 s = 4 mW
+        report = PowerReport(router_energy_pj=2000.0, codec_energy_pj=0.0,
+                             cycles=1000, frequency_ghz=2.0)
+        assert report.dynamic_power_mw == pytest.approx(4.0)
+
+    def test_normalized_power(self):
+        reports = {
+            "Baseline": PowerReport(100.0, 0.0, 10, 2.0),
+            "FP-VAXX": PowerReport(80.0, 10.0, 10, 2.0),
+        }
+        normalized = normalized_power(reports)
+        assert normalized["Baseline"] == 1.0
+        assert normalized["FP-VAXX"] == pytest.approx(0.9)
+
+    def test_normalized_power_needs_baseline_energy(self):
+        with pytest.raises(ValueError):
+            normalized_power({"Baseline": PowerReport(0.0, 0.0, 10, 2.0)})
+
+
+class TestAreaModel:
+    def test_di_vaxx_matches_paper(self):
+        """§5.5: DI-VAXX encoder is 0.0037 mm² per NI at 45 nm."""
+        assert di_vaxx_encoder_area(32).total_mm2 == pytest.approx(
+            0.0037, rel=0.08)
+
+    def test_fp_vaxx_matches_paper(self):
+        """§5.5: FP-VAXX encoder is 0.0029 mm² per NI at 45 nm."""
+        assert fp_vaxx_encoder_area().total_mm2 == pytest.approx(
+            0.0029, rel=0.08)
+
+    def test_vaxx_costs_more_than_base(self):
+        assert (di_vaxx_encoder_area(32).total_um2
+                > di_comp_encoder_area(32).total_um2)
+        assert (fp_vaxx_encoder_area().total_um2
+                > fp_comp_encoder_area().total_um2)
+
+    def test_di_vaxx_area_grows_with_nodes(self):
+        """The per-destination vectors scale with network size."""
+        assert (di_vaxx_encoder_area(64).total_um2
+                > di_vaxx_encoder_area(16).total_um2)
+
+    def test_lookup(self):
+        assert encoder_area("FP-VAXX").total_mm2 > 0
+        with pytest.raises(ValueError):
+            encoder_area("Baseline")

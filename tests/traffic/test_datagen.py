@@ -1,0 +1,111 @@
+"""Tests for benchmark value models and block generation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.block import DataType
+from repro.traffic.datagen import BlockGenerator, ValueModel
+from repro.util.rng import DeterministicRng
+
+
+def make_gen(seed=1, **kw):
+    model = ValueModel(name="test", **kw)
+    return BlockGenerator(model, DeterministicRng(seed))
+
+
+class TestValueModel:
+    def test_probabilities_validated(self):
+        with pytest.raises(ValueError):
+            ValueModel(name="bad", p_zero=0.5, p_small=0.4, p_pool=0.3)
+
+    def test_pool_size_validated(self):
+        with pytest.raises(ValueError):
+            ValueModel(name="bad", pool_size=0)
+
+
+class TestBlockGenerator:
+    def test_block_geometry(self):
+        gen = make_gen()
+        block = gen.next_block(words=16)
+        assert len(block) == 16
+        assert block.size_bytes == 64
+
+    def test_dtype_respected(self):
+        int_gen = make_gen(dtype=DataType.INT)
+        float_gen = make_gen(dtype=DataType.FLOAT)
+        assert int_gen.next_block().dtype is DataType.INT
+        assert float_gen.next_block().dtype is DataType.FLOAT
+
+    def test_approximable_flag(self):
+        gen = make_gen()
+        assert gen.next_block(approximable=True).approximable
+        assert not gen.next_block(approximable=False).approximable
+
+    def test_determinism(self):
+        a = make_gen(seed=9)
+        b = make_gen(seed=9)
+        for _ in range(10):
+            assert a.next_block().words == b.next_block().words
+
+    def test_seeds_differ(self):
+        a, b = make_gen(seed=1), make_gen(seed=2)
+        blocks_a = [a.next_block().words for _ in range(5)]
+        blocks_b = [b.next_block().words for _ in range(5)]
+        assert blocks_a != blocks_b
+
+    def test_zero_fraction_matches_model(self):
+        gen = make_gen(p_zero=0.5, p_small=0.1, p_pool=0.2,
+                       p_block_coherent=0.0)
+        words = [w for _ in range(300) for w in gen.next_block(16)]
+        zero_frac = sum(1 for w in words if w == 0) / len(words)
+        assert 0.42 <= zero_frac <= 0.58
+
+    def test_pool_produces_repetition(self):
+        gen = make_gen(p_zero=0.0, p_small=0.0, p_pool=1.0, pool_size=4,
+                       exact_repeat=1.0, phase_length=10_000,
+                       p_block_coherent=0.0)
+        words = [w for _ in range(50) for w in gen.next_block(16)]
+        assert len(set(words)) <= 4
+
+    def test_phase_mutation_changes_pool(self):
+        gen = make_gen(p_zero=0.0, p_small=0.0, p_pool=1.0, pool_size=4,
+                       exact_repeat=1.0, phase_length=5, phase_churn=1.0,
+                       p_block_coherent=0.0)
+        early = {w for _ in range(4) for w in gen.next_block(16)}
+        for _ in range(30):
+            gen.next_block(16)
+        late = {w for _ in range(4) for w in gen.next_block(16)}
+        assert early != late
+
+    def test_zipf_concentrates_draws(self):
+        flat = make_gen(p_zero=0, p_small=0, p_pool=1.0, pool_size=16,
+                        exact_repeat=1.0, pool_zipf=0.0,
+                        phase_length=10_000, p_block_coherent=0.0)
+        skewed = make_gen(p_zero=0, p_small=0, p_pool=1.0, pool_size=16,
+                          exact_repeat=1.0, pool_zipf=2.0,
+                          phase_length=10_000, p_block_coherent=0.0)
+
+        def top_share(gen):
+            from collections import Counter
+            words = [w for _ in range(200) for w in gen.next_block(16)]
+            counts = Counter(words)
+            return counts.most_common(1)[0][1] / len(words)
+
+        assert top_share(skewed) > top_share(flat)
+
+    def test_coherent_blocks_have_low_variance(self):
+        gen = make_gen(p_block_coherent=1.0, scale=1e5,
+                       coherent_spread=0.001)
+        from repro.util.bitops import to_signed
+        block = gen.next_block(16)
+        values = block.as_ints()
+        spread = max(values) - min(values)
+        assert spread <= abs(max(values, key=abs)) * 0.01 + 50
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_words_are_valid_patterns(self, seed):
+        gen = make_gen(seed=seed)
+        for word in gen.next_block(16):
+            assert 0 <= word <= 0xFFFFFFFF

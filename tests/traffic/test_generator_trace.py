@@ -1,0 +1,150 @@
+"""Tests for traffic generators and trace record/replay."""
+
+import pytest
+
+from repro.noc.config import NocConfig
+from repro.noc.packet import PacketKind
+from repro.traffic.generator import BenchmarkTraffic, SyntheticTraffic
+from repro.traffic.profiles import get_benchmark
+from repro.traffic.trace import (
+    TraceRecord,
+    TraceTraffic,
+    load_trace,
+    record_trace,
+    save_trace,
+)
+
+CFG = NocConfig()
+
+
+class TestSyntheticTraffic:
+    def test_rate_conversion(self):
+        # 0.25 data ratio, 9-flit data packets: mean 3 flits/packet
+        source = SyntheticTraffic(CFG, injection_rate=0.3, data_ratio=0.25)
+        assert source.packet_rate == pytest.approx(0.1)
+
+    def test_offered_load_close_to_target(self):
+        source = SyntheticTraffic(CFG, injection_rate=0.2, data_ratio=0.25,
+                                  seed=5)
+        flits = 0
+        cycles = 800
+        for cycle in range(cycles):
+            for request in source.generate(cycle):
+                flits += 9 if request.kind is PacketKind.DATA else 1
+        rate = flits / (cycles * CFG.n_nodes)
+        assert 0.17 <= rate <= 0.23
+
+    def test_duration_cuts_off(self):
+        source = SyntheticTraffic(CFG, injection_rate=0.5, duration=10)
+        assert source.generate(10) == []
+        assert source.generate(999) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticTraffic(CFG, injection_rate=1.5)
+        with pytest.raises(ValueError):
+            SyntheticTraffic(CFG, injection_rate=0.5, data_ratio=2.0)
+
+    def test_requests_well_formed(self):
+        source = SyntheticTraffic(CFG, injection_rate=0.3, seed=2)
+        for cycle in range(50):
+            for request in source.generate(cycle):
+                assert request.src != request.dst
+                assert 0 <= request.src < CFG.n_nodes
+                assert 0 <= request.dst < CFG.n_nodes
+                if request.kind is PacketKind.DATA:
+                    assert len(request.block) == 16
+
+    def test_transpose_pattern_respected(self):
+        source = SyntheticTraffic(CFG, pattern="transpose",
+                                  injection_rate=0.5, seed=3)
+        for cycle in range(30):
+            for request in source.generate(cycle):
+                back = SyntheticTraffic(CFG, pattern="transpose",
+                                        injection_rate=0.5)
+                # transpose of the destination is the source
+                from repro.traffic.patterns import transpose
+                assert transpose(request.dst, source.topology,
+                                 source._rng) == request.src
+
+
+class TestBenchmarkTraffic:
+    def test_data_ratio_roughly_respected(self):
+        profile = get_benchmark("ssca2")
+        source = BenchmarkTraffic(CFG, profile, seed=4)
+        kinds = [r.kind for c in range(2000) for r in source.generate(c)]
+        data_frac = sum(k is PacketKind.DATA for k in kinds) / len(kinds)
+        assert abs(data_frac - profile.data_ratio) < 0.1
+
+    def test_approx_ratio_roughly_respected(self):
+        profile = get_benchmark("ssca2")
+        source = BenchmarkTraffic(CFG, profile, approx_packet_ratio=0.25,
+                                  seed=4)
+        blocks = [r.block for c in range(2000) for r in source.generate(c)
+                  if r.block is not None]
+        frac = sum(b.approximable for b in blocks) / len(blocks)
+        assert abs(frac - 0.25) < 0.1
+
+    def test_burstiness_changes_rate_over_time(self):
+        profile = get_benchmark("streamcluster")
+        source = BenchmarkTraffic(CFG, profile, seed=4)
+        per_window = []
+        for window in range(8):
+            count = sum(len(source.generate(c))
+                        for c in range(window * 500, (window + 1) * 500))
+            per_window.append(count)
+        assert max(per_window) > 1.5 * max(min(per_window), 1)
+
+
+class TestTraceRoundtrip:
+    def _trace(self):
+        source = SyntheticTraffic(CFG, injection_rate=0.2, seed=6,
+                                  approx_packet_ratio=0.75)
+        return record_trace(source, cycles=100)
+
+    def test_record_produces_records(self):
+        trace = self._trace()
+        assert trace
+        assert all(r.cycle < 100 for r in trace)
+
+    def test_json_roundtrip(self, tmp_path):
+        trace = self._trace()
+        path = tmp_path / "trace.jsonl"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded == trace
+
+    def test_replay_matches_recording(self):
+        trace = self._trace()
+        replay = TraceTraffic(trace)
+        replayed = []
+        for cycle in range(100):
+            replayed.extend(replay.generate(cycle))
+        assert len(replayed) == len(trace)
+        for record, request in zip(trace, replayed):
+            assert (record.src, record.dst, record.kind) == (
+                request.src, request.dst, request.kind)
+
+    def test_loop_restarts(self):
+        trace = self._trace()
+        replay = TraceTraffic(trace, loop=True)
+        count = 0
+        for cycle in range(300):
+            count += len(replay.generate(cycle))
+        assert count > len(trace) * 2
+
+    def test_exhausted(self):
+        trace = self._trace()
+        replay = TraceTraffic(trace)
+        for cycle in range(100):
+            replay.generate(cycle)
+        assert replay.exhausted(100)
+
+    @pytest.mark.parametrize("ratio", [0.25, 0.5, 0.75])
+    def test_approx_override(self, ratio):
+        trace = self._trace()
+        replay = TraceTraffic(trace, approx_override=ratio)
+        blocks = [r.block for c in range(100) for r in replay.generate(c)
+                  if r.block is not None]
+        frac = sum(b.approximable for b in blocks) / len(blocks)
+        assert abs(frac - ratio) < 0.08

@@ -1,0 +1,85 @@
+"""Tests for destination patterns."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.noc.config import NocConfig
+from repro.noc.topology import MeshTopology
+from repro.traffic.patterns import (
+    bit_complement,
+    bit_reverse,
+    get_pattern,
+    hotspot,
+    neighbor,
+    transpose,
+    uniform_random,
+)
+from repro.util.rng import DeterministicRng
+
+TOPO = MeshTopology(NocConfig())  # 4x4 cmesh, 32 nodes
+RNG = lambda: DeterministicRng(3)
+
+
+class TestUniformRandom:
+    def test_never_self(self):
+        rng = RNG()
+        for _ in range(200):
+            assert uniform_random(5, TOPO, rng) != 5
+
+    def test_covers_all_destinations(self):
+        rng = RNG()
+        seen = {uniform_random(0, TOPO, rng) for _ in range(2000)}
+        assert seen == set(range(1, 32))
+
+
+class TestTranspose:
+    def test_mirror_router(self):
+        # node 2 on router 1 (1,0) -> router (0,1) = router 4, same slot
+        dst = transpose(2, TOPO, RNG())
+        assert TOPO.router_of(dst) == TOPO.router_at(0, 1)
+        assert TOPO.local_port_of(dst) == TOPO.local_port_of(2)
+
+    def test_diagonal_is_silent(self):
+        # node 0 on router 0 (0,0): its own mirror
+        assert transpose(0, TOPO, RNG()) is None
+
+    def test_involution(self):
+        """Applying transpose twice returns the original node."""
+        rng = RNG()
+        for src in range(32):
+            dst = transpose(src, TOPO, rng)
+            if dst is None:
+                continue
+            assert transpose(dst, TOPO, rng) == src
+
+
+class TestBitPatterns:
+    def test_complement(self):
+        assert bit_complement(0, TOPO, RNG()) == 31
+        assert bit_complement(5, TOPO, RNG()) == 26
+
+    def test_reverse(self):
+        # 5 bits: 00001 -> 10000
+        assert bit_reverse(1, TOPO, RNG()) == 16
+
+    def test_power_of_two_required(self):
+        topo = MeshTopology(NocConfig(mesh_width=3, mesh_height=1,
+                                      concentration=1))
+        with pytest.raises(ValueError):
+            bit_complement(0, topo, RNG())
+
+
+class TestOthers:
+    def test_neighbor_wraps(self):
+        assert neighbor(31, TOPO, RNG()) == 0
+
+    def test_hotspot_targets_node_zero(self):
+        rng = RNG()
+        hits = sum(1 for _ in range(3000) if hotspot(7, TOPO, rng) == 0)
+        assert 0.08 < hits / 3000 < 0.20  # ~10% plus uniform share
+
+    def test_lookup(self):
+        assert get_pattern("transpose") is transpose
+        with pytest.raises(ValueError):
+            get_pattern("nope")
