@@ -1,0 +1,156 @@
+"""Microbenchmark of the simulator's three hot paths.
+
+Times, over fixed deterministic workloads:
+
+* ``fpc.match_approx``   — pattern matching on (word, mask) pairs;
+* ``Avcl.evaluate``      — don't-care mask computation per word;
+* ``Network.step``       — full network cycles replaying a benchmark trace.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_hot_paths.py [--json out.json]
+    PYTHONPATH=src python benchmarks/bench_hot_paths.py \
+        --check benchmarks/bench_hot_paths_baseline.json --max-regression 3
+
+``--check`` exits non-zero when any metric is slower than baseline by more
+than the allowed factor (a coarse tripwire for accidental hot-path
+regressions; the 3x default absorbs machine-to-machine variance).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+
+from repro.compression.fpc import clear_match_caches, match_approx
+from repro.core.avcl import Avcl, clear_evaluate_cache
+from repro.core.block import DataType
+from repro.harness.experiment import benchmark_trace, make_scheme
+from repro.noc import Network, NocConfig
+from repro.traffic import TraceTraffic
+
+#: Distinct values per workload; small enough that the warm passes hit the
+#: encode caches like real traffic (benchmark value models repeat heavily).
+UNIQUE_VALUES = 4096
+#: Evaluations per measured pass (mostly warm, as in a real run).
+PASS_OPS = 100_000
+NETWORK_CYCLES = 1500
+REPEATS = 3
+
+
+def _words(n: int, seed: int = 7):
+    rng = random.Random(seed)
+    kinds = []
+    for _ in range(n):
+        pick = rng.random()
+        if pick < 0.35:
+            kinds.append(rng.randint(0, 255))              # small ints
+        elif pick < 0.55:
+            kinds.append(0xFFFFFF00 | rng.randint(0, 255))  # small negatives
+        else:
+            kinds.append(rng.getrandbits(32))               # wide values
+    return kinds
+
+
+def _best(fn) -> float:
+    return min(fn() for _ in range(REPEATS))
+
+
+def bench_match_approx() -> float:
+    words = _words(UNIQUE_VALUES)
+    masks = [0x000000FF, 0x0000000F, 0x00000000, 0x000001FF]
+
+    def one_pass() -> float:
+        clear_match_caches()
+        start = time.perf_counter()
+        for i in range(PASS_OPS):
+            match_approx(words[i % UNIQUE_VALUES], masks[i & 3])
+        return time.perf_counter() - start
+
+    return _best(one_pass)
+
+
+def bench_avcl_evaluate() -> float:
+    avcl = Avcl(error_threshold_pct=10.0)
+    words = _words(UNIQUE_VALUES)
+    dtypes = [DataType.INT, DataType.FLOAT]
+
+    def one_pass() -> float:
+        clear_evaluate_cache()
+        start = time.perf_counter()
+        for i in range(PASS_OPS):
+            avcl.evaluate(words[i % UNIQUE_VALUES], dtypes[i & 1])
+        return time.perf_counter() - start
+
+    return _best(one_pass)
+
+
+def bench_network_step() -> float:
+    config = NocConfig(mesh_width=2, mesh_height=2, concentration=2)
+    trace = benchmark_trace(config, "ssca2", NETWORK_CYCLES, seed=11)
+
+    def one_pass() -> float:
+        network = Network(config, make_scheme("FP-VAXX", config.n_nodes))
+        network.set_traffic(TraceTraffic(trace, loop=True))
+        start = time.perf_counter()
+        network.run(NETWORK_CYCLES)
+        return time.perf_counter() - start
+
+    return _best(one_pass)
+
+
+def run_all() -> dict:
+    return {
+        "match_approx_s": bench_match_approx(),
+        "avcl_evaluate_s": bench_avcl_evaluate(),
+        "network_step_s": bench_network_step(),
+    }
+
+
+def check(results: dict, baseline_path: str, max_regression: float) -> int:
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    status = 0
+    for name, value in results.items():
+        reference = baseline.get(name)
+        if reference is None:
+            print(f"  {name}: no baseline, skipped")
+            continue
+        ratio = value / reference
+        verdict = "ok" if ratio <= max_regression else "REGRESSION"
+        print(f"  {name}: {value:.4f}s vs baseline {reference:.4f}s "
+              f"({ratio:.2f}x) {verdict}")
+        if ratio > max_regression:
+            status = 1
+    return status
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", metavar="PATH",
+                        help="write results as JSON to PATH")
+    parser.add_argument("--check", metavar="BASELINE",
+                        help="compare against a baseline JSON file")
+    parser.add_argument("--max-regression", type=float, default=3.0,
+                        help="allowed slowdown factor for --check "
+                             "(default 3.0)")
+    args = parser.parse_args(argv)
+    results = run_all()
+    for name, value in results.items():
+        print(f"{name}: {value:.4f}s")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(results, handle, indent=2)
+            handle.write("\n")
+    if args.check:
+        print(f"checking against {args.check} "
+              f"(max {args.max_regression:.1f}x):")
+        return check(results, args.check, args.max_regression)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

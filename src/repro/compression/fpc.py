@@ -29,6 +29,7 @@ microarchitecture (Figure 6: don't-care bits excluded from the comparison).
 from __future__ import annotations
 
 import abc
+from functools import lru_cache
 from typing import List, Optional, Sequence, Tuple
 
 from repro.util.bitops import WORD_MASK, to_signed, to_unsigned
@@ -207,6 +208,14 @@ COMPRESSIBLE_CLASSES: Tuple[PatternClass, ...] = (
 UNCOMPRESSED_CLASS = Uncompressed()
 
 
+#: Entries kept in each shared match cache.  Pattern matching is a pure
+#: function of its arguments and the pattern table is static, so the caches
+#: are safely shared by every node codec in the process; real traffic
+#: re-presents the same word values constantly, making hit rates high.
+MATCH_CACHE_SIZE = 1 << 17
+
+
+@lru_cache(maxsize=MATCH_CACHE_SIZE)
 def match_exact(word: int) -> Tuple[PatternClass, int]:
     """Highest-priority exact class of ``word`` (falls back to uncompressed)."""
     for cls in COMPRESSIBLE_CLASSES:
@@ -215,6 +224,7 @@ def match_exact(word: int) -> Tuple[PatternClass, int]:
     return UNCOMPRESSED_CLASS, word & WORD_MASK
 
 
+@lru_cache(maxsize=MATCH_CACHE_SIZE)
 def match_approx(word: int, mask: int) -> Tuple[PatternClass, int]:
     """Highest-priority class matching the masked word (Figure 6).
 
@@ -228,3 +238,14 @@ def match_approx(word: int, mask: int) -> Tuple[PatternClass, int]:
         if candidate is not None:
             return cls, candidate
     return UNCOMPRESSED_CLASS, word & WORD_MASK
+
+
+def match_cache_info() -> Tuple["lru_cache", "lru_cache"]:
+    """``(match_exact, match_approx)`` cache statistics."""
+    return match_exact.cache_info(), match_approx.cache_info()
+
+
+def clear_match_caches() -> None:
+    """Drop every memoized pattern match (microbenchmarks, tests)."""
+    match_exact.cache_clear()
+    match_approx.cache_clear()

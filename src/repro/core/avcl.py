@@ -28,7 +28,9 @@ Two rounding modes are provided:
 from __future__ import annotations
 
 import math
+import sys
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Optional
 
 from repro.core.block import DataType
@@ -69,7 +71,12 @@ def shift_bits_for_threshold(error_threshold_pct: float,
     return int(math.ceil(math.log2(divisor)))
 
 
-@dataclass(frozen=True)
+#: ``slots=True`` keeps the millions of per-word ApproxInfo allocations
+#: lean; it only exists on Python >= 3.10 (the package still declares 3.9).
+_DC_SLOTS = {"slots": True} if sys.version_info >= (3, 10) else {}
+
+
+@dataclass(frozen=True, **_DC_SLOTS)
 class ApproxInfo:
     """Result of one AVCL evaluation for a single word.
 
@@ -98,6 +105,73 @@ class ApproxInfo:
     def matches(self, candidate: int) -> bool:
         """Would ``candidate`` approximately match under this mask?"""
         return (candidate & ~self.mask & WORD_MASK) == self.care_pattern
+
+
+# --------------------------------------------------------------------------
+# Pure per-word evaluation, memoized.
+#
+# AVCL evaluation is a pure function of ``(word, dtype, shift, mode)``; real
+# traffic re-presents the same word patterns millions of times per sweep, so
+# one shared LRU cache serves every Avcl instance (and every mechanism) in
+# the process.  ``ApproxInfo`` is frozen, so returning a shared instance to
+# concurrent callers is safe.
+# --------------------------------------------------------------------------
+
+#: Entries kept in the shared evaluate cache.
+EVALUATE_CACHE_SIZE = 1 << 17
+
+
+def _evaluate_int(word: int, shift: int, mode: str) -> ApproxInfo:
+    """Uncached integer evaluation (the body of :meth:`Avcl.evaluate_int`)."""
+    word = to_unsigned(word)
+    magnitude = abs(to_signed(word))
+    rng = magnitude >> shift
+    if rng <= 0:
+        k = 0
+    elif mode == "paper":
+        k = rng.bit_length()
+    else:  # strict: require 2^k - 1 <= error_range
+        k = (rng + 1).bit_length() - 1
+    return ApproxInfo(pattern=word, dont_care_bits=k, error_range=rng)
+
+
+def _evaluate_float(word: int, shift: int, mode: str) -> ApproxInfo:
+    """Uncached float evaluation (the body of :meth:`Avcl.evaluate_float`)."""
+    significand = Avcl.extract_significand(word)
+    if significand is None:
+        return ApproxInfo(pattern=to_unsigned(word), dont_care_bits=0,
+                          error_range=0, bypass=True)
+    rng = significand >> shift
+    if rng <= 0:
+        k = 0
+    elif mode == "paper":
+        k = rng.bit_length()
+    else:
+        k = (rng + 1).bit_length() - 1
+    # Never let the mask reach the implicit leading 1 (bit 23): the
+    # exponent is not approximated, so the significand must stay
+    # normalized.
+    k = min(k, MANTISSA_BITS)
+    return ApproxInfo(pattern=significand, dont_care_bits=k, error_range=rng)
+
+
+@lru_cache(maxsize=EVALUATE_CACHE_SIZE)
+def _evaluate_cached(word: int, dtype: DataType, shift: int,
+                     mode: str) -> ApproxInfo:
+    """Shared memoized AVCL evaluation."""
+    if dtype is DataType.INT:
+        return _evaluate_int(word, shift, mode)
+    return _evaluate_float(word, shift, mode)
+
+
+def evaluate_cache_info():
+    """``functools.lru_cache`` statistics of the shared evaluate cache."""
+    return _evaluate_cached.cache_info()
+
+
+def clear_evaluate_cache() -> None:
+    """Drop every memoized AVCL evaluation (microbenchmarks, tests)."""
+    _evaluate_cached.cache_clear()
 
 
 class Avcl:
@@ -160,11 +234,8 @@ class Avcl:
 
     def evaluate_int(self, word: int) -> ApproxInfo:
         """Evaluate a 32-bit integer word."""
-        word = to_unsigned(word)
-        magnitude = abs(to_signed(word))
-        k = self.dont_care_bits(magnitude)
-        return ApproxInfo(pattern=word, dont_care_bits=k,
-                          error_range=self.error_range(magnitude))
+        return _evaluate_cached(to_unsigned(word), DataType.INT,
+                                self._shift, self._mode)
 
     # ------------------------------------------------------------- floats
 
@@ -196,22 +267,12 @@ class Avcl:
 
     def evaluate_float(self, word: int) -> ApproxInfo:
         """Evaluate a float word; special values come back with ``bypass``."""
-        significand = self.extract_significand(word)
-        if significand is None:
-            return ApproxInfo(pattern=to_unsigned(word), dont_care_bits=0,
-                              error_range=0, bypass=True)
-        k = self.dont_care_bits(significand)
-        # Never let the mask reach the implicit leading 1 (bit 23): the
-        # exponent is not approximated, so the significand must stay
-        # normalized.
-        k = min(k, MANTISSA_BITS)
-        return ApproxInfo(pattern=significand, dont_care_bits=k,
-                          error_range=self.error_range(significand))
+        return _evaluate_cached(to_unsigned(word), DataType.FLOAT,
+                                self._shift, self._mode)
 
     # ----------------------------------------------------------- dispatch
 
     def evaluate(self, word: int, dtype: DataType) -> ApproxInfo:
-        """Evaluate a word according to the block's data type."""
-        if dtype is DataType.INT:
-            return self.evaluate_int(word)
-        return self.evaluate_float(word)
+        """Evaluate a word according to the block's data type (memoized)."""
+        return _evaluate_cached(to_unsigned(word), dtype,
+                                self._shift, self._mode)

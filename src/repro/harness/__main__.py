@@ -30,7 +30,8 @@ def _windows(scale: float) -> dict:
     }
 
 
-def run_target(target: str, scale: float) -> str:
+def run_target(target: str, scale: float, workers=None,
+               use_cache=None) -> str:
     """Produce the formatted output of one figure/table."""
     windows = _windows(scale)
     if target == "table1":
@@ -38,7 +39,8 @@ def run_target(target: str, scale: float) -> str:
     if target == "area":
         return figures.format_area_overhead(figures.area_overhead())
     if target in ("fig9", "fig10", "fig11", "fig15"):
-        suite = figures.run_benchmark_suite(**windows)
+        suite = figures.run_benchmark_suite(workers=workers,
+                                            use_cache=use_cache, **windows)
         driver = {"fig9": (figures.figure9, figures.format_figure9),
                   "fig10": (figures.figure10, figures.format_figure10),
                   "fig11": (figures.figure11, figures.format_figure11),
@@ -72,6 +74,13 @@ def main(argv=None) -> int:
                         help=f"one or more of {', '.join(TARGETS)}, or 'all'")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="simulation-window scale factor (default 1.0)")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="run suite targets (fig9/10/11/15) through the "
+                             "parallel engine with N worker processes "
+                             "(default: serial in-process)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result cache "
+                             "(.repro_cache/; also REPRO_NO_CACHE=1)")
     args = parser.parse_args(argv)
     targets = list(args.targets)
     if "all" in targets:
@@ -80,9 +89,14 @@ def main(argv=None) -> int:
         if target not in TARGETS:
             parser.error(f"unknown target {target!r}; "
                          f"choose from {', '.join(TARGETS)} or 'all'")
+    workers = args.workers
+    use_cache = False if args.no_cache else None
+    if workers is None and use_cache is False:
+        workers = 1  # --no-cache alone stays serial (no surprise pool)
     for target in targets:
         start = time.time()
-        print(run_target(target, args.scale))
+        print(run_target(target, args.scale, workers=workers,
+                         use_cache=use_cache))
         print(f"[{target} regenerated in {time.time() - start:.1f}s]\n")
     return 0
 

@@ -9,12 +9,15 @@ measured packet completes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.compression import BaselineScheme, DiCompScheme, FpCompScheme
 from repro.compression.base import CompressionScheme
+from repro.compression.fpc import match_cache_info
 from repro.core import DiVaxxScheme, FpVaxxScheme
+from repro.core.avcl import evaluate_cache_info
 from repro.noc import Network, NocConfig, PAPER_CONFIG
 from repro.noc.stats import NetworkStats
 from repro.power.energy import PowerReport, dynamic_power
@@ -54,6 +57,23 @@ def make_scheme(mechanism: str, n_nodes: int,
                      f"choose from {MECHANISM_ORDER}")
 
 
+def encode_cache_totals() -> Tuple[int, int]:
+    """Aggregate (hits, misses) across the shared encode-path caches.
+
+    Covers the AVCL evaluate cache and both FPC pattern-match caches; the
+    harness reports per-run deltas of these process-wide totals.
+    """
+    exact, approx = match_cache_info()
+    avcl = evaluate_cache_info()
+    return (exact.hits + approx.hits + avcl.hits,
+            exact.misses + approx.misses + avcl.misses)
+
+
+#: RunResult fields that describe the *measurement process* rather than the
+#: simulated network; excluded from bit-identity comparisons.
+PERF_FIELDS = ("wall_time_s", "encode_cache_hits", "encode_cache_misses")
+
+
 @dataclass
 class RunResult:
     """Measured outcome of one (trace, mechanism) network run."""
@@ -74,6 +94,11 @@ class RunResult:
     notifications: int
     throughput: float
     power: PowerReport
+    # Perf instrumentation (not simulation outputs): harness wall time and
+    # encode-cache effectiveness over the whole run (warmup + measure).
+    wall_time_s: float = 0.0
+    encode_cache_hits: int = 0
+    encode_cache_misses: int = 0
 
     @classmethod
     def from_network(cls, network: Network) -> "RunResult":
@@ -99,7 +124,33 @@ class RunResult:
                 network.config.n_nodes),
             power=dynamic_power(stats, network.scheme.name,
                                 network.config.frequency_ghz),
+            encode_cache_hits=stats.encode_cache_hits,
+            encode_cache_misses=stats.encode_cache_misses,
         )
+
+    # --------------------------------------------------------- comparison
+
+    def simulation_outputs(self) -> Dict[str, object]:
+        """Every field that is a *simulation output* (excludes perf
+        instrumentation), for bit-identity comparisons across execution
+        modes (serial vs parallel vs cached)."""
+        payload = asdict(self)
+        for name in PERF_FIELDS:
+            payload.pop(name, None)
+        return payload
+
+    # ------------------------------------------------------ serialization
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """Plain-JSON representation (used by the on-disk result cache)."""
+        return asdict(self)
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict[str, object]) -> "RunResult":
+        """Rebuild a result from :meth:`to_json_dict` output."""
+        payload = dict(payload)
+        payload["power"] = PowerReport(**payload["power"])
+        return cls(**payload)
 
 
 _TRACE_CACHE: Dict[tuple, list] = {}
@@ -127,6 +178,8 @@ def run_trace(config: NocConfig, mechanism: str, trace: list,
               approx_override: Optional[float] = None,
               drain_budget: int = 200_000) -> RunResult:
     """Replay a trace under one mechanism with warmup + measurement."""
+    start = time.perf_counter()
+    hits0, misses0 = encode_cache_totals()
     scheme = make_scheme(mechanism, config.n_nodes, error_threshold_pct)
     network = Network(config, scheme)
     network.set_traffic(TraceTraffic(trace, loop=True,
@@ -141,7 +194,12 @@ def run_trace(config: NocConfig, mechanism: str, trace: list,
         raise RuntimeError(
             f"{mechanism} failed to drain within {drain_budget} cycles")
     network.stats.cycles = measured_cycles  # drain isn't measurement time
-    return RunResult.from_network(network)
+    hits1, misses1 = encode_cache_totals()
+    network.stats.encode_cache_hits = hits1 - hits0
+    network.stats.encode_cache_misses = misses1 - misses0
+    result = RunResult.from_network(network)
+    result.wall_time_s = time.perf_counter() - start
+    return result
 
 
 def run_synthetic(config: NocConfig, mechanism: str, traffic_factory,
@@ -155,6 +213,8 @@ def run_synthetic(config: NocConfig, mechanism: str, traffic_factory,
     saturated networks are expected here: the run is *not* drained, and
     latency reflects packets delivered inside the window.
     """
+    start = time.perf_counter()
+    hits0, misses0 = encode_cache_totals()
     scheme = make_scheme(mechanism, config.n_nodes, error_threshold_pct)
     network = Network(config, scheme)
     network.set_traffic(traffic_factory(config))
@@ -163,4 +223,9 @@ def run_synthetic(config: NocConfig, mechanism: str, traffic_factory,
     scheme.stats.reset()
     scheme.quality.reset()
     network.run(measure)
-    return RunResult.from_network(network)
+    hits1, misses1 = encode_cache_totals()
+    network.stats.encode_cache_hits = hits1 - hits0
+    network.stats.encode_cache_misses = misses1 - misses0
+    result = RunResult.from_network(network)
+    result.wall_time_s = time.perf_counter() - start
+    return result

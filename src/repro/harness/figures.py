@@ -77,8 +77,23 @@ def run_benchmark_suite(config: NocConfig = PAPER_CONFIG,
                         trace_cycles: int = DEFAULT_TRACE_CYCLES,
                         warmup: int = DEFAULT_WARMUP,
                         measure: int = DEFAULT_MEASURE,
-                        seed: int = 11) -> SuiteResult:
-    """Run every (benchmark, mechanism) pair on identical traces."""
+                        seed: int = 11,
+                        workers: Optional[int] = None,
+                        use_cache: Optional[bool] = None) -> SuiteResult:
+    """Run every (benchmark, mechanism) pair on identical traces.
+
+    ``workers`` switches to the parallel, disk-cached engine
+    (:mod:`repro.harness.parallel`); results are bit-identical either way.
+    ``workers=None`` keeps the plain in-process loop below.
+    """
+    if workers is not None or use_cache is not None:
+        from repro.harness.parallel import run_suite_parallel
+        return run_suite_parallel(
+            config=config, benchmarks=benchmarks, mechanisms=mechanisms,
+            error_threshold_pct=error_threshold_pct,
+            approx_packet_ratio=approx_packet_ratio,
+            trace_cycles=trace_cycles, warmup=warmup, measure=measure,
+            seed=seed, workers=workers, use_cache=use_cache)
     suite = SuiteResult(config=config,
                         error_threshold_pct=error_threshold_pct)
     for benchmark in benchmarks:

@@ -1,0 +1,246 @@
+"""Parallel experiment engine and content-addressed result cache.
+
+Every paper figure is an aggregation over dozens of *independent*
+(benchmark, mechanism, seed) simulations.  This module turns those runs
+into explicit, picklable :class:`RunSpec` work items and executes them
+
+* in parallel across worker processes (:func:`parallel_map`,
+  :func:`run_suite_parallel`), and
+* behind a content-addressed on-disk cache keyed by the full spec
+  (``.repro_cache/`` by default), so re-running a sweep touches only the
+  points that changed.
+
+Determinism: a spec is self-contained — the worker regenerates the
+benchmark trace from ``(config, benchmark, cycles, seed)`` and the
+simulator carries no cross-run global state — so parallel execution is
+**bit-identical** to serial execution, whatever the worker count or task
+order.  (Wall-time and cache-hit instrumentation fields are exempt; see
+``RunResult.simulation_outputs``.)
+
+Environment knobs:
+
+* ``REPRO_WORKERS``   — default worker count for ``workers=None`` callers.
+* ``REPRO_NO_CACHE``  — any non-empty value disables the on-disk cache.
+* ``REPRO_CACHE_DIR`` — cache location (default ``.repro_cache``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.harness.experiment import RunResult, benchmark_trace, run_trace
+from repro.noc import NocConfig, PAPER_CONFIG
+
+#: Bump when simulator changes alter results for an unchanged RunSpec, so
+#: stale cache entries from older code can never be returned.
+CACHE_SCHEMA_VERSION = 1
+
+WORKERS_ENV = "REPRO_WORKERS"
+NO_CACHE_ENV = "REPRO_NO_CACHE"
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+# --------------------------------------------------------------------------
+# Work items
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One self-contained (trace, mechanism) simulation, picklable and
+    hashable — the unit of parallel scheduling and of cache addressing."""
+
+    config: NocConfig
+    mechanism: str
+    benchmark: str
+    trace_cycles: int
+    warmup: int
+    measure: int
+    seed: int = 11
+    approx_packet_ratio: float = 0.75
+    error_threshold_pct: float = 10.0
+    approx_override: Optional[float] = None
+    drain_budget: int = 200_000
+
+    def canonical(self) -> dict:
+        """Stable, JSON-safe description of everything that determines the
+        run's outcome (including the cache schema version)."""
+        payload = asdict(self)
+        payload["config"] = asdict(self.config)
+        payload["cache_schema"] = CACHE_SCHEMA_VERSION
+        return payload
+
+    def cache_key(self) -> str:
+        """Content hash addressing this spec's result on disk."""
+        blob = json.dumps(self.canonical(), sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def execute_spec(spec: RunSpec) -> RunResult:
+    """Run one spec from scratch (no cache).  Safe to call in any process:
+    the benchmark trace is regenerated deterministically from the spec and
+    memoized per process by :func:`benchmark_trace`."""
+    trace = benchmark_trace(spec.config, spec.benchmark, spec.trace_cycles,
+                            seed=spec.seed,
+                            approx_packet_ratio=spec.approx_packet_ratio)
+    return run_trace(spec.config, spec.mechanism, trace,
+                     spec.warmup, spec.measure,
+                     error_threshold_pct=spec.error_threshold_pct,
+                     approx_override=spec.approx_override,
+                     drain_budget=spec.drain_budget)
+
+
+# --------------------------------------------------------------------------
+# On-disk result cache
+# --------------------------------------------------------------------------
+
+def cache_enabled() -> bool:
+    """The cache is on unless ``REPRO_NO_CACHE`` is set (non-empty)."""
+    return not os.environ.get(NO_CACHE_ENV)
+
+
+def cache_dir() -> Path:
+    """Cache location (``REPRO_CACHE_DIR`` or ``.repro_cache``)."""
+    return Path(os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR)
+
+
+def load_cached(spec: RunSpec) -> Optional[RunResult]:
+    """The cached result of ``spec``, or None on a miss / unreadable entry."""
+    path = cache_dir() / f"{spec.cache_key()}.json"
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+        return RunResult.from_json_dict(payload["result"])
+    except (OSError, KeyError, TypeError, ValueError):
+        return None
+
+
+def store_cached(spec: RunSpec, result: RunResult) -> None:
+    """Persist one result (atomic write; concurrent writers race benignly
+    because identical specs produce identical content)."""
+    directory = cache_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {"spec": spec.canonical(),
+               "result": result.to_json_dict()}
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, separators=(",", ":"))
+        os.replace(tmp_path, directory / f"{spec.cache_key()}.json")
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+# --------------------------------------------------------------------------
+# Parallel execution
+# --------------------------------------------------------------------------
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Effective worker count: explicit arg, else ``REPRO_WORKERS``, else
+    the machine's CPU count.  Always >= 1."""
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV)
+        workers = int(env) if env else (os.cpu_count() or 1)
+    return max(int(workers), 1)
+
+
+def parallel_map(specs: Sequence[RunSpec],
+                 workers: Optional[int] = None,
+                 use_cache: Optional[bool] = None) -> List[RunResult]:
+    """Execute specs (cache-first), returning results in spec order.
+
+    ``workers=None`` consults ``REPRO_WORKERS`` / CPU count; ``workers<=1``
+    runs serially in-process (no pool, still cached).  Results are
+    bit-identical across all modes.
+    """
+    if use_cache is None:
+        use_cache = cache_enabled()
+    results: List[Optional[RunResult]] = [None] * len(specs)
+    misses: List[int] = []
+    for i, spec in enumerate(specs):
+        if use_cache:
+            results[i] = load_cached(spec)
+        if results[i] is None:
+            misses.append(i)
+    if misses:
+        n_workers = min(resolve_workers(workers), len(misses))
+        miss_specs = [specs[i] for i in misses]
+        if n_workers <= 1:
+            computed = [execute_spec(spec) for spec in miss_specs]
+        else:
+            # Chunking keeps same-benchmark specs (contiguous by
+            # convention) on one worker, so its per-process trace cache
+            # is reused instead of re-recording the trace per task.
+            chunksize = max(1, -(-len(miss_specs) // (n_workers * 2)))
+            with ProcessPoolExecutor(max_workers=n_workers) as executor:
+                computed = list(executor.map(execute_spec, miss_specs,
+                                             chunksize=chunksize))
+        for i, result in zip(misses, computed):
+            results[i] = result
+            if use_cache:
+                store_cached(specs[i], result)
+    return results  # type: ignore[return-value]
+
+
+def suite_specs(config: NocConfig = PAPER_CONFIG,
+                benchmarks: Sequence[str] = (),
+                mechanisms: Sequence[str] = (),
+                error_threshold_pct: float = 10.0,
+                approx_packet_ratio: float = 0.75,
+                trace_cycles: int = 6000, warmup: int = 3000,
+                measure: int = 3000, seed: int = 11) -> List[RunSpec]:
+    """Benchmark-major spec list for a full (benchmark x mechanism) suite."""
+    return [RunSpec(config=config, mechanism=mechanism, benchmark=benchmark,
+                    trace_cycles=trace_cycles, warmup=warmup, measure=measure,
+                    seed=seed, approx_packet_ratio=approx_packet_ratio,
+                    error_threshold_pct=error_threshold_pct)
+            for benchmark in benchmarks
+            for mechanism in mechanisms]
+
+
+def run_suite_parallel(config: NocConfig = PAPER_CONFIG,
+                       benchmarks: Sequence[str] = None,
+                       mechanisms: Sequence[str] = None,
+                       error_threshold_pct: float = 10.0,
+                       approx_packet_ratio: float = 0.75,
+                       trace_cycles: int = 6000, warmup: int = 3000,
+                       measure: int = 3000, seed: int = 11,
+                       workers: Optional[int] = None,
+                       use_cache: Optional[bool] = None):
+    """Parallel, cached equivalent of ``figures.run_benchmark_suite``.
+
+    Returns the same :class:`~repro.harness.figures.SuiteResult`, with
+    runs bit-identical to the serial path.
+    """
+    from repro.harness.figures import SuiteResult
+    from repro.harness.experiment import MECHANISM_ORDER
+    from repro.traffic.profiles import BENCHMARK_ORDER
+    if benchmarks is None:
+        benchmarks = BENCHMARK_ORDER
+    if mechanisms is None:
+        mechanisms = MECHANISM_ORDER
+    specs = suite_specs(config=config, benchmarks=benchmarks,
+                        mechanisms=mechanisms,
+                        error_threshold_pct=error_threshold_pct,
+                        approx_packet_ratio=approx_packet_ratio,
+                        trace_cycles=trace_cycles, warmup=warmup,
+                        measure=measure, seed=seed)
+    results = parallel_map(specs, workers=workers, use_cache=use_cache)
+    suite = SuiteResult(config=config,
+                        error_threshold_pct=error_threshold_pct)
+    it = iter(results)
+    for benchmark in benchmarks:
+        suite.runs[benchmark] = {m: next(it) for m in mechanisms}
+    return suite

@@ -10,14 +10,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.harness.experiment import (
-    MECHANISM_ORDER,
-    RunResult,
-    benchmark_trace,
-    run_trace,
-)
+from repro.harness.experiment import MECHANISM_ORDER, RunResult
+from repro.harness.parallel import RunSpec, parallel_map
 from repro.noc import NocConfig, PAPER_CONFIG
 
 
@@ -49,6 +45,21 @@ class SeedStats:
         return f"{self.mean:.3f} ± {self.std:.3f}"
 
 
+def _sweep_specs(benchmark: str, mechanisms: Sequence[str],
+                 seeds: Sequence[int], config: NocConfig,
+                 error_threshold_pct: float, trace_cycles: int,
+                 warmup: int, measure: int) -> List[RunSpec]:
+    """Seed-major spec grid: every mechanism at one seed is contiguous, so
+    each recorded trace is reused across all mechanisms (per process and in
+    the parallel engine's chunked dispatch) instead of re-recorded."""
+    return [RunSpec(config=config, mechanism=mechanism, benchmark=benchmark,
+                    trace_cycles=trace_cycles, warmup=warmup,
+                    measure=measure, seed=seed,
+                    error_threshold_pct=error_threshold_pct)
+            for seed in seeds
+            for mechanism in mechanisms]
+
+
 def seed_sweep(benchmark: str, mechanism: str,
                seeds: Sequence[int] = (11, 23, 47),
                config: NocConfig = PAPER_CONFIG,
@@ -56,26 +67,39 @@ def seed_sweep(benchmark: str, mechanism: str,
                    lambda r: r.avg_packet_latency),
                error_threshold_pct: float = 10.0,
                trace_cycles: int = 4000, warmup: int = 2000,
-               measure: int = 2000) -> SeedStats:
+               measure: int = 2000,
+               workers: Optional[int] = None) -> SeedStats:
     """Repeat one (benchmark, mechanism) run across seeds."""
-    samples = []
-    for seed in seeds:
-        trace = benchmark_trace(config, benchmark, trace_cycles, seed=seed)
-        result = run_trace(config, mechanism, trace, warmup, measure,
-                           error_threshold_pct=error_threshold_pct)
-        samples.append(metric(result))
-    return SeedStats.of(samples)
+    specs = _sweep_specs(benchmark, (mechanism,), seeds, config,
+                         error_threshold_pct, trace_cycles, warmup, measure)
+    results = parallel_map(specs, workers=1 if workers is None else workers)
+    return SeedStats.of([metric(result) for result in results])
 
 
 def mechanism_comparison_with_error_bars(
         benchmark: str, seeds: Sequence[int] = (11, 23, 47),
         config: NocConfig = PAPER_CONFIG,
         mechanisms: Sequence[str] = MECHANISM_ORDER,
-        **run_kw) -> Dict[str, SeedStats]:
-    """Latency of every mechanism on one benchmark, with error bars."""
-    return {mechanism: seed_sweep(benchmark, mechanism, seeds=seeds,
-                                  config=config, **run_kw)
-            for mechanism in mechanisms}
+        metric: Callable[[RunResult], float] = (
+            lambda r: r.avg_packet_latency),
+        error_threshold_pct: float = 10.0,
+        trace_cycles: int = 4000, warmup: int = 2000,
+        measure: int = 2000,
+        workers: Optional[int] = None) -> Dict[str, SeedStats]:
+    """Latency of every mechanism on one benchmark, with error bars.
+
+    Runs the whole (seed x mechanism) grid through one
+    :func:`~repro.harness.parallel.parallel_map` call, seed-major, so each
+    seed's trace is recorded once and shared by every mechanism.
+    """
+    specs = _sweep_specs(benchmark, mechanisms, seeds, config,
+                         error_threshold_pct, trace_cycles, warmup, measure)
+    results = parallel_map(specs, workers=1 if workers is None else workers)
+    samples: Dict[str, List[float]] = {m: [] for m in mechanisms}
+    for spec, result in zip(specs, results):
+        samples[spec.mechanism].append(metric(result))
+    return {mechanism: SeedStats.of(values)
+            for mechanism, values in samples.items()}
 
 
 def significantly_better(a: SeedStats, b: SeedStats,

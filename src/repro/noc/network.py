@@ -27,6 +27,10 @@ from repro.noc.topology import MeshTopology, NUM_DIRECTIONS
 #: backpressures (decode bandwidth is provisioned, §4.3).
 EJECTION_CREDITS = 1 << 30
 
+#: Opposite cardinal direction per input port (N<->S, E<->W), used when
+#: returning credits upstream.  Hoisted out of the per-credit hot loop.
+OPPOSITE_PORT = (2, 3, 0, 1)
+
 
 class Network:
     """A complete simulated NoC under one compression scheme."""
@@ -64,6 +68,18 @@ class Network:
         self._pending_ejections: List[Tuple[int, Flit]] = []
         # (router, port, vc) credits to apply at end of cycle.
         self._credit_events: List[Tuple[int, int, int]] = []
+        # Active-NI fast path (mirrors the router ``_buffered`` skip): an NI
+        # with nothing queued, in flight or decoding is skipped entirely in
+        # :meth:`step`.  Flags are raised on submit/eject and lowered once
+        # the NI reports idle again.
+        self._ni_active = [False] * config.n_nodes
+        # Credit destination per (router, input port): the attached NI for
+        # local ports, the upstream router + opposite port otherwise.
+        # Precomputed so _apply_credits does no topology lookups.
+        self._credit_targets: List[List[Optional[Tuple]]] = [
+            [self._credit_target(r, p)
+             for p in range(self.topology.ports_per_router)]
+            for r in range(config.n_routers)]
         self._route_fns = [self._make_route_fn(r)
                            for r in range(config.n_routers)]
         self._send_fns = [self._make_send_fn(r)
@@ -84,19 +100,40 @@ class Network:
 
         return route_fn
 
+    def _credit_target(self, rid: int, in_port: int) -> Optional[Tuple]:
+        """``(True, node)`` for local ports, ``(False, upstream, port)`` for
+        linked directions, None at mesh edges (unreachable by wiring)."""
+        if in_port >= NUM_DIRECTIONS:
+            return (True, self.topology.node_at(rid, in_port))
+        upstream = self.topology.neighbor(rid, in_port)
+        if upstream is None:
+            return None
+        return (False, upstream, OPPOSITE_PORT[in_port])
+
     def _make_send_fn(self, rid: int):
         topology = self.topology
         stats = self.stats
+        # Per-port destination, resolved once: (dst_router, dst_port) for
+        # linked directions, (None, node) for local/ejection ports.
+        targets = []
+        for port in range(topology.ports_per_router):
+            link = topology.link(rid, port)
+            if link is not None:
+                targets.append((link.dst_router, link.dst_port))
+            elif port >= NUM_DIRECTIONS:
+                targets.append((None, topology.node_at(rid, port)))
+            else:
+                targets.append(None)  # mesh edge: never routed to
 
         def send(out_port: int, out_vc: int, flit: Flit) -> None:
-            link = topology.link(rid, out_port)
-            if link is not None:
+            target = targets[out_port]
+            dst_router, dst_port = target
+            if dst_router is not None:
                 stats.link_traversals += 1
                 self._pending_router_arrivals.append(
-                    (link.dst_router, link.dst_port, out_vc, flit))
+                    (dst_router, dst_port, out_vc, flit))
             else:
-                node = topology.node_at(rid, out_port)
-                self._pending_ejections.append((node, flit))
+                self._pending_ejections.append((dst_port, flit))
 
         return send
 
@@ -125,6 +162,7 @@ class Network:
         """Directly enqueue one request at its source NI (trace replay and
         cache-simulator driven modes use this)."""
         self.nis[request.src].submit(request, self.cycle)
+        self._ni_active[request.src] = True
 
     # ---------------------------------------------------------- main loop
 
@@ -132,12 +170,25 @@ class Network:
         """Advance the network by one cycle."""
         now = self.cycle
         self._deliver_arrivals(now)
+        active = self._ni_active
         if self.traffic_source is not None:
             for request in self.traffic_source.generate(now):
                 self.nis[request.src].submit(request, now)
-        for ni in self.nis:
+                active[request.src] = True
+        # Only NIs with queued, in-flight or decoding work take their turn;
+        # idle ones are skipped (analogous to the router _buffered skip).
+        # Per-NI process+inject ordering is unchanged: NIs never interact
+        # with each other within a cycle.
+        nis = self.nis
+        accept_fns = self._accept_fns
+        for node in range(len(nis)):
+            if not active[node]:
+                continue
+            ni = nis[node]
             ni.process(now)
-        self._inject_all(now)
+            ni.inject(now, accept_fns[node])
+            if not ni.busy():
+                active[node] = False
         self._cycle_routers(now)
         self._apply_credits()
         self.cycle += 1
@@ -182,12 +233,10 @@ class Network:
         self._pending_ejections = []
         for router_id, port, vc, flit in router_arrivals:
             self.routers[router_id].accept(port, vc, flit, now)
+        active = self._ni_active
         for node, flit in ejections:
             self.nis[node].eject(flit, now)
-
-    def _inject_all(self, now: int) -> None:
-        for ni, accept in zip(self.nis, self._accept_fns):
-            ni.inject(now, accept)
+            active[node] = True
 
     def _cycle_routers(self, now: int) -> None:
         for router in self.routers:
@@ -196,15 +245,18 @@ class Network:
                          self._credit_fns[rid])
 
     def _apply_credits(self) -> None:
-        topology = self.topology
-        for rid, in_port, vc in self._credit_events:
-            if in_port >= NUM_DIRECTIONS:
-                node = topology.node_at(rid, in_port)
-                self.nis[node].credit(vc)
+        events = self._credit_events
+        if not events:
+            return
+        targets = self._credit_targets
+        nis = self.nis
+        routers = self.routers
+        for rid, in_port, vc in events:
+            target = targets[rid][in_port]
+            if target is None:  # pragma: no cover - impossible by wiring
+                continue
+            if target[0]:  # local port: credit the attached NI
+                nis[target[1]].credit(vc)
             else:
-                upstream = topology.neighbor(rid, in_port)
-                if upstream is None:  # pragma: no cover - impossible by wiring
-                    continue
-                opposite = {0: 2, 2: 0, 1: 3, 3: 1}[in_port]
-                self.routers[upstream].credit_return(opposite, vc)
-        del self._credit_events[:]
+                routers[target[1]].credit_return(target[2], vc)
+        del events[:]

@@ -62,6 +62,12 @@ class Router:
         self._port_rr = 0
         # Buffered-flit count: lets idle routers skip their cycle entirely.
         self._buffered = 0
+        # slot -> (port, vc), precomputed to keep divmod out of the VA loop.
+        self._slot_table = tuple(
+            (p, v) for p in range(n_ports) for v in range(num_vcs))
+        # Slots (port * num_vcs + vc) whose buffers are non-empty: VA and SA
+        # visit only these instead of scanning every input VC each cycle.
+        self._occupied: set = set()
 
     # ------------------------------------------------------------ ingress
 
@@ -74,6 +80,8 @@ class Router:
                 f"router {self.router_id} port {port} vc {vc}: buffer "
                 f"overflow — upstream violated credit flow control")
         flit.ready_at = now + self.pipe_delay
+        if not ivc.buffer:
+            self._occupied.add(port * self.num_vcs + vc)
         ivc.buffer.append(flit)
         self._buffered += 1
         self.stats.buffer_writes += 1
@@ -113,12 +121,17 @@ class Router:
         total = self.n_ports * self.num_vcs
         rotate = self._va_input_rr
         self._va_input_rr = (self._va_input_rr + self.num_vcs) % total
-        for k in range(total):
-            slot = (rotate + k) % total
-            port, vc = divmod(slot, self.num_vcs)
-            ivc = self.inputs[port][vc]
-            if not ivc.buffer:
-                continue
+        slot_table = self._slot_table
+        inputs = self.inputs
+        # Visiting the occupied slots ranked by (slot - rotate) % total is
+        # exactly the original full scan's rotating order with the empty
+        # slots skipped — same allocation decisions, far fewer probes.
+        occupied = self._occupied
+        if len(occupied) > 1:
+            occupied = sorted(occupied, key=lambda s: (s - rotate) % total)
+        for slot in occupied:
+            port, vc = slot_table[slot]
+            ivc = inputs[port][vc]
             head = ivc.buffer[0]
             if not head.is_head or ivc.out_vc is not None:
                 continue
@@ -145,17 +158,21 @@ class Router:
         """
         requests: dict = {}
         num_vcs = self.num_vcs
-        for port, vcs in enumerate(self.inputs):
-            for vc in range(num_vcs):
-                ivc = vcs[vc]
-                if ivc.out_vc is None or not ivc.buffer:
-                    continue
-                flit = ivc.buffer[0]
-                if (flit.ready_at > now
-                        or self.out_credits[ivc.route][ivc.out_vc] <= 0):
-                    continue
-                requests.setdefault(ivc.route, []).append(
-                    (port * num_vcs + vc, port, vc))
+        out_credits = self.out_credits
+        inputs = self.inputs
+        slot_table = self._slot_table
+        # Request-list order does not influence grants (winners are picked
+        # by unique slot rank), so the occupied set may be visited as-is.
+        for slot in self._occupied:
+            port, vc = slot_table[slot]
+            ivc = inputs[port][vc]
+            if ivc.out_vc is None:
+                continue
+            flit = ivc.buffer[0]
+            if (flit.ready_at > now
+                    or out_credits[ivc.route][ivc.out_vc] <= 0):
+                continue
+            requests.setdefault(ivc.route, []).append((slot, port, vc))
         if not requests:
             return
         granted_inputs = set()
@@ -186,6 +203,8 @@ class Router:
         ivc = self.inputs[in_port][in_vc]
         flit = ivc.buffer.popleft()
         self._buffered -= 1
+        if not ivc.buffer:
+            self._occupied.discard(in_port * self.num_vcs + in_vc)
         out_vc = ivc.out_vc
         self.out_credits[out_port][out_vc] -= 1
         self.stats.buffer_reads += 1

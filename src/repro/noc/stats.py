@@ -43,6 +43,11 @@ class NetworkStats:
     compression_ops: int = 0
     decompression_ops: int = 0
 
+    # Encode memoization effectiveness (shared AVCL / pattern-match caches);
+    # populated by the harness as the hit/miss delta over one run.
+    encode_cache_hits: int = 0
+    encode_cache_misses: int = 0
+
     def record_injection(self, packet: Packet) -> None:
         """A packet's head flit entered the network."""
         kind = packet.kind.value

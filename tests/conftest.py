@@ -3,6 +3,17 @@
 import pytest
 
 from repro.core.block import CacheBlock
+from repro.harness.parallel import CACHE_DIR_ENV
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_result_cache(tmp_path_factory, request):
+    """Point the on-disk result cache at a per-session temp dir so tests
+    never read entries produced by other checkouts (or stale code)."""
+    mp = pytest.MonkeyPatch()
+    mp.setenv(CACHE_DIR_ENV,
+              str(tmp_path_factory.mktemp("repro_cache")))
+    request.addfinalizer(mp.undo)
 
 
 @pytest.fixture

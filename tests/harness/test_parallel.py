@@ -1,0 +1,157 @@
+"""Tests for the parallel experiment engine and its on-disk result cache.
+
+The contract under test: serial, multi-process and cache-served executions
+of the same :class:`RunSpec` produce bit-identical simulation outputs
+(``RunResult.simulation_outputs``), and traces are recorded once per
+(benchmark, cycles, seed) — never per mechanism.
+"""
+
+import pytest
+
+from repro.harness import experiment as experiment_mod
+from repro.harness import parallel as parallel_mod
+from repro.harness.experiment import RunResult, benchmark_trace, run_trace
+from repro.harness.figures import run_benchmark_suite
+from repro.harness.parallel import (
+    NO_CACHE_ENV,
+    RunSpec,
+    cache_dir,
+    execute_spec,
+    load_cached,
+    parallel_map,
+    store_cached,
+    suite_specs,
+)
+from repro.harness.sweeps import mechanism_comparison_with_error_bars
+from repro.noc import NocConfig
+
+SMALL = NocConfig(mesh_width=2, mesh_height=2, concentration=2)
+
+
+def small_spec(**overrides) -> RunSpec:
+    kw = dict(config=SMALL, mechanism="FP-VAXX", benchmark="ssca2",
+              trace_cycles=900, warmup=350, measure=350)
+    kw.update(overrides)
+    return RunSpec(**kw)
+
+
+class TestRunSpec:
+    def test_cache_key_is_stable(self):
+        assert small_spec().cache_key() == small_spec().cache_key()
+
+    def test_cache_key_tracks_every_field(self):
+        base = small_spec()
+        for overrides in ({"mechanism": "Baseline"},
+                          {"benchmark": "x264"},
+                          {"seed": 12},
+                          {"measure": 351},
+                          {"error_threshold_pct": 5.0},
+                          {"approx_override": 0.5},
+                          {"config": NocConfig(mesh_width=2, mesh_height=2,
+                                               concentration=2, num_vcs=2)}):
+            assert small_spec(**overrides).cache_key() != base.cache_key()
+
+    def test_execute_matches_run_trace(self):
+        spec = small_spec()
+        trace = benchmark_trace(SMALL, spec.benchmark, spec.trace_cycles,
+                                seed=spec.seed,
+                                approx_packet_ratio=spec.approx_packet_ratio)
+        direct = run_trace(SMALL, spec.mechanism, trace, spec.warmup,
+                           spec.measure)
+        assert (execute_spec(spec).simulation_outputs()
+                == direct.simulation_outputs())
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(parallel_mod.CACHE_DIR_ENV, str(tmp_path))
+        spec = small_spec()
+        assert load_cached(spec) is None
+        result = execute_spec(spec)
+        store_cached(spec, result)
+        restored = load_cached(spec)
+        assert isinstance(restored, RunResult)
+        assert restored.simulation_outputs() == result.simulation_outputs()
+        assert restored.power == result.power
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(parallel_mod.CACHE_DIR_ENV, str(tmp_path))
+        spec = small_spec()
+        (tmp_path / f"{spec.cache_key()}.json").write_text("{not json")
+        assert load_cached(spec) is None
+
+    def test_no_cache_env_disables_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(parallel_mod.CACHE_DIR_ENV, str(tmp_path))
+        monkeypatch.setenv(NO_CACHE_ENV, "1")
+        parallel_map([small_spec()], workers=1)
+        assert not list(tmp_path.iterdir())
+
+    def test_hit_skips_execution_and_matches_cold_run(self, tmp_path,
+                                                      monkeypatch):
+        monkeypatch.setenv(parallel_mod.CACHE_DIR_ENV, str(tmp_path))
+        spec = small_spec()
+        cold = parallel_map([spec], workers=1)[0]
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+        def boom(_spec):  # a second execution would be a cache failure
+            raise AssertionError("cache hit should not re-execute")
+
+        monkeypatch.setattr(parallel_mod, "execute_spec", boom)
+        warm = parallel_map([spec], workers=1)[0]
+        assert warm.simulation_outputs() == cold.simulation_outputs()
+
+
+class TestParallelDeterminism:
+    @pytest.mark.parametrize("benchmarks",
+                             [("ssca2",), ("x264", "streamcluster")])
+    def test_suite_parallel_matches_serial(self, benchmarks, tmp_path,
+                                           monkeypatch):
+        monkeypatch.setenv(parallel_mod.CACHE_DIR_ENV, str(tmp_path))
+        kw = dict(config=SMALL, benchmarks=benchmarks,
+                  mechanisms=("Baseline", "DI-COMP", "FP-VAXX"),
+                  trace_cycles=900, warmup=350, measure=350)
+        serial = run_benchmark_suite(**kw)            # plain in-process loop
+        cold = run_benchmark_suite(workers=2, **kw)   # 2-process pool
+        warm = run_benchmark_suite(workers=2, **kw)   # served from cache
+        for benchmark in benchmarks:
+            for mechanism, reference in serial.runs[benchmark].items():
+                expected = reference.simulation_outputs()
+                assert (cold.runs[benchmark][mechanism].simulation_outputs()
+                        == expected)
+                assert (warm.runs[benchmark][mechanism].simulation_outputs()
+                        == expected)
+
+    def test_results_keep_spec_order(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(parallel_mod.CACHE_DIR_ENV, str(tmp_path))
+        specs = suite_specs(config=SMALL, benchmarks=("ssca2",),
+                            mechanisms=("Baseline", "DI-COMP", "FP-COMP"),
+                            trace_cycles=900, warmup=350, measure=350)
+        results = parallel_map(specs, workers=2)
+        assert [r.mechanism for r in results] == [s.mechanism for s in specs]
+
+
+class TestSweepTraceReuse:
+    def test_one_trace_per_seed(self, monkeypatch, tmp_path):
+        """The (seed x mechanism) grid must record each seed's trace once,
+        not once per mechanism."""
+        monkeypatch.setenv(parallel_mod.CACHE_DIR_ENV, str(tmp_path))
+        monkeypatch.setattr(experiment_mod, "_TRACE_CACHE", {})
+        calls = []
+        real = experiment_mod.record_trace
+
+        def counting(source, cycles):
+            calls.append(cycles)
+            return real(source, cycles)
+
+        monkeypatch.setattr(experiment_mod, "record_trace", counting)
+        comparison = mechanism_comparison_with_error_bars(
+            "ssca2", seeds=(1, 2), config=SMALL,
+            mechanisms=("Baseline", "DI-COMP", "FP-VAXX"),
+            trace_cycles=900, warmup=350, measure=350)
+        assert set(comparison) == {"Baseline", "DI-COMP", "FP-VAXX"}
+        assert len(calls) == 2  # one per seed, shared by all mechanisms
+
+
+def test_cache_dir_default(monkeypatch):
+    monkeypatch.delenv(parallel_mod.CACHE_DIR_ENV, raising=False)
+    assert str(cache_dir()) == parallel_mod.DEFAULT_CACHE_DIR
