@@ -1,0 +1,35 @@
+"""AST-based invariant linter for the APPROX-NoC reproduction.
+
+The simulator's correctness rests on properties that unit tests only probe
+pointwise: runs must be deterministic (so parallel == serial bit-for-bit),
+word arithmetic must stay within 32 bits (so Python ints model hardware
+registers), and everything crossing a process boundary must pickle.  This
+package checks those invariants *statically*, on every file, on every CI
+run:
+
+* :mod:`repro.analysis.checks` — the curated rule set (determinism, 32-bit
+  hygiene, parallel safety, API hygiene, typing completeness);
+* :mod:`repro.analysis.engine` — file discovery + per-module rule driver;
+* :mod:`repro.analysis.baseline` — grandfathered-finding suppression;
+* ``python -m repro.analysis src tests`` — the CI entry point.
+
+Findings are suppressed inline with ``# repro: allow[rule-name]`` on the
+offending line, or (for legacy debt only) via the committed baseline file.
+"""
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.engine import analyze_paths, iter_python_files
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import Rule, all_rules, get_rule, register
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "analyze_paths",
+    "get_rule",
+    "iter_python_files",
+    "register",
+]

@@ -1,0 +1,78 @@
+"""Baseline file: grandfathered findings that do not gate CI.
+
+The baseline exists so the linter can be landed *strict* without first
+fixing every legacy finding: known debt is committed to
+``analysis_baseline.json``, new findings still fail the build, and paying
+debt down shows up as baseline shrinkage in review.  Policy: the baseline
+must stay **empty** for ``repro.core`` and ``repro.util`` (enforced by
+``tests/analysis/test_self_clean.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Sequence, Set, Tuple, Union
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+
+#: Default committed location, repo-root relative.
+DEFAULT_BASELINE = "analysis_baseline.json"
+
+
+class Baseline:
+    """A set of grandfathered finding identities."""
+
+    def __init__(self, findings: Iterable[Finding] = ()):
+        self.findings: List[Finding] = sorted(findings)
+        self._keys: Set[tuple] = {f.key for f in self.findings}
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    def __contains__(self, finding: Finding) -> bool:
+        return finding.key in self._keys
+
+    def split(self, findings: Sequence[Finding]
+              ) -> Tuple[List[Finding], List[Finding], List[Finding]]:
+        """Partition ``findings`` against the baseline.
+
+        Returns ``(new, suppressed, stale)``: findings not in the baseline,
+        findings the baseline grandfathers, and baseline entries that no
+        longer occur (debt that was paid down — rewrite the baseline).
+        """
+        new = [f for f in findings if f not in self]
+        suppressed = [f for f in findings if f in self]
+        live_keys = {f.key for f in findings}
+        stale = [f for f in self.findings if f.key not in live_keys]
+        return new, suppressed, stale
+
+    # ----------------------------------------------------------------- io
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        """Load a baseline; a missing file is an empty baseline."""
+        try:
+            text = Path(path).read_text()
+        except FileNotFoundError:
+            return cls()
+        payload = json.loads(text)
+        if payload.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {payload.get('version')!r} "
+                f"in {path} (expected {BASELINE_VERSION})")
+        return cls(Finding.from_json_dict(entry)
+                   for entry in payload.get("findings", []))
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the baseline, sorted, with a trailing newline."""
+        payload = {
+            "version": BASELINE_VERSION,
+            "comment": ("Grandfathered repro.analysis findings. "
+                        "Shrink me; never grow me. Must stay empty for "
+                        "repro.core and repro.util."),
+            "findings": [f.to_json_dict() for f in sorted(self.findings)],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")

@@ -1,0 +1,15 @@
+"""Curated rule set encoding this repository's invariants.
+
+Importing this package registers every rule (the modules self-register via
+:func:`repro.analysis.rules.register`):
+
+* :mod:`.determinism` — 1xx: simulations must be bit-reproducible;
+* :mod:`.bits`        — 2xx: word arithmetic must respect 32-bit hardware;
+* :mod:`.parallel`    — 3xx: work shipped to worker processes must pickle
+  and share no mutable module state;
+* :mod:`.hygiene`     — 4xx/5xx: API hygiene and typing completeness.
+"""
+
+from repro.analysis.checks import bits, determinism, hygiene, parallel
+
+__all__ = ["bits", "determinism", "hygiene", "parallel"]

@@ -1,0 +1,190 @@
+"""32-bit hygiene rules (2xx).
+
+Python integers are unbounded; the hardware being modelled is not.  Every
+word that leaves an arithmetic expression must be re-masked to 32 bits
+(``& WORD_MASK`` / ``to_unsigned``), shifts must stay inside the word, and
+floats are never compared for exact equality outside the bit-manipulation
+core (:mod:`repro.util.bitops`), where bit-exactness is the whole point.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, register
+
+WORD_BITS = 32
+
+#: Names whose value is, by repo convention, a raw 32-bit word.
+WORDISH_SUFFIXES = ("word", "pattern")
+
+#: Masks whose application bounds a word expression.
+MASK_NAMES = {"WORD_MASK", "MANTISSA_MASK", "EXPONENT_MASK"}
+
+#: Calls that normalize their argument back into 32-bit range.
+NORMALIZING_CALLS = {"to_unsigned", "to_signed"}
+
+
+@register
+class ShiftRange(Rule):
+    """Shift amounts must stay inside the 32-bit word."""
+
+    name = "shift-range"
+    code = "REPRO201"
+    invariant = ("A shift of >= 32 on a 32-bit datapath is undefined in the "
+                 "modelled hardware (and silently 'works' in Python); "
+                 "constant-building expressions with a literal base are "
+                 "exempt.")
+    includes = ("repro",)
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.BinOp):
+                continue
+            if not isinstance(node.op, (ast.LShift, ast.RShift)):
+                continue
+            amount = ctx.fold_int(node.right)
+            if amount is None:
+                continue
+            op = "<<" if isinstance(node.op, ast.LShift) else ">>"
+            if amount < 0:
+                yield self.finding(
+                    ctx, node, f"negative shift amount {amount} ({op})")
+                continue
+            if amount < WORD_BITS:
+                continue
+            if ctx.fold_int(node.left) is not None:
+                # Fully constant expression (e.g. ``1 << WORD_BITS`` as the
+                # two's-complement modulus): deliberate constant building.
+                continue
+            yield self.finding(
+                ctx, node,
+                f"shift amount {amount} >= {WORD_BITS} on a non-constant "
+                f"operand: out of range for the 32-bit datapath")
+
+
+@register
+class UnmaskedWordArithmetic(Rule):
+    """Word arithmetic must be re-masked into 32 bits."""
+
+    name = "unmasked-word-arith"
+    code = "REPRO202"
+    invariant = ("Arithmetic on *word/*pattern values must flow through "
+                 "'& WORD_MASK' or to_unsigned()/to_signed() before use; "
+                 "unbounded Python ints diverge from the 32-bit hardware.")
+    includes = ("repro.noc", "repro.core", "repro.compression")
+
+    #: Operators that can carry a word out of 32-bit range.
+    _GROWING_OPS = (ast.Add, ast.Sub, ast.Mult, ast.LShift, ast.Pow)
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.BinOp):
+                continue
+            if not isinstance(node.op, self._GROWING_OPS):
+                continue
+            if not (self._wordish(node.left) or self._wordish(node.right)):
+                continue
+            if self._is_masked(ctx, node):
+                continue
+            op_name = type(node.op).__name__
+            yield self.finding(
+                ctx, node,
+                f"unmasked word arithmetic ({op_name}) on a "
+                f"*word/*pattern operand: apply '& WORD_MASK' or "
+                f"to_unsigned() before the value escapes")
+
+    def _wordish(self, node: ast.expr) -> bool:
+        name: Optional[str] = None
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        if name is None:
+            return False
+        lowered = name.lower()
+        return any(lowered == suffix or lowered.endswith("_" + suffix)
+                   or lowered.endswith(suffix)
+                   for suffix in WORDISH_SUFFIXES)
+
+    def _is_masked(self, ctx: ModuleContext, node: ast.BinOp) -> bool:
+        """Walk outward through the expression looking for a masking
+        operation or a normalizing call consuming the result."""
+        current: ast.AST = node
+        for ancestor in ctx.ancestors(node):
+            if isinstance(ancestor, ast.BinOp):
+                if isinstance(ancestor.op, ast.BitAnd):
+                    other = (ancestor.right if ancestor.left is current
+                             else ancestor.left)
+                    if self._mask_like(ctx, other):
+                        return True
+                if isinstance(ancestor.op, (ast.RShift, ast.Mod)):
+                    # ``x >> k`` shrinks; ``x % m`` bounds.
+                    return True
+                current = ancestor
+                continue
+            if isinstance(ancestor, ast.Call):
+                func = ancestor.func
+                func_name = None
+                if isinstance(func, ast.Name):
+                    func_name = func.id
+                elif isinstance(func, ast.Attribute):
+                    func_name = func.attr
+                return func_name in NORMALIZING_CALLS
+            # Any other construct (assignment, return, comparison,
+            # subscript, argument position…) ends the masking window.
+            return False
+        return False
+
+    def _mask_like(self, ctx: ModuleContext, node: ast.expr) -> bool:
+        if isinstance(node, ast.Name) and node.id in MASK_NAMES:
+            return True
+        folded = ctx.fold_int(node)
+        return folded is not None and 0 <= folded <= 0xFFFFFFFF
+
+
+@register
+class FloatEquality(Rule):
+    """No exact float comparisons outside the bit-manipulation core."""
+
+    name = "float-eq"
+    code = "REPRO203"
+    invariant = ("Exact '==' against a float literal is a rounding-error "
+                 "time bomb; compare bit patterns (repro.util.bitops) or "
+                 "use an explicit tolerance.")
+    includes = ("repro",)
+    excludes = ("repro.util.bitops",)
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for op, (left, right) in zip(node.ops,
+                                         zip(operands, operands[1:])):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                culprit = self._float_operand(left) or \
+                    self._float_operand(right)
+                if culprit is None:
+                    continue
+                yield self.finding(
+                    ctx, node,
+                    "exact float equality comparison: compare bit patterns "
+                    "via repro.util.bitops or use an explicit tolerance")
+                break
+
+    def _float_operand(self, node: ast.expr) -> Optional[ast.expr]:
+        if isinstance(node, ast.Constant) and isinstance(node.value, float):
+            return node
+        if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+                and node.func.id == "float"):
+            return node
+        if (isinstance(node, ast.UnaryOp)
+                and isinstance(node.operand, ast.Constant)
+                and isinstance(node.operand.value, float)):
+            return node
+        return None

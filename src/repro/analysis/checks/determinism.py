@@ -1,0 +1,255 @@
+"""Determinism rules (1xx).
+
+The parallel experiment engine promises bit-identical results whatever the
+worker count or task order (``repro.harness.parallel``), and the result
+cache addresses runs purely by their spec.  Both collapse if simulator code
+consumes ambient entropy (global RNG, wall clock) or iterates containers
+whose order is not defined by the program.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import Rule, register
+
+#: Packages that constitute "simulator code": everything whose behaviour
+#: flows into a RunResult.  The harness is exempt (progress timers are
+#: presentation, not simulation).
+SIM_PACKAGES: Tuple[str, ...] = (
+    "repro.noc", "repro.core", "repro.compression",
+    "repro.traffic", "repro.memory", "repro.apps",
+)
+
+#: Modules whose import alone injects ambient entropy into sim code.
+BANNED_ENTROPY_MODULES = {"random", "secrets", "uuid"}
+
+#: ``module -> attributes`` whose call reads the wall clock / OS entropy.
+WALL_CLOCK_CALLS: Dict[str, Set[str]] = {
+    "time": {"time", "time_ns", "monotonic", "monotonic_ns",
+             "perf_counter", "perf_counter_ns", "process_time"},
+    "datetime": {"now", "utcnow", "today"},
+    "date": {"today"},
+    "os": {"urandom", "getrandom"},
+}
+
+
+@register
+class BannedEntropyImport(Rule):
+    """Only ``repro.util.rng`` may produce randomness."""
+
+    name = "banned-import"
+    code = "REPRO101"
+    invariant = ("Simulator randomness flows exclusively through "
+                 "repro.util.rng.DeterministicRng; importing random/"
+                 "secrets/uuid anywhere else breaks seed-reproducibility.")
+    includes = ("repro",)
+    excludes = ("repro.util.rng",)
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            names: List[str] = []
+            if isinstance(node, ast.Import):
+                names = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                names = [node.module]
+            for name in names:
+                root = name.split(".")[0]
+                if root in BANNED_ENTROPY_MODULES:
+                    yield self.finding(
+                        ctx, node,
+                        f"import of entropy module {root!r}: only "
+                        f"repro.util.rng may produce randomness "
+                        f"(use DeterministicRng)")
+
+
+@register
+class WallClock(Rule):
+    """Simulated time is the only time simulator code may read."""
+
+    name = "wall-clock"
+    code = "REPRO102"
+    invariant = ("Sim results are a pure function of the RunSpec; "
+                 "time.time()/datetime.now()/os.urandom() would make them "
+                 "vary run to run and poison the result cache.")
+    includes = SIM_PACKAGES
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            base = func.value
+            base_name: Optional[str] = None
+            if isinstance(base, ast.Name):
+                base_name = base.id
+            elif isinstance(base, ast.Attribute):
+                base_name = base.attr  # e.g. datetime.datetime.now
+            if base_name is None:
+                continue
+            banned = WALL_CLOCK_CALLS.get(base_name, set())
+            if func.attr in banned:
+                yield self.finding(
+                    ctx, node,
+                    f"wall-clock/entropy call {base_name}.{func.attr}() in "
+                    f"simulator code; use cycle counts from the simulation "
+                    f"clock instead")
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    """Does this expression evaluate to a set, syntactically?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"set", "frozenset"}
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitOr,
+                                                            ast.BitAnd,
+                                                            ast.Sub)):
+        # set algebra: s1 | s2, s1 & s2, s1 - s2 preserve set-ness only if
+        # operands are sets; too ambiguous to claim — be conservative.
+        return False
+    return False
+
+
+def _is_set_annotation(annotation: Optional[ast.expr]) -> bool:
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.Name):
+        return annotation.id in {"set", "Set", "frozenset", "FrozenSet"}
+    if isinstance(annotation, ast.Subscript):
+        return _is_set_annotation(annotation.value)
+    return False
+
+
+class _SetAttrCollector(ast.NodeVisitor):
+    """Collect ``self.X`` attributes assigned a set anywhere in a class."""
+
+    def __init__(self) -> None:
+        self.set_attrs: Set[str] = set()
+
+    def _record(self, target: ast.expr, is_set: bool) -> None:
+        if (is_set and isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"):
+            self.set_attrs.add(target.attr)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record(target, _is_set_expr(node.value))
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        is_set = _is_set_annotation(node.annotation) or (
+            node.value is not None and _is_set_expr(node.value))
+        self._record(node.target, is_set)
+        self.generic_visit(node)
+
+
+@register
+class UnorderedIteration(Rule):
+    """Iteration order must be defined by the program, not the hash seed."""
+
+    name = "unordered-iter"
+    code = "REPRO103"
+    invariant = ("Iterating a set drives simulator decisions by hash order; "
+                 "wrap the iterable in sorted() (and iterate dicts directly "
+                 "rather than via .keys()) so replays are bit-identical.")
+    includes = SIM_PACKAGES
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        class_set_attrs = self._collect_class_set_attrs(ctx)
+        for node, iter_expr in self._iteration_sites(ctx.tree):
+            finding = self._check_iterable(ctx, node, iter_expr,
+                                           class_set_attrs)
+            if finding is not None:
+                yield finding
+
+    # ----------------------------------------------------------- internals
+
+    def _collect_class_set_attrs(
+            self, ctx: ModuleContext) -> Dict[str, Set[str]]:
+        attrs: Dict[str, Set[str]] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                collector = _SetAttrCollector()
+                collector.visit(node)
+                attrs[node.name] = collector.set_attrs
+        return attrs
+
+    def _iteration_sites(
+            self, tree: ast.Module
+    ) -> Iterator[Tuple[ast.AST, ast.expr]]:
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                yield node, node.iter
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                for gen in node.generators:
+                    yield node, gen.iter
+
+    def _check_iterable(self, ctx: ModuleContext, node: ast.AST,
+                        iter_expr: ast.expr,
+                        class_set_attrs: Dict[str, Set[str]]
+                        ) -> Optional[Finding]:
+        if _is_set_expr(iter_expr):
+            return self.finding(
+                ctx, iter_expr,
+                "iteration over a set: order depends on the hash seed; "
+                "wrap in sorted() for a defined order")
+        if (isinstance(iter_expr, ast.Call)
+                and isinstance(iter_expr.func, ast.Attribute)
+                and iter_expr.func.attr == "keys"
+                and not iter_expr.args and not iter_expr.keywords):
+            return self.finding(
+                ctx, iter_expr,
+                "iteration via .keys(): iterate the dict directly "
+                "(insertion order) or sorted(d) for canonical order",
+                severity=Severity.WARNING)
+        if isinstance(iter_expr, ast.Name):
+            if self._local_is_set(ctx, node, iter_expr):
+                return self.finding(
+                    ctx, iter_expr,
+                    f"iteration over set-valued local {iter_expr.id!r}: "
+                    f"order depends on the hash seed; wrap in sorted()")
+        if (isinstance(iter_expr, ast.Attribute)
+                and isinstance(iter_expr.value, ast.Name)
+                and iter_expr.value.id == "self"):
+            for attrs in class_set_attrs.values():
+                if iter_expr.attr in attrs:
+                    return self.finding(
+                        ctx, iter_expr,
+                        f"iteration over set-valued attribute "
+                        f"self.{iter_expr.attr}: order depends on the hash "
+                        f"seed; wrap in sorted()")
+        return None
+
+    def _local_is_set(self, ctx: ModuleContext, site: ast.AST,
+                      name: ast.Name) -> bool:
+        """Was the lexically-latest assignment to ``name`` before the
+        iteration site a set expression (within the enclosing function)?"""
+        scope = ctx.enclosing_function(name) or ctx.tree
+        site_line = getattr(site, "lineno", 0)
+        latest: Optional[Tuple[int, bool]] = None
+        for node in ast.walk(scope):
+            line = getattr(node, "lineno", 0)
+            if line > site_line:
+                continue
+            is_set: Optional[bool] = None
+            if isinstance(node, ast.Assign):
+                if any(isinstance(t, ast.Name) and t.id == name.id
+                       for t in node.targets):
+                    is_set = _is_set_expr(node.value)
+            elif isinstance(node, ast.AnnAssign):
+                if (isinstance(node.target, ast.Name)
+                        and node.target.id == name.id):
+                    is_set = (_is_set_annotation(node.annotation)
+                              or (node.value is not None
+                                  and _is_set_expr(node.value)))
+            if is_set is not None and (latest is None or line >= latest[0]):
+                latest = (line, is_set)
+        return latest is not None and latest[1]

@@ -1,0 +1,217 @@
+"""API hygiene (4xx) and typing completeness (5xx) rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, register
+
+#: Packages under the strict typing gate (mirrors the mypy strict scope in
+#: pyproject.toml — keep the two lists in sync).
+STRICT_TYPING_PACKAGES = ("repro.core", "repro.util", "repro.compression",
+                          "repro.analysis")
+
+#: Non-dataclass classes under repro/noc that are allocated per flit/packet
+#: and must therefore carry ``__slots__``.
+HOT_NOC_CLASSES = {"Flit", "Packet"}
+
+
+@register
+class MutableDefaultArg(Rule):
+    """No mutable default argument values."""
+
+    name = "mutable-default"
+    code = "REPRO401"
+    invariant = ("A mutable default is shared across every call; state "
+                 "leaks between supposedly independent simulations.")
+
+    _MUTABLE_CALLS = {"list", "dict", "set", "deque", "defaultdict",
+                      "Counter", "OrderedDict", "bytearray"}
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.finding(
+                        ctx, default,
+                        "mutable default argument: use None and create the "
+                        "container inside the function")
+
+    def _is_mutable(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in self._MUTABLE_CALLS
+        return False
+
+
+@register
+class BlanketExcept(Rule):
+    """No bare or blanket exception handlers that swallow errors."""
+
+    name = "bare-except"
+    code = "REPRO402"
+    invariant = ("'except:' / 'except BaseException:' / 'except Exception:' "
+                 "without a re-raise hides simulator bugs as silent result "
+                 "corruption; catch the specific exceptions you expect.")
+
+    _BLANKET = {"BaseException", "Exception"}
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            label: Optional[str] = None
+            if node.type is None:
+                label = "bare 'except:'"
+            elif (isinstance(node.type, ast.Name)
+                    and node.type.id in self._BLANKET):
+                label = f"blanket 'except {node.type.id}:'"
+            if label is None:
+                continue
+            if self._reraises(node):
+                continue
+            yield self.finding(
+                ctx, node,
+                f"{label} without re-raise: swallows unexpected failures; "
+                f"catch specific exceptions or re-raise")
+
+    def _reraises(self, handler: ast.ExceptHandler) -> bool:
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise) and node.exc is None:
+                return True
+        return False
+
+
+@register
+class MissingSlots(Rule):
+    """Per-cycle NoC objects must declare ``__slots__``."""
+
+    name = "missing-slots"
+    code = "REPRO403"
+    invariant = ("Flits/packets/NoC dataclasses are allocated millions of "
+                 "times per sweep; a __dict__ per instance costs both "
+                 "memory and the hot-path attribute lookups PR 1 optimized.")
+    includes = ("repro.noc",)
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if self._declares_slots(node):
+                continue
+            if self._is_dataclass(node):
+                if not self._dataclass_has_slots(node):
+                    yield self.finding(
+                        ctx, node,
+                        f"dataclass {node.name} under repro.noc without "
+                        f"slots=True: per-cycle allocations pay for a "
+                        f"__dict__")
+            elif node.name in HOT_NOC_CLASSES:
+                yield self.finding(
+                    ctx, node,
+                    f"hot NoC class {node.name} without __slots__")
+
+    def _declares_slots(self, node: ast.ClassDef) -> bool:
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign):
+                if any(isinstance(t, ast.Name) and t.id == "__slots__"
+                       for t in stmt.targets):
+                    return True
+            if (isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)
+                    and stmt.target.id == "__slots__"):
+                return True
+        return False
+
+    def _is_dataclass(self, node: ast.ClassDef) -> bool:
+        for dec in node.decorator_list:
+            name = self._decorator_name(dec)
+            if name == "dataclass":
+                return True
+        return False
+
+    def _dataclass_has_slots(self, node: ast.ClassDef) -> bool:
+        for dec in node.decorator_list:
+            if (isinstance(dec, ast.Call)
+                    and self._decorator_name(dec) == "dataclass"):
+                for kw in dec.keywords:
+                    if kw.arg == "slots":
+                        value = kw.value
+                        if isinstance(value, ast.Constant):
+                            return bool(value.value)
+                        return True  # non-literal: assume intentional
+                    if kw.arg is None:
+                        return True  # **kwargs splat: cannot see inside
+        return False
+
+    def _decorator_name(self, dec: ast.expr) -> Optional[str]:
+        if isinstance(dec, ast.Call):
+            dec = dec.func
+        if isinstance(dec, ast.Name):
+            return dec.id
+        if isinstance(dec, ast.Attribute):
+            return dec.attr
+        return None
+
+
+@register
+class UntypedDef(Rule):
+    """Strict-typing packages must annotate every function signature."""
+
+    name = "untyped-def"
+    code = "REPRO501"
+    invariant = ("repro.core/repro.util/repro.compression/repro.analysis "
+                 "are under the mypy strict gate; unannotated signatures "
+                 "turn that gate off for the function and everything it "
+                 "infects.")
+    includes = STRICT_TYPING_PACKAGES
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            missing = self._missing_annotations(ctx, node)
+            if missing:
+                yield self.finding(
+                    ctx, node,
+                    f"function {node.name!r} missing annotations: "
+                    f"{', '.join(missing)}")
+
+    def _missing_annotations(self, ctx: ModuleContext,
+                             node: ast.AST) -> List[str]:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        missing: List[str] = []
+        args = node.args
+        positional = list(args.posonlyargs) + list(args.args)
+        if positional and self._is_method(ctx, node) \
+                and positional[0].arg in ("self", "cls"):
+            positional = positional[1:]
+        for arg in positional + list(args.kwonlyargs):
+            if arg.annotation is None:
+                missing.append(f"parameter {arg.arg!r}")
+        for vararg, prefix in ((args.vararg, "*"), (args.kwarg, "**")):
+            if vararg is not None and vararg.annotation is None:
+                missing.append(f"parameter {prefix}{vararg.arg!r}")
+        if node.returns is None and node.name not in ("__init__",
+                                                      "__post_init__"):
+            missing.append("return type")
+        return missing
+
+    def _is_method(self, ctx: ModuleContext, node: ast.AST) -> bool:
+        parent = ctx.parent(node)
+        if not isinstance(parent, ast.ClassDef):
+            return False
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        for dec in node.decorator_list:
+            if isinstance(dec, ast.Name) and dec.id == "staticmethod":
+                return False
+        return True

@@ -1,0 +1,140 @@
+"""``python -m repro.analysis`` — the CI lint gate.
+
+Exit codes:
+
+* ``0`` — no findings beyond the committed baseline;
+* ``1`` — new findings (or parse errors in scanned files);
+* ``2`` — usage errors (unknown rule, unreadable baseline, no files).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.baseline import DEFAULT_BASELINE, Baseline
+from repro.analysis.engine import analyze_paths
+from repro.analysis.findings import Finding
+from repro.analysis.rules import all_rules
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST-based invariant linter for the APPROX-NoC "
+                    "reproduction (determinism, 32-bit hygiene, "
+                    "parallel safety, API hygiene).")
+    parser.add_argument("paths", nargs="*", default=["src", "tests"],
+                        help="files/directories to scan "
+                             "(default: src tests)")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="baseline file of grandfathered findings "
+                             f"(default: {DEFAULT_BASELINE}; missing file "
+                             f"= empty baseline)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline: report every finding")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="rewrite the baseline file to exactly the "
+                             "current findings, then exit 0")
+    parser.add_argument("--format", choices=("human", "json"),
+                        default="human", help="output format")
+    parser.add_argument("--rule", action="append", dest="rules",
+                        metavar="NAME",
+                        help="run only this rule (repeatable)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    return parser
+
+
+def _list_rules() -> None:
+    for rule in all_rules():
+        scope = ", ".join(rule.includes) if rule.includes else "everywhere"
+        print(f"{rule.code} {rule.name} [{rule.severity.value}] "
+              f"(scope: {scope})")
+        print(f"    {rule.invariant}")
+
+
+def _emit_human(new: Sequence[Finding], suppressed: Sequence[Finding],
+                stale: Sequence[Finding], parse_errors: Sequence[str],
+                files_scanned: int) -> None:
+    for finding in new:
+        print(finding.format_human())
+    for error in parse_errors:
+        print(f"{error}: parse error")
+    summary = (f"{files_scanned} files scanned: {len(new)} finding(s)"
+               + (f", {len(suppressed)} baselined" if suppressed else "")
+               + (f", {len(parse_errors)} parse error(s)"
+                  if parse_errors else ""))
+    print(summary)
+    if stale:
+        print(f"note: {len(stale)} stale baseline entr"
+              f"{'y' if len(stale) == 1 else 'ies'} no longer occur — "
+              f"rerun with --write-baseline to shrink the baseline")
+
+
+def _emit_json(new: Sequence[Finding], suppressed: Sequence[Finding],
+               stale: Sequence[Finding], parse_errors: Sequence[str],
+               files_scanned: int) -> None:
+    payload = {
+        "files_scanned": files_scanned,
+        "findings": [f.to_json_dict() for f in new],
+        "baselined": [f.to_json_dict() for f in suppressed],
+        "stale_baseline": [f.to_json_dict() for f in stale],
+        "parse_errors": list(parse_errors),
+    }
+    print(json.dumps(payload, indent=2))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _list_rules()
+        return EXIT_CLEAN
+
+    rules = all_rules()
+    if args.rules:
+        by_name = {rule.name: rule for rule in rules}
+        unknown = [name for name in args.rules if name not in by_name]
+        if unknown:
+            print(f"unknown rule(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        rules = [by_name[name] for name in args.rules]
+
+    report = analyze_paths(args.paths, rules)
+    if report.files_scanned == 0:
+        print(f"no Python files found under: {' '.join(args.paths)}",
+              file=sys.stderr)
+        return EXIT_USAGE
+
+    if args.write_baseline:
+        Baseline(report.findings).save(args.baseline)
+        print(f"wrote {len(report.findings)} finding(s) to {args.baseline}")
+        return EXIT_CLEAN
+
+    if args.no_baseline:
+        baseline = Baseline()
+    else:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except (ValueError, json.JSONDecodeError) as exc:
+            print(f"unreadable baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+    new, suppressed, stale = baseline.split(report.findings)
+
+    emit = _emit_json if args.format == "json" else _emit_human
+    emit(new, suppressed, stale, report.parse_errors, report.files_scanned)
+    if new or report.parse_errors:
+        return EXIT_FINDINGS
+    return EXIT_CLEAN

@@ -1,0 +1,201 @@
+"""Per-module analysis context: parse tree, parents, constants, suppressions.
+
+One :class:`ModuleContext` is built per analyzed file and handed to every
+rule, so the (cheap but repeated) derived structures — parent links, the
+module-level integer constant environment, ``# repro: allow[...]`` comment
+positions — are computed exactly once per module.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+#: Inline suppression:  ``some_code()  # repro: allow[rule-a, rule-b]``.
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([a-z0-9_\-,\s]+)\]")
+
+#: Well-known 32-bit layout constants from :mod:`repro.util.bitops`; modules
+#: importing them rarely redefine them, so the constant environment seeds
+#: from here and module-level literal assignments override.
+KNOWN_INT_CONSTANTS: Dict[str, int] = {
+    "WORD_BITS": 32,
+    "WORD_MASK": 0xFFFFFFFF,
+    "SIGN_BIT": 0x80000000,
+    "MANTISSA_BITS": 23,
+    "MANTISSA_MASK": (1 << 23) - 1,
+    "EXPONENT_BITS": 8,
+    "EXPONENT_MASK": (1 << 8) - 1,
+    "EXPONENT_SHIFT": 23,
+    "SIGN_SHIFT": 31,
+    "SIGNIFICAND_BITS": 24,
+}
+
+
+def module_name_for_path(path: str) -> str:
+    """Dotted module name for a file path.
+
+    ``src/repro/noc/router.py`` -> ``repro.noc.router``;
+    ``tests/core/test_avcl.py`` -> ``tests.core.test_avcl``;
+    package ``__init__`` files map to the package itself.  Absolute paths
+    are anchored at their last ``src`` (dropped) or first ``tests``
+    component, so scoped rules apply identically whether the scan runs on
+    repo-relative paths or absolute ones (CI, pytest tmp trees).
+    """
+    normalized = path.replace("\\", "/").lstrip("./")
+    parts = [p for p in normalized.split("/") if p]
+    if "src" in parts:
+        parts = parts[len(parts) - parts[::-1].index("src"):]
+    elif "tests" in parts:
+        parts = parts[parts.index("tests"):]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+class ModuleContext:
+    """Everything a rule may want to know about one parsed module."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module):
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.module = module_name_for_path(path)
+        self.lines: List[str] = source.splitlines()
+        self._parents: Dict[int, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[id(child)] = parent
+        self.constants = self._collect_int_constants()
+        self._allowed: Dict[int, Set[str]] = self._collect_suppressions()
+
+    # ------------------------------------------------------------- structure
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        """Syntactic parent of ``node`` (None for the module itself)."""
+        return self._parents.get(id(node))
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Walk from ``node``'s parent up to the module root."""
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)
+
+    def enclosing_function(
+            self, node: ast.AST
+    ) -> Optional[ast.AST]:
+        """Nearest enclosing function/lambda scope, if any."""
+        for anc in self.ancestors(node):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                ast.Lambda)):
+                return anc
+        return None
+
+    # ------------------------------------------------------------- constants
+
+    def _collect_int_constants(self) -> Dict[str, int]:
+        env = dict(KNOWN_INT_CONSTANTS)
+        for stmt in self.tree.body:
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            if value is None:
+                continue
+            resolved = self._fold_int(value, env)
+            if resolved is None:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    env[target.id] = resolved
+        return env
+
+    def _fold_int(self, node: ast.expr,
+                  env: Dict[str, int]) -> Optional[int]:
+        """Fold a constant integer expression (literals, known names, and
+        ``+ - * << >> | & ~`` combinations thereof), else None."""
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool) or not isinstance(node.value, int):
+                return None
+            return node.value
+        if isinstance(node, ast.Name):
+            return env.get(node.id)
+        if isinstance(node, ast.UnaryOp):
+            operand = self._fold_int(node.operand, env)
+            if operand is None:
+                return None
+            if isinstance(node.op, ast.USub):
+                return -operand
+            if isinstance(node.op, ast.Invert):
+                return ~operand
+            if isinstance(node.op, ast.UAdd):
+                return operand
+            return None
+        if isinstance(node, ast.BinOp):
+            left = self._fold_int(node.left, env)
+            right = self._fold_int(node.right, env)
+            if left is None or right is None:
+                return None
+            try:
+                if isinstance(node.op, ast.Add):
+                    return left + right
+                if isinstance(node.op, ast.Sub):
+                    return left - right
+                if isinstance(node.op, ast.Mult):
+                    return left * right
+                if isinstance(node.op, ast.LShift):
+                    return left << right
+                if isinstance(node.op, ast.RShift):
+                    return left >> right
+                if isinstance(node.op, ast.BitOr):
+                    return left | right
+                if isinstance(node.op, ast.BitAnd):
+                    return left & right
+            except (OverflowError, ValueError):
+                return None
+        return None
+
+    def fold_int(self, node: ast.expr) -> Optional[int]:
+        """Public constant folder against this module's environment."""
+        return self._fold_int(node, self.constants)
+
+    # ---------------------------------------------------------- suppressions
+
+    def _collect_suppressions(self) -> Dict[int, Set[str]]:
+        allowed: Dict[int, Set[str]] = {}
+        for lineno, text in enumerate(self.lines, start=1):
+            match = _ALLOW_RE.search(text)
+            if match is None:
+                continue
+            names = {part.strip() for part in match.group(1).split(",")}
+            names = {name for name in names if name}
+            if text.strip().startswith("#"):
+                # Comment-only line: the allowance applies to the next
+                # non-comment line (keeps long suppressed lines readable).
+                target = lineno + 1
+                while target <= len(self.lines) and \
+                        self.lines[target - 1].strip().startswith("#"):
+                    target += 1
+                allowed.setdefault(target, set()).update(names)
+            else:
+                allowed.setdefault(lineno, set()).update(names)
+        return allowed
+
+    def is_allowed(self, rule: str, line: int) -> bool:
+        """True when ``# repro: allow[rule]`` appears on ``line``."""
+        return rule in self._allowed.get(line, set())
+
+    def suppressions(self) -> Dict[int, Set[str]]:
+        """All inline suppressions, keyed by line (for unused-allow audits)."""
+        return {line: set(rules) for line, rules in self._allowed.items()}
+
+    # -------------------------------------------------------------- helpers
+
+    def location(self, node: ast.AST) -> Tuple[int, int]:
+        """(line, col) of a node, 1-based line as reported by ``ast``."""
+        return (getattr(node, "lineno", 1), getattr(node, "col_offset", 0))

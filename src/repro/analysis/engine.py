@@ -1,0 +1,87 @@
+"""File discovery and the per-module rule driver."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Union
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, all_rules, rules_for_module
+
+#: Directory names never descended into.
+SKIP_DIRS = {"__pycache__", ".git", ".repro_cache", ".mypy_cache",
+             ".ruff_cache", ".pytest_cache", "build", "dist"}
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one analysis run (before baseline filtering)."""
+
+    findings: List[Finding] = field(default_factory=list)
+    #: ``path: message`` for files that failed to parse (gate failure —
+    #: unparseable code cannot be certified).
+    parse_errors: List[str] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when the run produced neither findings nor parse errors."""
+        return not self.findings and not self.parse_errors
+
+
+def iter_python_files(paths: Sequence[Union[str, Path]]) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths`` (files or directories),
+    sorted for deterministic output, skipping :data:`SKIP_DIRS`."""
+    seen = set()
+    for raw in paths:
+        root = Path(raw)
+        if root.is_file():
+            candidates = [root] if root.suffix == ".py" else []
+        else:
+            candidates = sorted(
+                p for p in root.rglob("*.py")
+                if not (SKIP_DIRS & {part for part in p.parts}))
+        for path in candidates:
+            key = str(path)
+            if key not in seen:
+                seen.add(key)
+                yield path
+
+
+def analyze_source(path: str, source: str,
+                   rules: Optional[Sequence[Rule]] = None
+                   ) -> List[Finding]:
+    """Run rules over one in-memory module (the fixture-test entry point).
+
+    Raises :class:`SyntaxError` when the source does not parse.
+    """
+    tree = ast.parse(source, filename=path)
+    ctx = ModuleContext(path=path, source=source, tree=tree)
+    findings: List[Finding] = []
+    for rule in rules_for_module(ctx.module, rules):
+        for finding in rule.check(ctx):
+            if not ctx.is_allowed(finding.rule, finding.line):
+                findings.append(finding)
+    return sorted(findings)
+
+
+def analyze_paths(paths: Sequence[Union[str, Path]],
+                  rules: Optional[Sequence[Rule]] = None
+                  ) -> AnalysisReport:
+    """Analyze every Python file under ``paths`` with ``rules``
+    (default: the full registry)."""
+    pool = list(rules) if rules is not None else all_rules()
+    report = AnalysisReport()
+    for path in iter_python_files(paths):
+        report.files_scanned += 1
+        text = path.read_text(encoding="utf-8")
+        try:
+            report.findings.extend(analyze_source(str(path), text, pool))
+        except SyntaxError as exc:
+            report.parse_errors.append(f"{path}: {exc.msg} "
+                                       f"(line {exc.lineno})")
+    report.findings.sort()
+    return report

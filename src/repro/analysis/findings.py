@@ -1,0 +1,67 @@
+"""Finding and severity model shared by every rule."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    Both levels gate CI (a finding is a finding); the split exists so human
+    output can rank genuine invariant violations above style debt.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __lt__(self, other: "Severity") -> bool:
+        order = {"error": 0, "warning": 1}
+        if not isinstance(other, Severity):
+            return NotImplemented  # type: ignore[return-value]
+        return order[self.value] < order[other.value]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: Severity
+    message: str
+
+    @property
+    def key(self) -> tuple:
+        """Identity used for baseline matching (column- and
+        message-insensitive so cosmetic edits don't unsuppress debt)."""
+        return (self.rule, self.path, self.line)
+
+    def format_human(self) -> str:
+        """``path:line:col: severity[rule] message`` (clickable in IDEs)."""
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.severity.value}[{self.rule}] {self.message}")
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """JSON-safe representation (used by ``--format json`` and the
+        baseline file)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict[str, Any]) -> "Finding":
+        """Inverse of :meth:`to_json_dict`."""
+        return cls(path=str(payload["path"]), line=int(payload["line"]),
+                   col=int(payload.get("col", 0)), rule=str(payload["rule"]),
+                   severity=Severity(payload.get("severity", "error")),
+                   message=str(payload.get("message", "")))

@@ -1,0 +1,99 @@
+"""Rule base class and registry.
+
+A rule is a named, scoped check over one module's AST.  Rules register
+themselves via :func:`register` at import time (importing
+:mod:`repro.analysis.checks` populates the registry), which keeps the
+engine generic: it only knows how to discover files, build contexts and ask
+each in-scope rule for findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding, Severity
+
+_REGISTRY: Dict[str, "Rule"] = {}
+
+
+class Rule:
+    """One invariant check.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    ``includes``/``excludes`` are dotted module-name prefixes: a rule runs on
+    a module when the module matches some include prefix (empty = match all)
+    and no exclude prefix.
+    """
+
+    #: Stable kebab-case identifier (used in output, baselines and
+    #: ``# repro: allow[...]`` comments).
+    name: str = ""
+    #: Numeric code, grouped by family (1xx determinism, 2xx 32-bit,
+    #: 3xx parallel safety, 4xx API hygiene, 5xx typing).
+    code: str = ""
+    severity: Severity = Severity.ERROR
+    #: One-line statement of the invariant the rule encodes.
+    invariant: str = ""
+    includes: Tuple[str, ...] = ()
+    excludes: Tuple[str, ...] = ()
+
+    def applies_to(self, module: str) -> bool:
+        """Whether this rule runs on ``module`` (dotted name)."""
+        def matches(prefix: str) -> bool:
+            return module == prefix or module.startswith(prefix + ".")
+        if any(matches(prefix) for prefix in self.excludes):
+            return False
+        if not self.includes:
+            return True
+        return any(matches(prefix) for prefix in self.includes)
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        """Yield findings for one module."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------- helpers
+
+    def finding(self, ctx: ModuleContext, node: ast.AST,
+                message: str,
+                severity: Optional[Severity] = None) -> Finding:
+        """Build a finding anchored at ``node``."""
+        line, col = ctx.location(node)
+        return Finding(path=ctx.path, line=line, col=col, rule=self.name,
+                       severity=severity or self.severity, message=message)
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule (instance) to the global registry."""
+    if not cls.name or not cls.code:
+        raise ValueError(f"rule {cls.__name__} must define name and code")
+    if cls.name in _REGISTRY:
+        raise ValueError(f"duplicate rule name {cls.name!r}")
+    _REGISTRY[cls.name] = cls()
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, sorted by code (imports the rule modules on
+    first use so the registry is always populated)."""
+    _ensure_loaded()
+    return sorted(_REGISTRY.values(), key=lambda rule: rule.code)
+
+
+def get_rule(name: str) -> Rule:
+    """Look a rule up by its kebab-case name."""
+    _ensure_loaded()
+    return _REGISTRY[name]
+
+
+def rules_for_module(module: str,
+                     rules: Optional[Sequence[Rule]] = None) -> List[Rule]:
+    """The subset of ``rules`` (default: all) that applies to ``module``."""
+    pool = list(rules) if rules is not None else all_rules()
+    return [rule for rule in pool if rule.applies_to(module)]
+
+
+def _ensure_loaded() -> None:
+    # Imported lazily to avoid a cycle (checks modules import this module).
+    import repro.analysis.checks  # noqa: F401

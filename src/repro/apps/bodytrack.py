@@ -14,7 +14,7 @@ likelihoods the workers exchange.  Two outputs match the paper's study:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 

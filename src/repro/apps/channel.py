@@ -11,13 +11,12 @@ per-destination state exactly as they would under real sharing.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 
 from repro.compression.base import CompressionScheme
-from repro.core.block import CacheBlock, DataType, WORDS_PER_BLOCK
-from repro.util.bitops import to_signed, to_unsigned
+from repro.core.block import CacheBlock, WORDS_PER_BLOCK
 
 
 class ApproxChannel:

@@ -14,7 +14,7 @@ the precise BC scale.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 

@@ -10,6 +10,7 @@ approximate-computing literature uses for this benchmark.
 
 from __future__ import annotations
 
+import math
 from typing import Optional, Tuple
 
 import numpy as np
@@ -89,6 +90,6 @@ def output_error(precise_prediction: np.ndarray,
     """Relative PSNR degradation of the reconstruction."""
     precise_quality = psnr(precise_prediction, current)
     approx_quality = psnr(approx_prediction, current)
-    if precise_quality == float("inf"):
-        return 0.0 if approx_quality == float("inf") else 1.0
+    if math.isinf(precise_quality):
+        return 0.0 if math.isinf(approx_quality) else 1.0
     return max(0.0, (precise_quality - approx_quality) / precise_quality)

@@ -21,7 +21,7 @@ incompressible phases.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Tuple
+from typing import Deque, Tuple
 
 from repro.compression.base import (
     CompressionScheme,

@@ -30,7 +30,7 @@ import abc
 import enum
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.block import CacheBlock, DataType, relative_word_error
 from repro.core.quality import QualityTracker

@@ -32,7 +32,7 @@ from repro.compression.base import (
 from repro.core.avcl import Avcl
 from repro.core.block import CacheBlock
 from repro.core.error_control import ErrorBudget
-from repro.util.bitops import WORD_MASK, to_signed, to_unsigned
+from repro.util.bitops import to_unsigned
 
 #: Selectable delta widths (2-bit selector).
 DELTA_WIDTHS = (4, 8, 16)

@@ -30,9 +30,9 @@ from __future__ import annotations
 
 import abc
 from functools import lru_cache
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
-from repro.util.bitops import WORD_MASK, to_signed, to_unsigned
+from repro.util.bitops import WORD_MASK
 
 PREFIX_BITS = 3
 #: Maximum zero-run length expressible in the 3-bit data field.
@@ -111,6 +111,9 @@ class SignExtended(PatternClass):
             best = _nearest_in_range(lo, min(hi, self._pos_hi), word)
         if hi >= self._neg_lo:  # block intersects the negative range
             cand = _nearest_in_range(max(lo, self._neg_lo), hi, word)
+            # In-block distances: |cand - word| <= mask, bounded by
+            # construction, so the unmasked subtraction cannot overflow
+            # the 32-bit datapath.  # repro: allow[unmasked-word-arith]
             if best is None or abs(cand - word) < abs(best - word):
                 best = cand
         return best

@@ -7,7 +7,7 @@ the comparison mechanisms every figure plots against.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.compression import fpc
 from repro.compression.base import (

@@ -27,9 +27,10 @@ Two rounding modes are provided:
 
 from __future__ import annotations
 
+import functools
 import math
-import sys
 from dataclasses import dataclass
+from fractions import Fraction
 from functools import lru_cache
 from typing import Optional
 
@@ -68,15 +69,18 @@ def shift_bits_for_threshold(error_threshold_pct: float,
         return 0
     if mode == "paper":
         return int(math.floor(math.log2(divisor)))
-    return int(math.ceil(math.log2(divisor)))
+    shift = int(math.ceil(math.log2(divisor)))
+    # The strict guarantee needs 2^shift * e >= 100 *exactly* (so that
+    # ``magnitude >> shift  <=  magnitude * e/100``).  float log2 can round
+    # an epsilon below an integer boundary and make ceil() land one short;
+    # verify in exact rational arithmetic and bump if needed.
+    threshold = Fraction(error_threshold_pct)
+    while Fraction(2) ** shift * threshold < 100:
+        shift += 1
+    return shift
 
 
-#: ``slots=True`` keeps the millions of per-word ApproxInfo allocations
-#: lean; it only exists on Python >= 3.10 (the package still declares 3.9).
-_DC_SLOTS = {"slots": True} if sys.version_info >= (3, 10) else {}
-
-
-@dataclass(frozen=True, **_DC_SLOTS)
+@dataclass(frozen=True, slots=True)
 class ApproxInfo:
     """Result of one AVCL evaluation for a single word.
 
@@ -164,7 +168,7 @@ def _evaluate_cached(word: int, dtype: DataType, shift: int,
     return _evaluate_float(word, shift, mode)
 
 
-def evaluate_cache_info():
+def evaluate_cache_info() -> "functools._CacheInfo":
     """``functools.lru_cache`` statistics of the shared evaluate cache."""
     return _evaluate_cached.cache_info()
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, Iterator, List, Sequence, Tuple
 
 from repro.util.bitops import (
     WORD_MASK,
@@ -97,7 +97,7 @@ class CacheBlock:
     def __len__(self) -> int:
         return len(self.words)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[int]:
         return iter(self.words)
 
 

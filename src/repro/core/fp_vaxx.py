@@ -13,7 +13,7 @@ fall back to exact FP-COMP matching.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Optional
 
 from repro.compression import fpc
 from repro.compression.base import EncodedBlock, NodeCodec

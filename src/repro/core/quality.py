@@ -12,7 +12,7 @@ metrics the paper plots:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 

@@ -11,15 +11,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import asdict, dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.compression import BaselineScheme, DiCompScheme, FpCompScheme
 from repro.compression.base import CompressionScheme
 from repro.compression.fpc import match_cache_info
 from repro.core import DiVaxxScheme, FpVaxxScheme
 from repro.core.avcl import evaluate_cache_info
-from repro.noc import Network, NocConfig, PAPER_CONFIG
-from repro.noc.stats import NetworkStats
+from repro.noc import Network, NocConfig
 from repro.power.energy import PowerReport, dynamic_power
 from repro.traffic import (
     BenchmarkTraffic,
@@ -153,6 +152,9 @@ class RunResult:
         return cls(**payload)
 
 
+# Deliberate per-process memo: parallel_map's benchmark-major chunking is
+# designed around one trace recording per (benchmark, seed) per worker.
+# repro: allow[mutable-global]
 _TRACE_CACHE: Dict[tuple, list] = {}
 
 

@@ -484,7 +484,7 @@ def figure17(error_threshold_pct: float = 10.0, n_frames: int = 8,
 
 def format_figure17(result: dict) -> str:
     """Render the Figure 17 summary lines."""
-    finite = [p for p in result["frame_psnr_db"] if p != float("inf")]
+    finite = [p for p in result["frame_psnr_db"] if not math.isinf(p)]
     mean_psnr = _mean(finite) if finite else float("inf")
     return (
         "Figure 17: bodytrack precise vs approximate output\n"

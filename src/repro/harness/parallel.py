@@ -211,8 +211,8 @@ def suite_specs(config: NocConfig = PAPER_CONFIG,
 
 
 def run_suite_parallel(config: NocConfig = PAPER_CONFIG,
-                       benchmarks: Sequence[str] = None,
-                       mechanisms: Sequence[str] = None,
+                       benchmarks: Optional[Sequence[str]] = None,
+                       mechanisms: Optional[Sequence[str]] = None,
                        error_threshold_pct: float = 10.0,
                        approx_packet_ratio: float = 0.75,
                        trace_cycles: int = 6000, warmup: int = 3000,

@@ -82,7 +82,7 @@ def collect_all(scale: float = 1.0,
     fig17 = figure17()
     results["fig17"] = {"track_error": fig17["track_error"],
                         "frame_psnr_db": [p for p in fig17["frame_psnr_db"]
-                                          if p != float("inf")]}
+                                          if not math.isinf(p)]}
     results["area"] = {
         "DI-VAXX": di_vaxx_encoder_area(32).total_mm2,
         "FP-VAXX": fp_vaxx_encoder_area().total_mm2,

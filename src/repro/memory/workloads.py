@@ -20,9 +20,8 @@ The mix weights are per-benchmark, reusing the value models of
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
-from repro.core.block import DataType
 from repro.memory.tracegen import TraceCollector
 from repro.traffic.datagen import BlockGenerator
 from repro.traffic.profiles import BenchmarkProfile, get_benchmark

@@ -8,10 +8,10 @@ routing.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NocConfig:
     """Static parameters of the simulated network."""
 

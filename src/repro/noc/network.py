@@ -12,12 +12,12 @@ Per-cycle sequencing (all effects of cycle *t* become visible at *t+1*):
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.compression.base import CompressionScheme
 from repro.noc.config import NocConfig
 from repro.noc.ni import NetworkInterface, TrafficRequest
-from repro.noc.packet import Flit, PacketKind
+from repro.noc.packet import Flit
 from repro.noc.router import Router
 from repro.noc.routing import get_routing_fn
 from repro.noc.stats import NetworkStats

@@ -26,13 +26,21 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
-from repro.compression.base import CompressionScheme, packet_flits
+from repro.compression.base import (
+    CompressionScheme,
+    Notification,
+    packet_flits,
+)
 from repro.core.block import CacheBlock
 from repro.noc.packet import Flit, Packet, PacketKind, fragment
 from repro.noc.stats import NetworkStats
 
+#: Delivery callback: ``(packet, delivered_block, now)``; the block is None
+#: for control/notification packets.
+DeliverCallback = Callable[[Packet, Optional[CacheBlock], int], None]
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, slots=True)
 class TrafficRequest:
     """What a producer (traffic generator, cache, application) asks the NI
     to transmit."""
@@ -49,7 +57,7 @@ class NetworkInterface:
     def __init__(self, node_id: int, scheme: CompressionScheme,
                  num_vcs: int, vc_depth: int, stats: NetworkStats,
                  flit_bytes: int = 8,
-                 on_deliver: Optional[Callable] = None,
+                 on_deliver: Optional[DeliverCallback] = None,
                  overlap_compression: bool = True):
         self.node_id = node_id
         self.scheme = scheme
@@ -61,16 +69,16 @@ class NetworkInterface:
         #: §4.3 latency-hiding optimization: compression overlaps with NI
         #: queueing.  Disable to quantify the optimization (ablation).
         self.overlap_compression = overlap_compression
-        self._queue: deque = deque()
+        self._queue: deque[Packet] = deque()
         self._current_flits: Optional[List[Flit]] = None
         self._current_index = 0
         self._current_vc: Optional[int] = None
         self._vc_rr = 0
         self._credits = [vc_depth] * num_vcs
         #: (completion_cycle, packet) decode jobs, in completion order.
-        self._pending_decodes: deque = deque()
+        self._pending_decodes: deque[tuple[int, Packet]] = deque()
         #: Notifications waiting to be packetized.
-        self._outbound_notifications: deque = deque()
+        self._outbound_notifications: deque[Notification] = deque()
 
     # ----------------------------------------------------------- ingress
 

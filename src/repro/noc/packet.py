@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import enum
 import itertools
-import sys
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -37,12 +36,10 @@ class PacketKind(enum.Enum):
 
 _packet_ids = itertools.count()
 
+
 #: ``slots=True`` keeps per-packet allocations lean (one Packet per injected
-#: packet, millions per sweep); it only exists on Python >= 3.10.
-_DC_SLOTS = {"slots": True} if sys.version_info >= (3, 10) else {}
-
-
-@dataclass(**_DC_SLOTS)
+#: packet, millions per sweep).
+@dataclass(slots=True)
 class Packet:
     """One network packet, with its latency-accounting timestamps."""
 

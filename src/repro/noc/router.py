@@ -162,7 +162,9 @@ class Router:
         inputs = self.inputs
         slot_table = self._slot_table
         # Request-list order does not influence grants (winners are picked
-        # by unique slot rank), so the occupied set may be visited as-is.
+        # by unique slot rank) and slots are small ints whose set order is
+        # content-determined, so the occupied set may be visited as-is.
+        # repro: allow[unordered-iter]
         for slot in self._occupied:
             port, vc = slot_table[slot]
             ivc = inputs[port][vc]

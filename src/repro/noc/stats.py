@@ -15,7 +15,7 @@ from typing import Dict
 from repro.noc.packet import Packet, PacketKind
 
 
-@dataclass
+@dataclass(slots=True)
 class NetworkStats:
     """Aggregate counters for one simulation run."""
 

@@ -19,7 +19,7 @@ DIRECTION_NAMES = {NORTH: "N", EAST: "E", SOUTH: "S", WEST: "W"}
 NUM_DIRECTIONS = 4
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Link:
     """A unidirectional router-to-router connection."""
 

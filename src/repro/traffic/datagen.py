@@ -23,12 +23,11 @@ A :class:`ValueModel` produces cache blocks from a mixture distribution:
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List
 
 from repro.core.block import CacheBlock, DataType
-from repro.util.bitops import float_to_bits, to_unsigned
+from repro.util.bitops import to_unsigned
 from repro.util.rng import DeterministicRng
 
 

@@ -21,7 +21,6 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.core.block import CacheBlock
 from repro.noc.config import NocConfig
 from repro.noc.ni import TrafficRequest
 from repro.noc.packet import PacketKind

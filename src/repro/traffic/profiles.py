@@ -52,6 +52,8 @@ class BenchmarkProfile:
     burst: BurstModel = BurstModel()
 
 
+# Registry fully populated at import time (below), so every process sees
+# the same table.  # repro: allow[mutable-global]
 BENCHMARKS: Dict[str, BenchmarkProfile] = {}
 
 

@@ -95,14 +95,6 @@ def bit_length(value: int) -> int:
     return int(value).bit_length()
 
 
-def _popcount_str(pattern: int) -> int:
-    """Portable popcount via the binary-string path (pre-3.10 fallback)."""
-    return bin(pattern & WORD_MASK).count("1")
-
-
-if hasattr(int, "bit_count"):  # Python >= 3.10
-    def popcount(pattern: int) -> int:
-        """Number of set bits in ``pattern``."""
-        return (pattern & WORD_MASK).bit_count()
-else:  # pragma: no cover - exercised only on Python < 3.10
-    popcount = _popcount_str
+def popcount(pattern: int) -> int:
+    """Number of set bits in ``pattern``."""
+    return (pattern & WORD_MASK).bit_count()

@@ -9,7 +9,7 @@ rows.
 from __future__ import annotations
 
 import random
-from typing import Optional, Sequence, TypeVar
+from typing import List, Optional, Sequence, TypeVar
 
 T = TypeVar("T")
 
@@ -52,7 +52,7 @@ class DeterministicRng:
         return self._rng.choice(items)
 
     def choices(self, items: Sequence[T], weights: Optional[Sequence[float]],
-                k: int) -> list:
+                k: int) -> List[T]:
         """Pick ``k`` elements with replacement, optionally weighted."""
         return self._rng.choices(items, weights=weights, k=k)
 
@@ -64,7 +64,7 @@ class DeterministicRng:
         """Exponential variate with rate ``lam``."""
         return self._rng.expovariate(lam)
 
-    def shuffle(self, items: list) -> None:
+    def shuffle(self, items: List[T]) -> None:
         """Shuffle ``items`` in place."""
         self._rng.shuffle(items)
 

@@ -1,0 +1,70 @@
+"""Baseline round-trip, splitting, and version handling."""
+
+import json
+
+import pytest
+
+from repro.analysis import Baseline, Finding, Severity
+
+
+def make_finding(rule="banned-import", path="src/repro/noc/a.py", line=3):
+    return Finding(path=path, line=line, col=0, rule=rule,
+                   severity=Severity.ERROR, message="fixture finding")
+
+
+class TestSplit:
+    def test_empty_baseline_passes_everything_through(self):
+        finding = make_finding()
+        new, suppressed, stale = Baseline().split([finding])
+        assert new == [finding]
+        assert suppressed == []
+        assert stale == []
+
+    def test_grandfathered_finding_is_suppressed(self):
+        finding = make_finding()
+        new, suppressed, stale = Baseline([finding]).split([finding])
+        assert new == []
+        assert suppressed == [finding]
+        assert stale == []
+
+    def test_paid_down_debt_is_stale(self):
+        old = make_finding(line=3)
+        new, suppressed, stale = Baseline([old]).split([])
+        assert (new, suppressed) == ([], [])
+        assert stale == [old]
+
+    def test_identity_is_rule_path_line(self):
+        # Message and column changes do not evict a baseline entry.
+        committed = make_finding()
+        moved = Finding(path=committed.path, line=committed.line, col=9,
+                        rule=committed.rule, severity=Severity.WARNING,
+                        message="reworded")
+        _, suppressed, _ = Baseline([committed]).split([moved])
+        assert suppressed == [moved]
+
+
+class TestRoundTrip:
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        findings = [make_finding(line=3), make_finding(line=9)]
+        Baseline(findings).save(path)
+        loaded = Baseline.load(path)
+        assert loaded.findings == sorted(findings)
+        assert all(f in loaded for f in findings)
+
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        loaded = Baseline.load(tmp_path / "nope.json")
+        assert len(loaded) == 0
+
+    def test_unsupported_version_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ValueError):
+            Baseline.load(path)
+
+    def test_save_is_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        findings = [make_finding(line=9), make_finding(line=3)]
+        Baseline(findings).save(a)
+        Baseline(list(reversed(findings))).save(b)
+        assert a.read_text() == b.read_text()

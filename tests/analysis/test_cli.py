@@ -1,0 +1,107 @@
+"""CLI behaviour: exit codes, output formats, baseline workflow."""
+
+import json
+
+from repro.analysis.cli import EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE, main
+
+CLEAN_SOURCE = "X = 1\n"
+#: Trips banned-import when placed under a repro package path.
+DIRTY_SOURCE = "import random\n"
+
+
+def make_tree(tmp_path, source):
+    """A one-module src tree whose module path is inside repro.noc."""
+    pkg = tmp_path / "src" / "repro" / "noc"
+    pkg.mkdir(parents=True)
+    module = pkg / "fixture.py"
+    module.write_text(source)
+    return tmp_path / "src"
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        src = make_tree(tmp_path, CLEAN_SOURCE)
+        assert main([str(src), "--no-baseline"]) == EXIT_CLEAN
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        src = make_tree(tmp_path, DIRTY_SOURCE)
+        assert main([str(src), "--no-baseline"]) == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "banned-import" in out
+
+    def test_parse_error_exits_one(self, tmp_path, capsys):
+        src = make_tree(tmp_path, "def broken(:\n")
+        assert main([str(src), "--no-baseline"]) == EXIT_FINDINGS
+        assert "parse error" in capsys.readouterr().out
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        src = make_tree(tmp_path, CLEAN_SOURCE)
+        assert main([str(src), "--rule", "no-such-rule"]) == EXIT_USAGE
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_no_files_exits_two(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main([str(empty)]) == EXIT_USAGE
+        assert "no Python files" in capsys.readouterr().err
+
+    def test_unreadable_baseline_exits_two(self, tmp_path, capsys):
+        src = make_tree(tmp_path, CLEAN_SOURCE)
+        bad = tmp_path / "baseline.json"
+        bad.write_text("{not json")
+        assert main([str(src), "--baseline", str(bad)]) == EXIT_USAGE
+        assert "unreadable baseline" in capsys.readouterr().err
+
+
+class TestBaselineWorkflow:
+    def test_write_then_gate(self, tmp_path, capsys):
+        src = make_tree(tmp_path, DIRTY_SOURCE)
+        baseline = tmp_path / "baseline.json"
+        # Grandfather the current findings...
+        assert main([str(src), "--baseline", str(baseline),
+                     "--write-baseline"]) == EXIT_CLEAN
+        # ...after which the same tree gates clean...
+        assert main([str(src), "--baseline", str(baseline)]) == EXIT_CLEAN
+        assert "1 baselined" in capsys.readouterr().out
+        # ...but --no-baseline still reports the debt.
+        assert main([str(src), "--no-baseline"]) == EXIT_FINDINGS
+
+    def test_stale_entries_are_reported(self, tmp_path, capsys):
+        src = make_tree(tmp_path, DIRTY_SOURCE)
+        baseline = tmp_path / "baseline.json"
+        main([str(src), "--baseline", str(baseline), "--write-baseline"])
+        (src / "repro" / "noc" / "fixture.py").write_text(CLEAN_SOURCE)
+        assert main([str(src), "--baseline", str(baseline)]) == EXIT_CLEAN
+        assert "stale baseline" in capsys.readouterr().out
+
+
+class TestOutput:
+    def test_json_format(self, tmp_path, capsys):
+        src = make_tree(tmp_path, DIRTY_SOURCE)
+        assert main([str(src), "--no-baseline",
+                     "--format", "json"]) == EXIT_FINDINGS
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files_scanned"] == 1
+        assert payload["findings"][0]["rule"] == "banned-import"
+        assert payload["parse_errors"] == []
+
+    def test_human_format_has_location(self, tmp_path, capsys):
+        src = make_tree(tmp_path, DIRTY_SOURCE)
+        main([str(src), "--no-baseline"])
+        line = capsys.readouterr().out.splitlines()[0]
+        assert "fixture.py:1:" in line
+        assert "error[banned-import]" in line
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        for code in ("REPRO101", "REPRO201", "REPRO301",
+                     "REPRO401", "REPRO501"):
+            assert code in out
+
+    def test_rule_filter_restricts_scan(self, tmp_path):
+        src = make_tree(tmp_path, DIRTY_SOURCE)
+        # banned-import fires; the float-eq-only run stays clean.
+        assert main([str(src), "--no-baseline",
+                     "--rule", "float-eq"]) == EXIT_CLEAN

@@ -1,0 +1,100 @@
+"""Engine, context, and suppression-comment behaviour."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import get_rule
+from repro.analysis.context import module_name_for_path
+from repro.analysis.engine import analyze_paths, analyze_source, \
+    iter_python_files
+
+
+class TestModuleNames:
+    @pytest.mark.parametrize("path,module", [
+        ("src/repro/noc/router.py", "repro.noc.router"),
+        ("src/repro/noc/__init__.py", "repro.noc"),
+        ("tests/core/test_avcl.py", "tests.core.test_avcl"),
+        ("./src/repro/core/avcl.py", "repro.core.avcl"),
+        ("src\\repro\\util\\bitops.py", "repro.util.bitops"),
+    ])
+    def test_mapping(self, path, module):
+        assert module_name_for_path(path) == module
+
+
+class TestSuppression:
+    RULE = "banned-import"
+
+    def test_same_line_allow(self):
+        findings = analyze_source(
+            "src/repro/noc/fixture.py",
+            "import random  # repro: allow[banned-import]\n",
+            [get_rule(self.RULE)])
+        assert findings == []
+
+    def test_comment_line_allow_covers_next_statement(self):
+        findings = analyze_source(
+            "src/repro/noc/fixture.py",
+            textwrap.dedent("""\
+                # Justification for the exception lives here.
+                # repro: allow[banned-import]
+                import random
+                """),
+            [get_rule(self.RULE)])
+        assert findings == []
+
+    def test_allow_for_other_rule_does_not_suppress(self):
+        findings = analyze_source(
+            "src/repro/noc/fixture.py",
+            "import random  # repro: allow[wall-clock]\n",
+            [get_rule(self.RULE)])
+        assert len(findings) == 1
+
+    def test_allow_does_not_leak_to_later_lines(self):
+        findings = analyze_source(
+            "src/repro/noc/fixture.py",
+            textwrap.dedent("""\
+                import random  # repro: allow[banned-import]
+                import secrets
+                """),
+            [get_rule(self.RULE)])
+        assert len(findings) == 1
+        assert findings[0].line == 2
+
+
+class TestEngine:
+    def test_syntax_error_raises(self):
+        with pytest.raises(SyntaxError):
+            analyze_source("src/repro/noc/fixture.py", "def broken(:\n")
+
+    def test_findings_sorted_by_location(self):
+        findings = analyze_source(
+            "src/repro/noc/fixture.py",
+            "import secrets\nimport random\n",
+            [get_rule("banned-import")])
+        assert [f.line for f in findings] == [1, 2]
+
+    def test_analyze_paths_counts_parse_errors(self, tmp_path):
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n")
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        report = analyze_paths([tmp_path])
+        assert report.files_scanned == 2
+        assert len(report.parse_errors) == 1
+        assert not report.ok
+
+    def test_iter_python_files_skips_caches(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "mod.py").write_text("x = 1\n")
+        cache = tmp_path / "pkg" / "__pycache__"
+        cache.mkdir()
+        (cache / "mod.cpython-310.py").write_text("x = 1\n")
+        found = list(iter_python_files([tmp_path]))
+        assert [p.name for p in found] == ["mod.py"]
+
+    def test_iter_python_files_dedupes(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text("x = 1\n")
+        found = list(iter_python_files([tmp_path, mod]))
+        assert len(found) == 1

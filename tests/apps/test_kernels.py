@@ -1,13 +1,12 @@
 """Tests for the application kernels (correctness + error behaviour)."""
 
-import math
 
 import numpy as np
 import pytest
 
 from repro.apps import blackscholes, bodytrack, canneal, fluidanimate
 from repro.apps import ssca2, streamcluster, swaptions, x264
-from repro.apps.channel import ApproxChannel, IdentityChannel
+from repro.apps.channel import IdentityChannel
 from repro.apps.suite import APP_RUNNERS, run_app
 from repro.core import DiVaxxScheme, FpVaxxScheme
 

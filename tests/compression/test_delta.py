@@ -1,6 +1,5 @@
 """Tests for base-delta compression and its VAXX coupling."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

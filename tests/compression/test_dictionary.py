@@ -11,7 +11,7 @@ from repro.compression.dictionary import (
     PatternDetector,
     index_bits,
 )
-from repro.core.block import CacheBlock, DataType
+from repro.core.block import CacheBlock
 
 
 class TestIndexBits:

@@ -5,7 +5,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.compression import fpc
-from repro.util.bitops import to_signed, to_unsigned
+from repro.util.bitops import to_unsigned
 
 WORDS = st.integers(min_value=0, max_value=0xFFFFFFFF)
 MASKS = st.integers(min_value=0, max_value=23).map(lambda k: (1 << k) - 1)

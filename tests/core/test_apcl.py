@@ -1,6 +1,5 @@
 """Dedicated tests for ternary patterns and the APCL."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

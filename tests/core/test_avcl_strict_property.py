@@ -1,0 +1,75 @@
+"""Property test for the §3.2 strict-mode guarantee (tier-1).
+
+``strict`` mode promises that *any* value accepted under the don't-care
+mask deviates from the original by at most the configured threshold.  The
+worst accepted deviation is the full mask (all don't-care bits flipped), so
+the guarantee is, exactly:
+
+    (2^dont_care_bits - 1) * 100  <=  magnitude * threshold_pct
+
+checked here in exact rational arithmetic — no float tolerance games — for
+both integer words (magnitude of the signed value) and float words (the
+padded 24-bit significand, which carries the full relative error because
+the exponent is never approximated).
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.avcl import Avcl
+from repro.util.bitops import to_signed
+
+WORDS = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+#: Thresholds spanning sane sweeps (0.01%..100%), plus awkward floats.
+THRESHOLDS = st.one_of(
+    st.sampled_from([0.01, 0.1, 1.0, 5.0, 10.0, 12.5, 20.0, 25.0,
+                     33.3, 50.0, 99.9, 100.0]),
+    st.floats(min_value=0.01, max_value=100.0,
+              allow_nan=False, allow_infinity=False),
+)
+
+
+def _within_threshold(mask: int, magnitude: int, threshold_pct: float) -> bool:
+    """Exact form of: mask <= magnitude * threshold_pct / 100."""
+    return Fraction(mask) * 100 <= Fraction(magnitude) * \
+        Fraction(threshold_pct)
+
+
+@settings(max_examples=300, deadline=None)
+@given(word=WORDS, threshold=THRESHOLDS)
+def test_strict_int_mask_within_threshold(word: int,
+                                          threshold: float) -> None:
+    info = Avcl(threshold, mode="strict").evaluate_int(word)
+    assert not info.bypass
+    magnitude = abs(to_signed(word))
+    assert _within_threshold(info.mask, magnitude, threshold)
+
+
+@settings(max_examples=300, deadline=None)
+@given(word=WORDS, threshold=THRESHOLDS)
+def test_strict_float_mask_within_threshold(word: int,
+                                            threshold: float) -> None:
+    info = Avcl(threshold, mode="strict").evaluate_float(word)
+    if info.bypass:  # zero/denormal/inf/NaN: AVCL refuses to touch
+        assert info.dont_care_bits == 0
+        return
+    # The exponent is exact, so the value's relative error equals the
+    # significand's relative error; the significand is info.pattern.
+    assert _within_threshold(info.mask, info.pattern, threshold)
+
+
+@settings(max_examples=200, deadline=None)
+@given(word=WORDS, threshold=THRESHOLDS)
+def test_strict_every_masked_candidate_is_close(word: int,
+                                                threshold: float) -> None:
+    """Spot-check the end-to-end form: the extreme accepted candidates
+    (low and high end of the masked block) stay within the threshold."""
+    info = Avcl(threshold, mode="strict").evaluate_int(word)
+    magnitude = abs(to_signed(word))
+    for candidate in (info.care_pattern, info.care_pattern | info.mask):
+        assert info.matches(candidate)
+        deviation = abs(candidate - info.pattern)
+        assert _within_threshold(deviation, magnitude, threshold)

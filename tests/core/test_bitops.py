@@ -1,6 +1,5 @@
 """Unit and property tests for the bit-manipulation helpers."""
 
-import math
 
 import pytest
 from hypothesis import given
@@ -126,18 +125,7 @@ class TestMisc:
     def test_popcount_matches_bin(self, pattern):
         assert bitops.popcount(pattern) == bin(pattern).count("1")
 
-    def test_popcount_fallback_examples(self):
-        assert bitops._popcount_str(0) == 0
-        assert bitops._popcount_str(0xFFFFFFFF) == 32
-        assert bitops._popcount_str(0b1011) == 3
-
-    @given(WORDS)
-    def test_popcount_paths_agree(self, pattern):
-        """The bit_count fast path and the pre-3.10 string fallback must be
-        interchangeable."""
-        assert bitops.popcount(pattern) == bitops._popcount_str(pattern)
-
     def test_popcount_masks_to_word(self):
-        beyond = 1 << 40 | 0b101
-        assert bitops.popcount(beyond) == 2
-        assert bitops._popcount_str(beyond) == 2
+        assert bitops.popcount(1 << 32) == 0
+        assert bitops.popcount((1 << 33) | 0b101) == 2
+        assert bitops.popcount(1 << 40 | 0b101) == 2

@@ -1,6 +1,5 @@
 """Tests for the cache-block data model."""
 
-import math
 
 import pytest
 from hypothesis import given

@@ -1,6 +1,5 @@
 """Tests for the FP-VAXX and DI-VAXX engines (the paper's §4)."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -12,7 +11,7 @@ from repro.core.block import CacheBlock, DataType, relative_word_error
 from repro.core.di_vaxx import DiVaxxScheme
 from repro.core.fp_vaxx import FpVaxxScheme
 from repro.core.error_control import WindowErrorBudget
-from repro.util.bitops import float_to_bits, to_unsigned
+from repro.util.bitops import float_to_bits
 
 
 class TestTernaryPattern:

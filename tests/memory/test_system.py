@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.compression import BaselineScheme
-from repro.core import CacheBlock, DataType, FpVaxxScheme
+from repro.core import DataType, FpVaxxScheme
 from repro.memory import CmpMemorySystem, TraceCollector
 from repro.noc.packet import PacketKind
 

@@ -1,6 +1,5 @@
 """Tests for the CMP workload generator and coherence-accurate traces."""
 
-import pytest
 
 from repro.core import FpVaxxScheme
 from repro.memory.workloads import (

@@ -4,7 +4,7 @@ regression goldens for zero-load latency."""
 import pytest
 
 from repro.compression import BaselineScheme, FpCompScheme
-from repro.core import CacheBlock, FpVaxxScheme
+from repro.core import CacheBlock
 from repro.noc import Network, NocConfig, PacketKind, TrafficRequest
 from repro.traffic import SyntheticTraffic
 

@@ -97,7 +97,6 @@ class TestBlockGenerator:
     def test_coherent_blocks_have_low_variance(self):
         gen = make_gen(p_block_coherent=1.0, scale=1e5,
                        coherent_spread=0.001)
-        from repro.util.bitops import to_signed
         block = gen.next_block(16)
         values = block.as_ints()
         spread = max(values) - min(values)

@@ -1,8 +1,6 @@
 """Tests for destination patterns."""
 
 import pytest
-from hypothesis import given
-from hypothesis import strategies as st
 
 from repro.noc.config import NocConfig
 from repro.noc.topology import MeshTopology
