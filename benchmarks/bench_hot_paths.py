@@ -88,8 +88,9 @@ def bench_avcl_evaluate() -> float:
     return _best(one_pass)
 
 
-def bench_network_step() -> float:
-    config = NocConfig(mesh_width=2, mesh_height=2, concentration=2)
+def bench_network_step(sanitize: bool = False) -> float:
+    config = NocConfig(mesh_width=2, mesh_height=2, concentration=2,
+                       sanitize=sanitize)
     trace = benchmark_trace(config, "ssca2", NETWORK_CYCLES, seed=11)
 
     def one_pass() -> float:
@@ -103,11 +104,16 @@ def bench_network_step() -> float:
 
 
 def run_all() -> dict:
-    return {
+    results = {
         "match_approx_s": bench_match_approx(),
         "avcl_evaluate_s": bench_avcl_evaluate(),
         "network_step_s": bench_network_step(),
+        # NoCSan overhead, reported for visibility but exempt from --check:
+        # the sanitized path is opt-in debugging, only the *disabled* path
+        # (network_step_s above, with no wrapping at all) must stay fast.
+        "network_step_sanitized_s": bench_network_step(sanitize=True),
     }
+    return results
 
 
 def check(results: dict, baseline_path: str, max_regression: float) -> int:
@@ -115,6 +121,8 @@ def check(results: dict, baseline_path: str, max_regression: float) -> int:
         baseline = json.load(handle)
     status = 0
     for name, value in results.items():
+        if name.endswith("_sanitized_s"):
+            continue  # debug-mode timing: reported, never gated
         reference = baseline.get(name)
         if reference is None:
             print(f"  {name}: no baseline, skipped")
@@ -141,6 +149,8 @@ def main(argv=None) -> int:
     results = run_all()
     for name, value in results.items():
         print(f"{name}: {value:.4f}s")
+    overhead = results["network_step_sanitized_s"] / results["network_step_s"]
+    print(f"sanitizer overhead (enabled vs disabled): {overhead:.2f}x")
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(results, handle, indent=2)

@@ -7,9 +7,18 @@ Importing this package registers every rule (the modules self-register via
 * :mod:`.bits`        — 2xx: word arithmetic must respect 32-bit hardware;
 * :mod:`.parallel`    — 3xx: work shipped to worker processes must pickle
   and share no mutable module state;
-* :mod:`.hygiene`     — 4xx/5xx: API hygiene and typing completeness.
+* :mod:`.hygiene`     — 4xx/5xx: API hygiene and typing completeness;
+* :mod:`.noc_state`   — 6xx: NoC protocol state stays behind the
+  Router/NI methods the NoCSan sanitizer audits, and every NocConfig
+  field has a static-verifier validation rule.
 """
 
-from repro.analysis.checks import bits, determinism, hygiene, parallel
+from repro.analysis.checks import (
+    bits,
+    determinism,
+    hygiene,
+    noc_state,
+    parallel,
+)
 
-__all__ = ["bits", "determinism", "hygiene", "parallel"]
+__all__ = ["bits", "determinism", "hygiene", "noc_state", "parallel"]

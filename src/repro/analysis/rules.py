@@ -31,7 +31,8 @@ class Rule:
     #: ``# repro: allow[...]`` comments).
     name: str = ""
     #: Numeric code, grouped by family (1xx determinism, 2xx 32-bit,
-    #: 3xx parallel safety, 4xx API hygiene, 5xx typing).
+    #: 3xx parallel safety, 4xx API hygiene, 5xx typing, 6xx NoC state
+    #: encapsulation).
     code: str = ""
     severity: Severity = Severity.ERROR
     #: One-line statement of the invariant the rule encodes.

@@ -10,7 +10,7 @@ measured packet completes.
 from __future__ import annotations
 
 import time
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.compression import BaselineScheme, DiCompScheme, FpCompScheme
@@ -178,10 +178,17 @@ def run_trace(config: NocConfig, mechanism: str, trace: list,
               warmup: int, measure: int,
               error_threshold_pct: float = 10.0,
               approx_override: Optional[float] = None,
-              drain_budget: int = 200_000) -> RunResult:
-    """Replay a trace under one mechanism with warmup + measurement."""
+              drain_budget: int = 200_000,
+              sanitize: Optional[bool] = None) -> RunResult:
+    """Replay a trace under one mechanism with warmup + measurement.
+
+    ``sanitize`` overrides ``config.sanitize`` (None keeps the config's
+    setting; the ``REPRO_SANITIZE`` environment variable still applies).
+    """
     start = time.perf_counter()
     hits0, misses0 = encode_cache_totals()
+    if sanitize is not None and sanitize != config.sanitize:
+        config = replace(config, sanitize=sanitize)
     scheme = make_scheme(mechanism, config.n_nodes, error_threshold_pct)
     network = Network(config, scheme)
     network.set_traffic(TraceTraffic(trace, loop=True,
@@ -207,16 +214,20 @@ def run_trace(config: NocConfig, mechanism: str, trace: list,
 def run_synthetic(config: NocConfig, mechanism: str, traffic_factory,
                   warmup: int, measure: int,
                   error_threshold_pct: float = 10.0,
-                  drain_budget: int = 400_000) -> RunResult:
+                  drain_budget: int = 400_000,
+                  sanitize: Optional[bool] = None) -> RunResult:
     """Run live synthetic traffic (Figure 12's methodology).
 
     ``traffic_factory(config)`` builds a fresh traffic source so each
     mechanism sees an identically-seeded stream.  Unlike :func:`run_trace`,
     saturated networks are expected here: the run is *not* drained, and
-    latency reflects packets delivered inside the window.
+    latency reflects packets delivered inside the window.  ``sanitize``
+    overrides ``config.sanitize`` as in :func:`run_trace`.
     """
     start = time.perf_counter()
     hits0, misses0 = encode_cache_totals()
+    if sanitize is not None and sanitize != config.sanitize:
+        config = replace(config, sanitize=sanitize)
     scheme = make_scheme(mechanism, config.n_nodes, error_threshold_pct)
     network = Network(config, scheme)
     network.set_traffic(traffic_factory(config))

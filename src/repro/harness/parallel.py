@@ -22,6 +22,11 @@ Environment knobs:
 * ``REPRO_WORKERS``   — default worker count for ``workers=None`` callers.
 * ``REPRO_NO_CACHE``  — any non-empty value disables the on-disk cache.
 * ``REPRO_CACHE_DIR`` — cache location (default ``.repro_cache``).
+* ``REPRO_SANITIZE``  — inherited by worker processes: every network they
+  build runs under the NoCSan invariant sanitizer
+  (:mod:`repro.verify.sanitizer`).  The sanitizer only observes, so
+  results stay bit-identical; combine with ``REPRO_NO_CACHE=1`` when the
+  point is to re-execute cached sweeps under supervision.
 """
 
 from __future__ import annotations
@@ -40,7 +45,9 @@ from repro.noc import NocConfig, PAPER_CONFIG
 
 #: Bump when simulator changes alter results for an unchanged RunSpec, so
 #: stale cache entries from older code can never be returned.
-CACHE_SCHEMA_VERSION = 1
+#: v2: NocConfig gained the ``sanitize`` field (changes the canonical
+#: asdict form; results themselves are unchanged when it is False).
+CACHE_SCHEMA_VERSION = 2
 
 WORKERS_ENV = "REPRO_WORKERS"
 NO_CACHE_ENV = "REPRO_NO_CACHE"

@@ -37,6 +37,10 @@ class NocConfig:
     #: §4.3 latency-hiding optimization: overlap compression with NI
     #: queueing (disable for the ablation study).
     overlap_compression: bool = True
+    #: Enable NoCSan, the runtime invariant sanitizer (see
+    #: :mod:`repro.verify.sanitizer`).  Also switched on globally by the
+    #: ``REPRO_SANITIZE`` environment variable.
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         for name in ("mesh_width", "mesh_height", "concentration", "num_vcs",

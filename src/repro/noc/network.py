@@ -37,20 +37,28 @@ class Network:
 
     def __init__(self, config: NocConfig, scheme: CompressionScheme,
                  routing: str = "xy",
-                 on_deliver: Optional[Callable] = None):
+                 on_deliver: Optional[Callable] = None,
+                 router_factory: Optional[Callable[..., Router]] = None):
         if scheme.n_nodes != config.n_nodes:
             raise ValueError(
                 f"scheme built for {scheme.n_nodes} nodes but the network "
                 f"has {config.n_nodes}")
+        # Static verification gate: prove the (config, routing) pair
+        # deadlock-free and internally consistent before building anything.
+        # Imported lazily — repro.verify imports repro.noc modules at import
+        # time, so a module-level import here would be circular.
+        from repro.verify.static import ensure_network_verified
+        ensure_network_verified(config, routing)
         self.config = config
         self.scheme = scheme
         self.topology = MeshTopology(config)
         self.stats = NetworkStats()
         self._route = get_routing_fn(routing)
         self.cycle = 0
+        make_router = router_factory if router_factory is not None else Router
         self.routers = [
-            Router(r, self.topology.ports_per_router, config.num_vcs,
-                   config.vc_depth, config.router_stages, self.stats)
+            make_router(r, self.topology.ports_per_router, config.num_vcs,
+                        config.vc_depth, config.router_stages, self.stats)
             for r in range(config.n_routers)]
         for router in self.routers:
             for port in range(NUM_DIRECTIONS, self.topology.ports_per_router):
@@ -88,6 +96,24 @@ class Network:
                             for r in range(config.n_routers)]
         self._accept_fns = [self._make_accept_fn(n)
                             for n in range(config.n_nodes)]
+        # NoCSan: when enabled, route every callback through the sanitizer.
+        # When disabled, the fast path above is untouched (zero-cost
+        # opt-out).  Lazy import for the same cycle reason as above.
+        from repro.verify.sanitizer import sanitize_enabled
+        self._sanitizer = None
+        if sanitize_enabled(config):
+            from repro.verify.sanitizer import NocSanitizer
+            sanitizer = NocSanitizer(self)
+            self._sanitizer = sanitizer
+            self._send_fns = [sanitizer.wrap_send(r, fn)
+                              for r, fn in enumerate(self._send_fns)]
+            self._credit_fns = [sanitizer.wrap_credit(r, fn)
+                                for r, fn in enumerate(self._credit_fns)]
+            self._accept_fns = [sanitizer.wrap_accept(n, fn)
+                                for n, fn in enumerate(self._accept_fns)]
+            for ni in self.nis:
+                ni.on_deliver = sanitizer.wrap_deliver(ni.node_id,
+                                                       ni.on_deliver)
 
     # -------------------------------------------------------------- wiring
 
@@ -191,6 +217,8 @@ class Network:
                 active[node] = False
         self._cycle_routers(now)
         self._apply_credits()
+        if self._sanitizer is not None:
+            self._sanitizer.after_cycle(now)
         self.cycle += 1
         self.stats.cycles += 1
 

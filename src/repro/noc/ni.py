@@ -122,6 +122,28 @@ class NetworkInterface:
         return bool(self._queue or self._current_flits
                     or self._pending_decodes or self._outbound_notifications)
 
+    def audit_credits(self, local_occupancy: List[int],
+                      vc_depth: int) -> List[str]:
+        """NoCSan hook: check this NI's credit view per VC.
+
+        ``local_occupancy[vc]`` is the current buffer occupancy of the
+        router's local input port.  At the end of a network step (credits
+        applied, injection synchronous) ``credits + occupancy`` must equal
+        ``vc_depth`` exactly; anything else means a credit was lost,
+        duplicated or stolen.
+        """
+        violations: List[str] = []
+        for vc, credits in enumerate(self._credits):
+            if credits < 0:
+                violations.append(f"vc {vc}: negative credit count "
+                                  f"{credits}")
+            occupancy = local_occupancy[vc]
+            if credits + occupancy != vc_depth:
+                violations.append(
+                    f"vc {vc}: credits {credits} + local-port occupancy "
+                    f"{occupancy} != vc_depth {vc_depth}")
+        return violations
+
     # --------------------------------------------------------- injection
 
     def inject(self, now: int,

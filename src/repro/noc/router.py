@@ -223,3 +223,69 @@ class Router:
     def occupancy(self) -> int:
         """Total buffered flits (used by drain detection and tests)."""
         return sum(len(vc.buffer) for port in self.inputs for vc in port)
+
+    def audit(self) -> List[str]:
+        """NoCSan hook: cross-check the wormhole protocol state machine.
+
+        Returns human-readable violation descriptions (empty when every
+        invariant holds): buffer-occupancy caches must match the buffers,
+        VC ownership must be bidirectionally consistent, a body flit at the
+        head of line must already own an output VC, and credit counters may
+        never go negative.
+        """
+        violations: List[str] = []
+        recount = 0
+        for port in range(self.n_ports):
+            for vc in range(self.num_vcs):
+                ivc = self.inputs[port][vc]
+                n = len(ivc.buffer)
+                recount += n
+                if n > self.vc_depth:
+                    violations.append(
+                        f"input port {port} vc {vc}: {n} flits buffered, "
+                        f"depth is {self.vc_depth}")
+                if (port * self.num_vcs + vc in self._occupied) != (n > 0):
+                    violations.append(
+                        f"input port {port} vc {vc}: occupied-slot cache "
+                        f"disagrees with buffer ({n} flits)")
+                if n and not ivc.buffer[0].is_head and ivc.out_vc is None:
+                    violations.append(
+                        f"input port {port} vc {vc}: body flit at head of "
+                        f"line without an allocated output VC")
+                if ivc.out_vc is not None:
+                    if ivc.route is None:
+                        violations.append(
+                            f"input port {port} vc {vc}: output VC "
+                            f"{ivc.out_vc} held without a computed route")
+                    elif self.out_owner[ivc.route][ivc.out_vc] != (port, vc):
+                        violations.append(
+                            f"input port {port} vc {vc}: holds output VC "
+                            f"{ivc.route}/{ivc.out_vc} but ownership "
+                            f"records "
+                            f"{self.out_owner[ivc.route][ivc.out_vc]}")
+                elif ivc.route is not None and (
+                        not n or not ivc.buffer[0].is_head):
+                    violations.append(
+                        f"input port {port} vc {vc}: route {ivc.route} "
+                        f"computed but no head flit is waiting for VC "
+                        f"allocation")
+        if recount != self._buffered:
+            violations.append(
+                f"buffered-flit cache {self._buffered} != recount "
+                f"{recount}")
+        for port in range(self.n_ports):
+            for vc in range(self.num_vcs):
+                owner = self.out_owner[port][vc]
+                if owner is not None:
+                    in_port, in_vc = owner
+                    ivc = self.inputs[in_port][in_vc]
+                    if ivc.out_vc != vc or ivc.route != port:
+                        violations.append(
+                            f"output port {port} vc {vc}: owned by input "
+                            f"{in_port}/{in_vc} which holds route "
+                            f"{ivc.route} out_vc {ivc.out_vc}")
+                if self.out_credits[port][vc] < 0:
+                    violations.append(
+                        f"output port {port} vc {vc}: negative credit "
+                        f"count {self.out_credits[port][vc]}")
+        return violations

@@ -7,13 +7,32 @@ mesh without extra virtual-channel classes.  YX is provided for ablations.
 
 from __future__ import annotations
 
-from typing import Callable
+from dataclasses import dataclass
+from typing import Callable, Optional
 
 from repro.noc.topology import EAST, MeshTopology, NORTH, SOUTH, WEST
 
 #: A routing function maps (topology, current router, destination node) to
 #: the output port the head flit must request.
 RoutingFn = Callable[[MeshTopology, int, int], int]
+
+
+@dataclass(frozen=True, slots=True)
+class RoutingProperties:
+    """Verifier-relevant metadata of a registered routing function.
+
+    ``minimal`` declares that every route takes exactly the Manhattan
+    distance in hops (the verifier downgrades the minimality check to a
+    skip when False).  ``requires_escape_vc`` marks adaptive functions that
+    are only deadlock-free through an escape virtual channel; for those the
+    verifier checks ``escape_fn`` (the routing restricted to the escape VC)
+    for acyclicity instead of the full function, and demands ``num_vcs >=
+    2`` so an escape VC actually exists.
+    """
+
+    minimal: bool = True
+    requires_escape_vc: bool = False
+    escape_fn: Optional[RoutingFn] = None
 
 
 def xy_route(topology: MeshTopology, router: int, dst_node: int) -> int:
@@ -50,6 +69,37 @@ def yx_route(topology: MeshTopology, router: int, dst_node: int) -> int:
 
 ROUTING_FUNCTIONS = {"xy": xy_route, "yx": yx_route}
 
+#: Verifier metadata per registered function (kept in lockstep with
+#: :data:`ROUTING_FUNCTIONS`): dimension-ordered XY/YX are minimal and
+#: deadlock-free without escape VCs.
+ROUTING_PROPERTIES = {"xy": RoutingProperties(), "yx": RoutingProperties()}
+
+
+def register_routing_fn(name: str, fn: RoutingFn,
+                        properties: Optional[RoutingProperties] = None,
+                        replace: bool = False) -> None:
+    """Register a routing function (and its verifier metadata) by name.
+
+    New functions — adaptive ones in particular — must declare their
+    :class:`RoutingProperties` honestly: ``python -m repro.verify`` and the
+    ``Network.__init__`` gate build the channel-dependency graph from
+    ``properties.escape_fn`` (when set) or ``fn`` itself and refuse cyclic
+    configurations.
+    """
+    if not replace and name in ROUTING_FUNCTIONS:
+        raise ValueError(f"routing function {name!r} already registered")
+    ROUTING_FUNCTIONS[name] = fn
+    ROUTING_PROPERTIES[name] = properties or RoutingProperties()
+
+
+def unregister_routing_fn(name: str) -> None:
+    """Remove a registered routing function (tests and demos)."""
+    if name in ("xy", "yx"):
+        raise ValueError(f"built-in routing function {name!r} cannot be "
+                         f"unregistered")
+    ROUTING_FUNCTIONS.pop(name, None)
+    ROUTING_PROPERTIES.pop(name, None)
+
 
 def get_routing_fn(name: str) -> RoutingFn:
     """Look up a routing function by name."""
@@ -59,3 +109,10 @@ def get_routing_fn(name: str) -> RoutingFn:
         raise ValueError(
             f"unknown routing function {name!r}; "
             f"choose from {sorted(ROUTING_FUNCTIONS)}") from None
+
+
+def get_routing_properties(name: str) -> RoutingProperties:
+    """Verifier metadata of a registered routing function."""
+    if name not in ROUTING_FUNCTIONS:
+        get_routing_fn(name)  # raises the canonical unknown-name error
+    return ROUTING_PROPERTIES.get(name, RoutingProperties())

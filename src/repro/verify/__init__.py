@@ -1,0 +1,54 @@
+"""NoCSan: static deadlock-freedom verification + runtime sanitization.
+
+Two complementary correctness nets over the simulated architecture:
+
+* :mod:`repro.verify.static` — given a :class:`~repro.noc.config.NocConfig`
+  and a routing function, build the channel-dependency graph (Dally–Seitz)
+  by exhaustive src→dst route enumeration and prove deadlock freedom by
+  cycle detection, alongside config-validation rules (VC/credit
+  consistency, routable topology, escape-VC coverage).  Runs automatically
+  (cached) at ``Network.__init__`` and standalone as
+  ``python -m repro.verify``.
+* :mod:`repro.verify.sanitizer` — NoCSan, the opt-in runtime
+  instrumentation layer (``REPRO_SANITIZE=1`` or ``NocConfig(sanitize=
+  True)``) that checks flit/credit conservation, protocol state-machine
+  legality, starvation and the end-to-end AVCL error bound on every
+  delivered word.  Violations raise :class:`SanitizerError` with a
+  replayable event-trace tail.
+"""
+
+from repro.verify.cdg import (
+    Channel,
+    RouteTrace,
+    build_cdg,
+    cyclic_demo_route,
+    find_cycle,
+    trace_route,
+)
+from repro.verify.sanitizer import NocSanitizer, SanitizerError, sanitize_enabled
+from repro.verify.static import (
+    VALIDATED_CONFIG_FIELDS,
+    ConfigVerificationError,
+    VerificationReport,
+    Violation,
+    ensure_network_verified,
+    verify_config,
+)
+
+__all__ = [
+    "Channel",
+    "RouteTrace",
+    "build_cdg",
+    "cyclic_demo_route",
+    "find_cycle",
+    "trace_route",
+    "NocSanitizer",
+    "SanitizerError",
+    "sanitize_enabled",
+    "VALIDATED_CONFIG_FIELDS",
+    "ConfigVerificationError",
+    "VerificationReport",
+    "Violation",
+    "ensure_network_verified",
+    "verify_config",
+]

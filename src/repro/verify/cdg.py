@@ -1,0 +1,218 @@
+"""Channel-dependency graph construction and cycle detection (Dally–Seitz).
+
+Deadlock freedom of a wormhole network with deterministic routing reduces to
+acyclicity of the *channel-dependency graph* (CDG): one node per
+unidirectional inter-router channel, and an edge ``a -> b`` whenever some
+packet holding channel ``a`` may request channel ``b`` next.  Because this
+simulator's virtual channels form a single equivalence class (any packet may
+be allocated any VC — there is no escape-VC mechanism), the physical-channel
+CDG is the exact object to check: an acyclic CDG proves no cyclic credit
+wait can form, whatever the VC count.
+
+Dependencies are enumerated *exhaustively*: every ordered ``src -> dst``
+node pair is walked through the routing function, so the proof covers any
+deterministic function of ``(topology, current router, destination)`` —
+including future ones registered via
+:func:`repro.noc.routing.register_routing_fn` — not just XY/YX.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.noc.config import NocConfig
+from repro.noc.routing import RoutingFn, xy_route
+from repro.noc.topology import (
+    DIRECTION_NAMES,
+    EAST,
+    MeshTopology,
+    NORTH,
+    NUM_DIRECTIONS,
+    SOUTH,
+    WEST,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Channel:
+    """One unidirectional inter-router channel (a CDG node)."""
+
+    router: int
+    port: int
+
+    def __str__(self) -> str:
+        name = DIRECTION_NAMES.get(self.port, str(self.port))
+        return f"r{self.router}:{name}"
+
+
+@dataclass(frozen=True, slots=True)
+class RouteTrace:
+    """Outcome of walking one ``src -> dst`` pair through a routing fn."""
+
+    src_node: int
+    dst_node: int
+    #: Routers visited, source router first.
+    routers: Tuple[int, ...]
+    #: Inter-router channels traversed, in order.
+    channels: Tuple[Channel, ...]
+    #: None when the walk ended at the correct ejection port.
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the pair is routable (walk terminated correctly)."""
+        return self.error is None
+
+    @property
+    def hops(self) -> int:
+        """Router hops taken (inter-router traversals)."""
+        return len(self.channels)
+
+
+def trace_route(topology: MeshTopology, route_fn: RoutingFn,
+                src_node: int, dst_node: int) -> RouteTrace:
+    """Walk one node pair through ``route_fn``, validating every step.
+
+    Detects out-of-range ports, routing off a mesh edge, ejection at the
+    wrong router or local port, and livelock (a deterministic function that
+    revisits a router can never terminate).
+    """
+    router = topology.router_of(src_node)
+    dst_router = topology.router_of(dst_node)
+    routers: List[int] = [router]
+    channels: List[Channel] = []
+    visited: Set[int] = {router}
+
+    def fail(message: str) -> RouteTrace:
+        return RouteTrace(src_node=src_node, dst_node=dst_node,
+                          routers=tuple(routers), channels=tuple(channels),
+                          error=message)
+
+    while True:
+        port = route_fn(topology, router, dst_node)
+        if not isinstance(port, int) or isinstance(port, bool) or \
+                not 0 <= port < topology.ports_per_router:
+            return fail(f"router {router}: routing function returned "
+                        f"invalid port {port!r}")
+        if port >= NUM_DIRECTIONS:
+            if router != dst_router:
+                return fail(f"router {router}: ejects at local port {port} "
+                            f"but destination node {dst_node} attaches to "
+                            f"router {dst_router}")
+            if port != topology.local_port_of(dst_node):
+                return fail(f"router {router}: ejects at local port {port} "
+                            f"but node {dst_node} attaches to port "
+                            f"{topology.local_port_of(dst_node)}")
+            return RouteTrace(src_node=src_node, dst_node=dst_node,
+                              routers=tuple(routers),
+                              channels=tuple(channels))
+        nxt = topology.neighbor(router, port)
+        if nxt is None:
+            name = DIRECTION_NAMES[port]
+            return fail(f"router {router}: routes {name} off the mesh edge")
+        channels.append(Channel(router, port))
+        router = nxt
+        routers.append(router)
+        if router in visited:
+            return fail(f"route revisits router {router} — a deterministic "
+                        f"routing function can never deliver (livelock)")
+        visited.add(router)
+
+
+#: CDG adjacency: channel -> successor channels, insertion-ordered.
+CdgGraph = Dict[Channel, List[Channel]]
+
+
+def build_cdg(config: NocConfig, route_fn: RoutingFn
+              ) -> Tuple[CdgGraph, List[RouteTrace]]:
+    """Channel-dependency graph of ``route_fn`` on ``config``'s mesh.
+
+    Returns ``(graph, failed_traces)``.  The graph contains every
+    inter-router channel as a node (isolated ones included) and one edge per
+    observed consecutive channel pair; ``failed_traces`` collects the node
+    pairs whose walk did not terminate correctly (their partial channel
+    prefix still contributes dependencies — a misrouted packet holds
+    buffers too).
+    """
+    topology = MeshTopology(config)
+    graph: CdgGraph = {}
+    for router in range(topology.n_routers):
+        for direction in range(NUM_DIRECTIONS):
+            if topology.link(router, direction) is not None:
+                graph[Channel(router, direction)] = []
+    edge_seen: Set[Tuple[Channel, Channel]] = set()
+    failures: List[RouteTrace] = []
+    for src in range(topology.n_nodes):
+        for dst in range(topology.n_nodes):
+            if src == dst:
+                continue
+            trace = trace_route(topology, route_fn, src, dst)
+            if not trace.ok:
+                failures.append(trace)
+            for prev, nxt in zip(trace.channels, trace.channels[1:]):
+                if (prev, nxt) not in edge_seen:
+                    edge_seen.add((prev, nxt))
+                    graph.setdefault(prev, []).append(nxt)
+    return graph, failures
+
+
+def find_cycle(graph: CdgGraph) -> Optional[List[Channel]]:
+    """First cycle in a CDG, as a closed channel path, or None if acyclic.
+
+    Iterative three-color DFS in deterministic (insertion) order, so the
+    reported witness is stable across runs.
+    """
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: Dict[Channel, int] = {node: WHITE for node in graph}
+    for root in graph:
+        if color[root] != WHITE:
+            continue
+        path: List[Channel] = []
+        # Stack of (node, iterator index into its successors).
+        stack: List[Tuple[Channel, int]] = [(root, 0)]
+        color[root] = GRAY
+        path.append(root)
+        while stack:
+            node, idx = stack[-1]
+            successors = graph.get(node, [])
+            if idx < len(successors):
+                stack[-1] = (node, idx + 1)
+                succ = successors[idx]
+                state = color.get(succ, WHITE)
+                if state == GRAY:
+                    start = path.index(succ)
+                    return path[start:] + [succ]
+                if state == WHITE:
+                    color[succ] = GRAY
+                    path.append(succ)
+                    stack.append((succ, 0))
+            else:
+                color[node] = BLACK
+                path.pop()
+                stack.pop()
+    return None
+
+
+def cyclic_demo_route(topology: MeshTopology, router: int,
+                      dst_node: int) -> int:
+    """A deliberately deadlock-prone routing function (negative control).
+
+    Packets entering the top-left 2x2 block spin clockwise around it
+    forever instead of progressing, closing the four-turn cycle
+    ``E -> S -> W -> N`` that Dally–Seitz analysis forbids.  Used by the
+    verifier's ``--self-test`` and the regression tests to prove the cycle
+    detector actually fires; never wire it into a real simulation.
+    """
+    dst_router = topology.router_of(dst_node)
+    if router != dst_router and topology.width >= 2 and topology.height >= 2:
+        x, y = topology.coords(router)
+        if (x, y) == (0, 0):
+            return EAST
+        if (x, y) == (1, 0):
+            return SOUTH
+        if (x, y) == (1, 1):
+            return WEST
+        if (x, y) == (0, 1):
+            return NORTH
+    return xy_route(topology, router, dst_node)

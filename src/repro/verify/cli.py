@@ -1,0 +1,180 @@
+"""``python -m repro.verify`` — the static NoC configuration verifier.
+
+Usage::
+
+    python -m repro.verify                      # all known configs, all
+                                                # registered routing fns
+    python -m repro.verify paper tiny           # named configs only
+    python -m repro.verify --mesh 8x8 --num-vcs 2 --routing xy
+    python -m repro.verify --format json        # machine-readable reports
+    python -m repro.verify --self-test          # prove the cycle detector
+                                                # fires on a seeded cyclic
+                                                # routing function
+
+Exit codes mirror ``repro.analysis``: 0 all pairs verified clean, 1 at
+least one error-severity violation, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.noc.config import NocConfig, PAPER_CONFIG, TINY_CONFIG
+from repro.noc.routing import (
+    RoutingProperties,
+    register_routing_fn,
+    unregister_routing_fn,
+)
+from repro.verify.cdg import cyclic_demo_route
+from repro.verify.static import (
+    VerificationReport,
+    clear_verification_cache,
+    registered_routings,
+    verify_config,
+)
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+#: Configurations the bare invocation (and the CI gate) verifies: the
+#: paper's Table 1 network, the fast-test network, and the perf-smoke
+#: benchmark shape from ``benchmarks/bench_hot_paths.py``.
+KNOWN_CONFIGS: Dict[str, NocConfig] = {
+    "paper": PAPER_CONFIG,
+    "tiny": TINY_CONFIG,
+    "bench-small": NocConfig(mesh_width=2, mesh_height=2, concentration=2),
+}
+
+
+def _parse_mesh(spec: str) -> Tuple[int, int]:
+    try:
+        width_s, height_s = spec.lower().split("x", 1)
+        return int(width_s), int(height_s)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"mesh must look like WxH (e.g. 4x4), got {spec!r}") from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description="Statically verify NoC configurations: config-field "
+                    "validation, exhaustive routability, and a Dally-Seitz "
+                    "channel-dependency-graph deadlock-freedom proof.")
+    parser.add_argument(
+        "configs", nargs="*", metavar="CONFIG",
+        help=f"named configs to verify (default: all of "
+             f"{', '.join(sorted(KNOWN_CONFIGS))})")
+    parser.add_argument("--mesh", type=_parse_mesh, metavar="WxH",
+                        help="verify a custom mesh instead of named configs")
+    parser.add_argument("--concentration", type=int, default=2,
+                        help="nodes per router for --mesh (default 2)")
+    parser.add_argument("--num-vcs", type=int, default=4,
+                        help="virtual channels for --mesh (default 4)")
+    parser.add_argument("--vc-depth", type=int, default=4,
+                        help="VC buffer depth for --mesh (default 4)")
+    parser.add_argument("--routing", action="append", default=None,
+                        metavar="NAME",
+                        help="routing function(s) to verify (repeatable; "
+                             "default: every registered function)")
+    parser.add_argument("--format", choices=("human", "json"),
+                        default="human", help="report format")
+    parser.add_argument("--self-test", action="store_true",
+                        help="seed a deliberately cyclic routing function "
+                             "and require the verifier to reject it")
+    return parser
+
+
+def _resolve_configs(args: argparse.Namespace
+                     ) -> List[Tuple[str, NocConfig]]:
+    if args.mesh is not None:
+        if args.configs:
+            raise ValueError("--mesh and named configs are exclusive")
+        width, height = args.mesh
+        try:
+            config = NocConfig(mesh_width=width, mesh_height=height,
+                               concentration=args.concentration,
+                               num_vcs=args.num_vcs, vc_depth=args.vc_depth)
+        except ValueError as exc:
+            raise ValueError(f"invalid --mesh configuration: {exc}") from exc
+        return [(f"{width}x{height}", config)]
+    names = args.configs or sorted(KNOWN_CONFIGS)
+    pairs = []
+    for name in names:
+        if name not in KNOWN_CONFIGS:
+            raise ValueError(f"unknown config {name!r}; choose from "
+                             f"{sorted(KNOWN_CONFIGS)}")
+        pairs.append((name, KNOWN_CONFIGS[name]))
+    return pairs
+
+
+def _print_human(name: str, report: VerificationReport) -> None:
+    verdict = "OK" if report.ok else "FAIL"
+    print(f"{verdict:4s} {name} routing={report.routing} "
+          f"({report.pairs_checked} pairs, {report.cdg_channels} channels, "
+          f"{report.cdg_edges} dependencies)")
+    for violation in report.violations:
+        print(f"     {violation.format_human()}")
+
+
+def run_self_test() -> int:
+    """Negative control: the cycle detector must reject a seeded cyclic
+    routing function, and accept XY on the same config."""
+    clear_verification_cache()
+    register_routing_fn("cyclic-demo", cyclic_demo_route,
+                        RoutingProperties(minimal=False))
+    try:
+        report = verify_config(TINY_CONFIG, "cyclic-demo")
+    finally:
+        unregister_routing_fn("cyclic-demo")
+        clear_verification_cache()
+    cycle_found = any(v.code == "VERIFY102" for v in report.violations)
+    control = verify_config(TINY_CONFIG, "xy")
+    if cycle_found and control.ok:
+        print("self-test OK: seeded cyclic routing rejected (VERIFY102), "
+              "XY control accepted")
+        return EXIT_CLEAN
+    if not cycle_found:
+        print("self-test FAILED: the CDG cycle detector did not flag the "
+              "seeded cyclic routing function", file=sys.stderr)
+    if not control.ok:
+        print("self-test FAILED: XY control unexpectedly rejected:",
+              file=sys.stderr)
+        for violation in control.violations:
+            print(f"  {violation.format_human()}", file=sys.stderr)
+    return EXIT_FINDINGS
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.self_test:
+        return run_self_test()
+    try:
+        configs = _resolve_configs(args)
+        routings = args.routing or registered_routings()
+        reports = []
+        for name, config in configs:
+            for routing in routings:
+                reports.append((name, verify_config(config, routing)))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    failed = sum(1 for _, report in reports if not report.ok)
+    if args.format == "json":
+        payload = {
+            "reports": [dict(report.to_json_dict(), config_name=name)
+                        for name, report in reports],
+            "checked": len(reports),
+            "failed": failed,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for name, report in reports:
+            _print_human(name, report)
+        print(f"{len(reports)} pair(s) verified, {failed} failed")
+    return EXIT_FINDINGS if failed else EXIT_CLEAN

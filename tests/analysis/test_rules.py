@@ -456,6 +456,108 @@ class TestUntypedDef:
             """) == []
 
 
+class TestNocStateMutation:
+    def test_direct_credit_write_flags(self):
+        findings = run_rule("noc-state-mutation", HARNESS, """\
+            def hack(router):
+                router.out_credits[4][0] += 1
+            """)
+        assert len(findings) == 1
+        assert "out_credits" in findings[0].message
+        assert findings[0].severity is Severity.ERROR
+
+    def test_occupancy_cache_assignment_flags(self):
+        assert run_rule("noc-state-mutation", NOC, """\
+            def reset(router):
+                router._buffered = 0
+            """)
+
+    def test_container_method_mutation_flags(self):
+        assert run_rule("noc-state-mutation", NOC, """\
+            def poke(router, port, vc):
+                router._occupied.add(port * 4 + vc)
+            """)
+
+    def test_delete_flags(self):
+        assert run_rule("noc-state-mutation", HARNESS, """\
+            def strip(ni):
+                del ni._credits[0]
+            """)
+
+    def test_reads_pass(self):
+        assert run_rule("noc-state-mutation", HARNESS, """\
+            def peek(router, port, vc):
+                free = router.out_credits[port][vc]
+                owner = router.out_owner[port][vc]
+                return free, owner
+            """) == []
+
+    def test_router_module_is_exempt(self):
+        assert run_rule("noc-state-mutation", "src/repro/noc/router.py", """\
+            def credit(self, port, vc):
+                self.out_credits[port][vc] += 1
+            """) == []
+
+    def test_ni_module_is_exempt(self):
+        assert run_rule("noc-state-mutation", "src/repro/noc/ni.py", """\
+            def restore(self, vc):
+                self._credits[vc] += 1
+            """) == []
+
+
+class TestConfigFieldValidation:
+    CONFIG = "src/repro/noc/config.py"
+
+    def test_unregistered_field_flags(self):
+        findings = run_rule("config-field-validation", self.CONFIG, """\
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True, slots=True)
+            class NocConfig:
+                mesh_width: int = 4
+                brand_new_knob: int = 7
+            """)
+        assert len(findings) == 1
+        assert "brand_new_knob" in findings[0].message
+
+    def test_registered_fields_pass(self):
+        assert run_rule("config-field-validation", self.CONFIG, """\
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True, slots=True)
+            class NocConfig:
+                mesh_width: int = 4
+                mesh_height: int = 4
+                sanitize: bool = False
+            """) == []
+
+    def test_classvar_and_private_fields_skipped(self):
+        assert run_rule("config-field-validation", self.CONFIG, """\
+            from typing import ClassVar
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True, slots=True)
+            class NocConfig:
+                SCHEMA: ClassVar[int] = 1
+                _scratch: int = 0
+            """) == []
+
+    def test_other_classes_ignored(self):
+        assert run_rule("config-field-validation", self.CONFIG, """\
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True, slots=True)
+            class SomethingElse:
+                mystery_knob: int = 3
+            """) == []
+
+    def test_other_modules_out_of_scope(self):
+        assert run_rule("config-field-validation", NOC, """\
+            class NocConfig:
+                mystery_knob: int = 3
+            """) == []
+
+
 class TestRegistry:
     def test_at_least_twelve_rules(self):
         assert len(all_rules()) >= 12

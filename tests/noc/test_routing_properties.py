@@ -1,0 +1,116 @@
+"""Property-based routing checks and routing-registry unit tests.
+
+Hypothesis sweeps random mesh geometries and proves, for every
+source/destination pair, that XY and YX are minimal and that their
+channel-dependency graphs are acyclic — the machine-checked version of the
+Dally–Seitz argument the static verifier relies on.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.noc.config import NocConfig
+from repro.noc.routing import (
+    ROUTING_FUNCTIONS,
+    RoutingProperties,
+    get_routing_fn,
+    get_routing_properties,
+    register_routing_fn,
+    unregister_routing_fn,
+    xy_route,
+    yx_route,
+)
+from repro.noc.topology import MeshTopology
+from repro.verify.cdg import build_cdg, cyclic_demo_route, find_cycle, trace_route
+
+mesh_configs = st.builds(
+    NocConfig,
+    mesh_width=st.integers(min_value=1, max_value=6),
+    mesh_height=st.integers(min_value=1, max_value=6),
+    concentration=st.integers(min_value=1, max_value=2),
+)
+
+dimension_ordered = st.sampled_from([xy_route, yx_route])
+
+
+class TestRouteProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(config=mesh_configs, route_fn=dimension_ordered)
+    def test_dimension_ordered_routes_are_minimal(self, config, route_fn):
+        topology = MeshTopology(config)
+        for src in range(config.n_nodes):
+            for dst in range(config.n_nodes):
+                if src == dst:
+                    continue
+                trace = trace_route(topology, route_fn, src, dst)
+                assert trace.ok, trace.error
+                # Minimal: hop count equals the router-level Manhattan
+                # distance (hop_count includes the ejection hop).
+                assert trace.hops == topology.hop_count(src, dst) - 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(config=mesh_configs, route_fn=dimension_ordered)
+    def test_dimension_ordered_cdg_is_acyclic(self, config, route_fn):
+        graph, failures = build_cdg(config, route_fn)
+        assert not failures
+        assert find_cycle(graph) is None
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        config=st.builds(
+            NocConfig,
+            mesh_width=st.integers(min_value=2, max_value=5),
+            mesh_height=st.integers(min_value=2, max_value=5),
+            concentration=st.integers(min_value=1, max_value=2),
+        )
+    )
+    def test_cyclic_demo_always_caught(self, config):
+        # The demo's clockwise spin closes a CDG cycle on every mesh with
+        # at least a 2x2 block of routers.
+        graph, _ = build_cdg(config, cyclic_demo_route)
+        assert find_cycle(graph) is not None
+
+
+class TestRegistry:
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_routing_fn("xy", xy_route)
+
+    def test_replace_allows_overwrite(self):
+        register_routing_fn("scratch", xy_route)
+        try:
+            register_routing_fn("scratch", yx_route, replace=True)
+            assert get_routing_fn("scratch") is yx_route
+        finally:
+            unregister_routing_fn("scratch")
+        assert "scratch" not in ROUTING_FUNCTIONS
+
+    def test_builtins_cannot_be_unregistered(self):
+        for name in ("xy", "yx"):
+            with pytest.raises(ValueError, match="built-in"):
+                unregister_routing_fn(name)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown routing"):
+            get_routing_fn("nope")
+        with pytest.raises(ValueError, match="unknown routing"):
+            get_routing_properties("nope")
+
+    def test_properties_default_and_roundtrip(self):
+        register_routing_fn(
+            "adaptive-scratch", xy_route,
+            RoutingProperties(minimal=False, requires_escape_vc=True,
+                              escape_fn=xy_route))
+        try:
+            props = get_routing_properties("adaptive-scratch")
+            assert not props.minimal
+            assert props.requires_escape_vc
+            assert props.escape_fn is xy_route
+        finally:
+            unregister_routing_fn("adaptive-scratch")
+        register_routing_fn("plain-scratch", yx_route)
+        try:
+            assert get_routing_properties("plain-scratch") == \
+                RoutingProperties()
+        finally:
+            unregister_routing_fn("plain-scratch")

@@ -1,0 +1,129 @@
+"""Channel-dependency-graph construction and cycle-detection tests."""
+
+from repro.noc.config import NocConfig, PAPER_CONFIG, TINY_CONFIG
+from repro.noc.routing import xy_route, yx_route
+from repro.noc.topology import EAST, MeshTopology, NORTH, SOUTH, WEST
+from repro.verify.cdg import (
+    Channel,
+    build_cdg,
+    cyclic_demo_route,
+    find_cycle,
+    trace_route,
+)
+
+
+class TestTraceRoute:
+    def test_xy_diagonal_path(self):
+        topology = MeshTopology(TINY_CONFIG)
+        # Node 0 at router (0,0), node 3 at router (1,1): east then south.
+        trace = trace_route(topology, xy_route, 0, 3)
+        assert trace.ok
+        assert trace.routers == (0, 1, 3)
+        assert trace.channels == (Channel(0, EAST), Channel(1, SOUTH))
+        assert trace.hops == 2
+
+    def test_yx_orders_dimensions_the_other_way(self):
+        topology = MeshTopology(TINY_CONFIG)
+        trace = trace_route(topology, yx_route, 0, 3)
+        assert trace.ok
+        assert trace.channels == (Channel(0, SOUTH), Channel(2, EAST))
+
+    def test_same_router_pair_takes_zero_hops(self):
+        config = NocConfig(mesh_width=2, mesh_height=2, concentration=2)
+        topology = MeshTopology(config)
+        trace = trace_route(topology, xy_route, 0, 1)  # both on router 0
+        assert trace.ok
+        assert trace.hops == 0
+
+    def test_off_edge_routing_is_reported(self):
+        topology = MeshTopology(TINY_CONFIG)
+
+        def north_forever(topo, router, dst):
+            return NORTH
+
+        trace = trace_route(topology, north_forever, 2, 1)
+        assert not trace.ok
+        assert "off the mesh edge" in trace.error
+
+    def test_invalid_port_is_reported(self):
+        topology = MeshTopology(TINY_CONFIG)
+        trace = trace_route(topology, lambda t, r, d: 99, 0, 1)
+        assert not trace.ok
+        assert "invalid port" in trace.error
+
+    def test_bool_port_is_rejected(self):
+        topology = MeshTopology(TINY_CONFIG)
+        trace = trace_route(topology, lambda t, r, d: True, 0, 1)
+        assert not trace.ok
+
+    def test_wrong_router_ejection_is_reported(self):
+        topology = MeshTopology(TINY_CONFIG)
+        # Eject immediately, wherever we are.
+        local = topology.local_port_of(0)
+        trace = trace_route(topology, lambda t, r, d: local, 1, 0)
+        assert not trace.ok
+        assert "attaches to" in trace.error
+
+    def test_livelock_is_reported(self):
+        # On a 3x3 mesh a destination outside the demo's 2x2 spin block is
+        # never reached: the walk revisits the block forever.
+        config = NocConfig(mesh_width=3, mesh_height=3, concentration=1)
+        topology = MeshTopology(config)
+        trace = trace_route(topology, cyclic_demo_route, 0, 8)
+        assert not trace.ok
+        assert "livelock" in trace.error
+
+
+class TestBuildCdg:
+    def test_tiny_mesh_graph_shape(self):
+        graph, failures = build_cdg(TINY_CONFIG, xy_route)
+        assert not failures
+        # 2x2 mesh: 4 bidirectional links = 8 unidirectional channels.
+        assert len(graph) == 8
+        # XY on 2x2: only the four E->S / W->S / E->N / W->N turns exist.
+        assert sum(len(v) for v in graph.values()) == 4
+
+    def test_paper_mesh_is_covered(self):
+        graph, failures = build_cdg(PAPER_CONFIG, xy_route)
+        assert not failures
+        # 4x4 mesh: 24 bidirectional links.
+        assert len(graph) == 48
+
+    def test_failed_traces_are_collected(self):
+        config = NocConfig(mesh_width=3, mesh_height=3, concentration=1)
+        graph, failures = build_cdg(config, cyclic_demo_route)
+        assert failures
+        # The spin still contributes its channel dependencies.
+        assert any(graph[channel] for channel in graph)
+
+    def test_cyclic_demo_terminates_on_tiny_mesh_yet_cycles(self):
+        # On the 2x2 mesh every individual route reaches its destination —
+        # the deadlock shows only in the *collective* turn set, which is
+        # exactly what the CDG captures.
+        graph, failures = build_cdg(TINY_CONFIG, cyclic_demo_route)
+        assert not failures
+        assert find_cycle(graph) is not None
+
+
+class TestFindCycle:
+    def test_acyclic_for_xy_and_yx(self):
+        for route_fn in (xy_route, yx_route):
+            graph, _ = build_cdg(PAPER_CONFIG, route_fn)
+            assert find_cycle(graph) is None
+
+    def test_detects_seeded_cycle(self):
+        graph, _ = build_cdg(TINY_CONFIG, cyclic_demo_route)
+        cycle = find_cycle(graph)
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        assert len(cycle) >= 3
+
+    def test_handcrafted_graph(self):
+        a, b, c = Channel(0, EAST), Channel(1, SOUTH), Channel(3, WEST)
+        assert find_cycle({a: [b], b: [c], c: []}) is None
+        cycle = find_cycle({a: [b], b: [c], c: [a]})
+        assert cycle == [a, b, c, a]
+
+    def test_deterministic_witness(self):
+        graph, _ = build_cdg(TINY_CONFIG, cyclic_demo_route)
+        assert find_cycle(graph) == find_cycle(graph)

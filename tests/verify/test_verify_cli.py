@@ -1,0 +1,92 @@
+"""``python -m repro.verify`` CLI tests: exit codes, formats, self-test."""
+
+import json
+
+import pytest
+
+from repro.noc.routing import (
+    RoutingProperties,
+    register_routing_fn,
+    unregister_routing_fn,
+)
+from repro.verify.cdg import cyclic_demo_route
+from repro.verify.cli import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    KNOWN_CONFIGS,
+    main,
+)
+from repro.verify.static import clear_verification_cache
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_verification_cache()
+    yield
+    clear_verification_cache()
+
+
+class TestExitCodes:
+    def test_default_invocation_is_clean(self, capsys):
+        assert main([]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        for name in KNOWN_CONFIGS:
+            assert name in out
+        assert "0 failed" in out
+
+    def test_named_configs_only(self, capsys):
+        assert main(["tiny"]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        assert "tiny" in out
+        assert "paper" not in out
+
+    def test_unknown_config_is_usage_error(self, capsys):
+        assert main(["nonexistent"]) == EXIT_USAGE
+        assert "unknown config" in capsys.readouterr().err
+
+    def test_unknown_routing_is_usage_error(self, capsys):
+        assert main(["tiny", "--routing", "bogus"]) == EXIT_USAGE
+
+    def test_cyclic_routing_fails_with_findings(self, capsys):
+        register_routing_fn("cyclic-demo", cyclic_demo_route,
+                            RoutingProperties(minimal=False))
+        try:
+            code = main(["tiny", "--routing", "cyclic-demo"])
+        finally:
+            unregister_routing_fn("cyclic-demo")
+        assert code == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "VERIFY102" in out
+        assert "FAIL" in out
+
+
+class TestCustomMesh:
+    def test_mesh_flag(self, capsys):
+        assert main(["--mesh", "3x5", "--num-vcs", "2"]) == EXIT_CLEAN
+        assert "3x5" in capsys.readouterr().out
+
+    def test_mesh_and_named_configs_conflict(self, capsys):
+        assert main(["tiny", "--mesh", "2x2"]) == EXIT_USAGE
+
+    def test_malformed_mesh(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--mesh", "4by4"])
+
+
+class TestJsonFormat:
+    def test_json_payload_parses(self, capsys):
+        assert main(["tiny", "--format", "json"]) == EXIT_CLEAN
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["failed"] == 0
+        assert payload["checked"] == 2  # xy + yx
+        report = payload["reports"][0]
+        assert report["config_name"] == "tiny"
+        assert report["ok"] is True
+        assert report["violations"] == []
+
+
+class TestSelfTest:
+    def test_self_test_passes(self, capsys):
+        assert main(["--self-test"]) == EXIT_CLEAN
+        assert "self-test OK" in capsys.readouterr().out
