@@ -69,8 +69,12 @@ def encode_cache_totals() -> Tuple[int, int]:
 
 
 #: RunResult fields that describe the *measurement process* rather than the
-#: simulated network; excluded from bit-identity comparisons.
-PERF_FIELDS = ("wall_time_s", "encode_cache_hits", "encode_cache_misses")
+#: simulated network; excluded from bit-identity comparisons.  Skipped
+#: cycles belong here: the event-horizon fast path changes how many cycles
+#: are jumped (always-step runs report 0) without changing any simulated
+#: number.
+PERF_FIELDS = ("wall_time_s", "encode_cache_hits", "encode_cache_misses",
+               "skipped_cycles")
 
 
 @dataclass
@@ -93,11 +97,13 @@ class RunResult:
     notifications: int
     throughput: float
     power: PowerReport
-    # Perf instrumentation (not simulation outputs): harness wall time and
-    # encode-cache effectiveness over the whole run (warmup + measure).
+    # Perf instrumentation (not simulation outputs): harness wall time,
+    # encode-cache effectiveness and event-horizon skips over the whole
+    # run (warmup + measure).
     wall_time_s: float = 0.0
     encode_cache_hits: int = 0
     encode_cache_misses: int = 0
+    skipped_cycles: int = 0
 
     @classmethod
     def from_network(cls, network: Network) -> "RunResult":
@@ -125,6 +131,7 @@ class RunResult:
                                 network.config.frequency_ghz),
             encode_cache_hits=stats.encode_cache_hits,
             encode_cache_misses=stats.encode_cache_misses,
+            skipped_cycles=stats.skipped_cycles,
         )
 
     # --------------------------------------------------------- comparison
@@ -179,16 +186,21 @@ def run_trace(config: NocConfig, mechanism: str, trace: list,
               error_threshold_pct: float = 10.0,
               approx_override: Optional[float] = None,
               drain_budget: int = 200_000,
-              sanitize: Optional[bool] = None) -> RunResult:
+              sanitize: Optional[bool] = None,
+              event_horizon: Optional[bool] = None) -> RunResult:
     """Replay a trace under one mechanism with warmup + measurement.
 
     ``sanitize`` overrides ``config.sanitize`` (None keeps the config's
     setting; the ``REPRO_SANITIZE`` environment variable still applies).
+    ``event_horizon`` likewise overrides ``config.event_horizon`` — the
+    equivalence tests force it both ways on one config.
     """
     start = time.perf_counter()
     hits0, misses0 = encode_cache_totals()
     if sanitize is not None and sanitize != config.sanitize:
         config = replace(config, sanitize=sanitize)
+    if event_horizon is not None and event_horizon != config.event_horizon:
+        config = replace(config, event_horizon=event_horizon)
     scheme = make_scheme(mechanism, config.n_nodes, error_threshold_pct)
     network = Network(config, scheme)
     network.set_traffic(TraceTraffic(trace, loop=True,
@@ -215,19 +227,23 @@ def run_synthetic(config: NocConfig, mechanism: str, traffic_factory,
                   warmup: int, measure: int,
                   error_threshold_pct: float = 10.0,
                   drain_budget: int = 400_000,
-                  sanitize: Optional[bool] = None) -> RunResult:
+                  sanitize: Optional[bool] = None,
+                  event_horizon: Optional[bool] = None) -> RunResult:
     """Run live synthetic traffic (Figure 12's methodology).
 
     ``traffic_factory(config)`` builds a fresh traffic source so each
     mechanism sees an identically-seeded stream.  Unlike :func:`run_trace`,
     saturated networks are expected here: the run is *not* drained, and
     latency reflects packets delivered inside the window.  ``sanitize``
-    overrides ``config.sanitize`` as in :func:`run_trace`.
+    and ``event_horizon`` override their config fields as in
+    :func:`run_trace`.
     """
     start = time.perf_counter()
     hits0, misses0 = encode_cache_totals()
     if sanitize is not None and sanitize != config.sanitize:
         config = replace(config, sanitize=sanitize)
+    if event_horizon is not None and event_horizon != config.event_horizon:
+        config = replace(config, event_horizon=event_horizon)
     scheme = make_scheme(mechanism, config.n_nodes, error_threshold_pct)
     network = Network(config, scheme)
     network.set_traffic(traffic_factory(config))

@@ -47,7 +47,10 @@ from repro.noc import NocConfig, PAPER_CONFIG
 #: stale cache entries from older code can never be returned.
 #: v2: NocConfig gained the ``sanitize`` field (changes the canonical
 #: asdict form; results themselves are unchanged when it is False).
-CACHE_SCHEMA_VERSION = 2
+#: v3: NocConfig gained ``event_horizon``/``profile_phases`` and RunResult
+#: gained ``skipped_cycles`` (simulation outputs are bit-identical either
+#: way; the canonical forms changed).
+CACHE_SCHEMA_VERSION = 3
 
 WORKERS_ENV = "REPRO_WORKERS"
 NO_CACHE_ENV = "REPRO_NO_CACHE"

@@ -41,6 +41,15 @@ class NocConfig:
     #: :mod:`repro.verify.sanitizer`).  Also switched on globally by the
     #: ``REPRO_SANITIZE`` environment variable.
     sanitize: bool = False
+    #: Event-horizon fast path: let ``Network.run()``/``drain()`` jump over
+    #: provably-quiescent cycles (bit-identical results; DESIGN.md §12).
+    #: Disable to force always-step execution, as the equivalence tests do
+    #: for their reference runs.
+    event_horizon: bool = True
+    #: Count per-phase activity ticks and skipped cycles in
+    #: :class:`~repro.noc.stats.NetworkStats` (cheap observability for the
+    #: event-horizon fast path; off by default to keep ``step()`` lean).
+    profile_phases: bool = False
 
     def __post_init__(self) -> None:
         for name in ("mesh_width", "mesh_height", "concentration", "num_vcs",

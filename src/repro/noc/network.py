@@ -8,11 +8,24 @@ Per-cycle sequencing (all effects of cycle *t* become visible at *t+1*):
 4. routers run RC/VA/SA and traverse winning flits (departures are queued
    for delivery at *t+1*; credits are collected);
 5. credits collected in (4) are applied, becoming usable at *t+1*.
+
+**Event horizon** (DESIGN.md §12): :meth:`Network.run` and
+:meth:`Network.drain` skip stretches of simulated time that provably
+contain no work.  When the last stepped cycle had zero activity (or no
+flit is buffered anywhere) and nothing is pending for the next cycle, the
+network state is at a fixed point: stepping can only repeat it until one of
+the registered wakeups fires — the traffic source's next injection
+(``next_arrival``), an NI timer (``next_work``) or a router pipeline exit
+(``next_ready``).  ``_fast_forward`` jumps ``cycle`` and ``stats.cycles``
+straight to that horizon, replaying the one piece of per-cycle state a
+quiescent cycle advances (the VA input rotation) so every observable
+number is bit-identical to having stepped.  The accounting that makes the
+quiescence proof O(1) lives in :data:`SKIP_ACCOUNTED_STATE`.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.compression.base import CompressionScheme
 from repro.noc.config import NocConfig
@@ -30,6 +43,101 @@ EJECTION_CREDITS = 1 << 30
 #: Opposite cardinal direction per input port (N<->S, E<->W), used when
 #: returning credits upstream.  Hoisted out of the per-credit hot loop.
 OPPOSITE_PORT = (2, 3, 0, 1)
+
+#: Valid skip-safety classifications for :data:`SKIP_ACCOUNTED_STATE`.
+SKIP_CLASSIFICATIONS = frozenset({
+    # set at construction and never reassigned while simulating
+    "static",
+    # unchanged across any zero-activity cycle (the §12 fixed-point
+    # argument covers it; activity that changes it ends the skip window)
+    "frozen",
+    # O(1) activity accounting, maintained on every state transition and
+    # consulted by the skip precondition / idle()
+    "counter",
+    # pending-event queue: the skip precondition requires it empty
+    "queue",
+    # carries a future-work timer surfaced to _skip_horizon through
+    # next_arrival / next_work / next_ready
+    "wakeup",
+    # advances every cycle regardless of activity; Router.skip_cycles
+    # replays it across a skipped window
+    "replayed",
+    # the simulated-time counters themselves, advanced by _fast_forward
+    "clock",
+})
+
+#: Skip-safety accounting registry (lint rule REPRO701).  Every mutable
+#: state attribute assigned in ``Network.__init__``, ``Router.__init__`` or
+#: ``NetworkInterface.__init__`` must appear here with the classification
+#: explaining how the event-horizon fast path stays sound in its presence.
+#: A new field that is absent fails the linter: unclassified state could
+#: silently advance during cycles the fast path proves "dead", breaking the
+#: bit-identity guarantee.  NoCSan cross-checks the ``counter`` entries
+#: against full recounts every sanitized cycle.
+SKIP_ACCOUNTED_STATE: Dict[str, Dict[str, str]] = {
+    "Network": {
+        "config": "static",
+        "scheme": "frozen",
+        "topology": "static",
+        "stats": "clock",
+        "_route": "static",
+        "cycle": "clock",
+        "routers": "static",
+        "nis": "static",
+        "traffic_source": "wakeup",
+        "_pending_router_arrivals": "queue",
+        "_pending_ejections": "queue",
+        "_credit_events": "queue",
+        "_ni_active": "counter",
+        "_busy_ni_count": "counter",
+        "_buffered_total": "counter",
+        "_quiet": "counter",
+        "_credit_targets": "static",
+        "_route_fns": "static",
+        "_send_fns": "static",
+        "_credit_fns": "static",
+        "_accept_fns": "static",
+        "_sanitizer": "static",
+        "_skipping": "static",
+        "_profile": "static",
+    },
+    "Router": {
+        "router_id": "static",
+        "n_ports": "static",
+        "num_vcs": "static",
+        "vc_depth": "static",
+        "pipe_delay": "static",
+        "stats": "static",
+        "inputs": "wakeup",
+        "out_credits": "frozen",
+        "out_owner": "frozen",
+        "_va_rr": "frozen",
+        "_va_input_rr": "replayed",
+        "_sa_rr": "frozen",
+        "_port_rr": "frozen",
+        "_buffered": "counter",
+        "_slot_table": "static",
+        "_occupied": "frozen",
+    },
+    "NetworkInterface": {
+        "node_id": "static",
+        "scheme": "static",
+        "codec": "frozen",
+        "stats": "static",
+        "flit_bytes": "static",
+        "num_vcs": "static",
+        "on_deliver": "static",
+        "overlap_compression": "static",
+        "_queue": "wakeup",
+        "_current_flits": "wakeup",
+        "_current_index": "frozen",
+        "_current_vc": "frozen",
+        "_vc_rr": "frozen",
+        "_credits": "frozen",
+        "_pending_decodes": "wakeup",
+        "_outbound_notifications": "wakeup",
+    },
+}
 
 
 class Network:
@@ -81,6 +189,17 @@ class Network:
         # :meth:`step`.  Flags are raised on submit/eject and lowered once
         # the NI reports idle again.
         self._ni_active = [False] * config.n_nodes
+        # Event-horizon activity accounting (DESIGN.md §12; every field
+        # registered in SKIP_ACCOUNTED_STATE).  _busy_ni_count tracks the
+        # raised _ni_active flags, _buffered_total the flits held in router
+        # buffers network-wide; both are O(1)-maintained so idle() and the
+        # skip precondition never rescan the mesh.  _quiet records whether
+        # the last stepped cycle had zero activity.
+        self._busy_ni_count = 0
+        self._buffered_total = 0
+        self._quiet = False
+        self._skipping = config.event_horizon
+        self._profile = config.profile_phases
         # Credit destination per (router, input port): the attached NI for
         # local ports, the upstream router + opposite port otherwise.
         # Precomputed so _apply_credits does no topology lookups.
@@ -152,6 +271,7 @@ class Network:
                 targets.append(None)  # mesh edge: never routed to
 
         def send(out_port: int, out_vc: int, flit: Flit) -> None:
+            self._buffered_total -= 1
             target = targets[out_port]
             dst_router, dst_port = target
             if dst_router is not None:
@@ -176,6 +296,7 @@ class Network:
         port = self.topology.local_port_of(node)
 
         def accept(vc: int, flit: Flit, now: int) -> None:
+            self._buffered_total += 1
             router.accept(port, vc, flit, now)
 
         return accept
@@ -188,23 +309,39 @@ class Network:
         """Directly enqueue one request at its source NI (trace replay and
         cache-simulator driven modes use this)."""
         self.nis[request.src].submit(request, self.cycle)
-        self._ni_active[request.src] = True
+        if not self._ni_active[request.src]:
+            self._ni_active[request.src] = True
+            self._busy_ni_count += 1
 
     # ---------------------------------------------------------- main loop
 
     def step(self) -> None:
         """Advance the network by one cycle."""
         now = self.cycle
+        # Direct step() calls invalidate the quiescence proof; the run
+        # loop's _quiet_step wrapper re-establishes it after stepping.
+        self._quiet = False
+        profile = self._profile
+        if profile and (self._pending_router_arrivals
+                        or self._pending_ejections):
+            self.stats.deliver_phase_ticks += 1
         self._deliver_arrivals(now)
         active = self._ni_active
         if self.traffic_source is not None:
-            for request in self.traffic_source.generate(now):
+            requests = self.traffic_source.generate(now)
+            if profile and requests:
+                self.stats.traffic_phase_ticks += 1
+            for request in requests:
                 self.nis[request.src].submit(request, now)
-                active[request.src] = True
+                if not active[request.src]:
+                    active[request.src] = True
+                    self._busy_ni_count += 1
         # Only NIs with queued, in-flight or decoding work take their turn;
         # idle ones are skipped (analogous to the router _buffered skip).
         # Per-NI process+inject ordering is unchanged: NIs never interact
         # with each other within a cycle.
+        if profile and self._busy_ni_count:
+            self.stats.ni_phase_ticks += 1
         nis = self.nis
         accept_fns = self._accept_fns
         for node in range(len(nis)):
@@ -215,7 +352,12 @@ class Network:
             ni.inject(now, accept_fns[node])
             if not ni.busy():
                 active[node] = False
+                self._busy_ni_count -= 1
+        if profile and self._buffered_total:
+            self.stats.router_phase_ticks += 1
         self._cycle_routers(now)
+        if profile and self._credit_events:
+            self.stats.credit_phase_ticks += 1
         self._apply_credits()
         if self._sanitizer is not None:
             self._sanitizer.after_cycle(now)
@@ -223,34 +365,159 @@ class Network:
         self.stats.cycles += 1
 
     def run(self, cycles: int) -> None:
-        """Advance by ``cycles`` cycles."""
-        for _ in range(cycles):
-            self.step()
+        """Advance by ``cycles`` simulated cycles (jumping over quiescent
+        stretches when the event horizon is enabled; DESIGN.md §12)."""
+        end = self.cycle + cycles
+        if self._use_horizon():
+            self._run_with_horizon(end, stop_when_idle=False)
+        else:
+            while self.cycle < end:
+                self.step()
 
     def drain(self, max_cycles: int = 100_000) -> bool:
         """Run with traffic off until the network is empty.
 
         Returns True when fully drained, False on the cycle budget expiring
-        (which a test would treat as a deadlock).
+        (which a test would treat as a deadlock).  Under the event horizon
+        a stuck network exhausts the budget in one jump instead of stepping
+        through it.
         """
         saved = self.traffic_source
         self.traffic_source = None
+        end = self.cycle + max_cycles
         try:
-            for _ in range(max_cycles):
-                if self.idle():
-                    return True
-                self.step()
+            if self._skipping:
+                self._run_with_horizon(end, stop_when_idle=True)
+            else:
+                while self.cycle < end:
+                    if self.idle():
+                        return True
+                    self.step()
             return self.idle()
         finally:
             self.traffic_source = saved
 
     def idle(self) -> bool:
-        """No flit buffered, in flight, queued or pending anywhere."""
+        """No flit buffered, in flight, queued or pending anywhere.
+
+        O(1): reads the skip-accounting counters instead of rescanning
+        every router and NI (NoCSan cross-checks them every sanitized
+        cycle)."""
+        return (self._buffered_total == 0
+                and self._busy_ni_count == 0
+                and not self._pending_router_arrivals
+                and not self._pending_ejections)
+
+    # ------------------------------------------------------ event horizon
+
+    def _use_horizon(self) -> bool:
+        """Whether run() may skip cycles: the config enables it and the
+        attached traffic source (if any) supports the lookahead API.
+        Custom sources without ``next_arrival`` fall back to always-step —
+        without arrival lookahead the quiescence proof has a hole."""
+        if not self._skipping:
+            return False
+        source = self.traffic_source
+        return source is None or hasattr(source, "next_arrival")
+
+    def _run_with_horizon(self, end: int, stop_when_idle: bool) -> None:
+        while self.cycle < end:
+            if stop_when_idle and self.idle():
+                return
+            if self._may_skip():
+                target = self._skip_horizon(end)
+                if target > self.cycle:
+                    self._fast_forward(target)
+                    continue
+            self._quiet_step()
+
+    def _may_skip(self) -> bool:
+        """Quiescence precondition: nothing due next cycle, and the router
+        state proven at fixed point — either because the last stepped cycle
+        had zero activity, or vacuously (no flit buffered anywhere)."""
         if self._pending_router_arrivals or self._pending_ejections:
             return False
-        if any(ni.busy() for ni in self.nis):
-            return False
-        return all(router.occupancy() == 0 for router in self.routers)
+        return self._quiet or self._buffered_total == 0
+
+    def _quiet_step(self) -> None:
+        """Step once, recording whether the cycle had zero activity.
+
+        A cycle is quiet when no flit moved anywhere: no buffer write or
+        read, no codec operation, nothing left pending for the next cycle.
+        VC allocations are deliberately not consulted: a quiet cycle's VA
+        pass is at its fixed point (§12) — an allocation in an otherwise
+        dead cycle leaves a head that is still credit- or pipeline-blocked,
+        which the wakeup horizons already cover.
+        """
+        stats = self.stats
+        writes = stats.buffer_writes
+        reads = stats.buffer_reads
+        comp = stats.compression_ops
+        decomp = stats.decompression_ops
+        self.step()
+        self._quiet = (stats.buffer_writes == writes
+                       and stats.buffer_reads == reads
+                       and stats.compression_ops == comp
+                       and stats.decompression_ops == decomp
+                       and not self._pending_router_arrivals
+                       and not self._pending_ejections)
+
+    def _skip_horizon(self, end: int) -> int:
+        """Earliest cycle in ``[self.cycle, end]`` at which anything can
+        happen, assuming the network is quiescent now.
+
+        Conservative-early answers are safe (the cycle is stepped and
+        quiescence re-proven); a late answer would skip real work, so every
+        contributor is a hard bound: traffic arrivals, NI timers, router
+        pipeline exits.  Credit-blocked and VC-blocked flits contribute no
+        wakeup — unblocking them requires activity, which only a wakeup
+        can start.
+        """
+        now = self.cycle
+        horizon = end
+        source = self.traffic_source
+        if source is not None:
+            arrival = source.next_arrival(now, end - 1)
+            if arrival is not None and arrival < horizon:
+                horizon = arrival
+            if horizon <= now:
+                return now
+        if self._busy_ni_count:
+            nis = self.nis
+            for node, active in enumerate(self._ni_active):
+                if not active:
+                    continue
+                work = nis[node].next_work(now)
+                if work is not None and work < horizon:
+                    horizon = work
+            if horizon <= now:
+                return now
+        if self._buffered_total:
+            for router in self.routers:
+                if router._buffered:
+                    ready = router.next_ready(now)
+                    if ready is not None and ready < horizon:
+                        horizon = ready
+        return max(horizon, now)
+
+    def _fast_forward(self, target: int) -> None:
+        """Jump straight to ``target``, skipping provably-dead cycles.
+
+        Preconditions (established by the run loop): :meth:`_may_skip`
+        holds and ``target <= _skip_horizon(end)``.  Skipped cycles count
+        as simulated time — ``stats.cycles`` advances with ``cycle``, so
+        every observable number matches an always-step run bit for bit —
+        and are tallied in ``stats.skipped_cycles``.
+        """
+        skipped = target - self.cycle
+        if self._buffered_total:
+            for router in self.routers:
+                router.skip_cycles(skipped)
+        if self._sanitizer is not None:
+            self._sanitizer.after_skip(self.cycle, target)
+        self.cycle = target
+        self.stats.cycles += skipped
+        self.stats.skipped_cycles += skipped
 
     # ------------------------------------------------------------ phases
 
@@ -259,12 +526,15 @@ class Network:
         ejections = self._pending_ejections
         self._pending_router_arrivals = []
         self._pending_ejections = []
+        self._buffered_total += len(router_arrivals)
         for router_id, port, vc, flit in router_arrivals:
             self.routers[router_id].accept(port, vc, flit, now)
         active = self._ni_active
         for node, flit in ejections:
             self.nis[node].eject(flit, now)
-            active[node] = True
+            if not active[node]:
+                active[node] = True
+                self._busy_ni_count += 1
 
     def _cycle_routers(self, now: int) -> None:
         for router in self.routers:

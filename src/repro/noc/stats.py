@@ -9,10 +9,22 @@ and link traversals, allocator activity) feed the Figure 15 power model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict
+from dataclasses import dataclass, field, fields
+from typing import Dict, Tuple
 
 from repro.noc.packet import Packet, PacketKind
+
+#: Fields that describe the *measurement process* rather than simulated
+#: behaviour: how many cycles the event-horizon fast path skipped, which
+#: step phases had work, how effective the encode caches were.  They
+#: legitimately differ across execution modes (always-step vs event-horizon,
+#: serial vs parallel, cold vs warm cache) and are therefore excluded from
+#: bit-identity comparisons — see :meth:`NetworkStats.simulation_outputs`.
+ACCOUNTING_FIELDS: Tuple[str, ...] = (
+    "skipped_cycles", "deliver_phase_ticks", "traffic_phase_ticks",
+    "ni_phase_ticks", "router_phase_ticks", "credit_phase_ticks",
+    "encode_cache_hits", "encode_cache_misses",
+)
 
 
 @dataclass(slots=True)
@@ -47,6 +59,19 @@ class NetworkStats:
     # populated by the harness as the hit/miss delta over one run.
     encode_cache_hits: int = 0
     encode_cache_misses: int = 0
+
+    # Event-horizon accounting (perf instrumentation, not simulation
+    # outputs; all listed in ACCOUNTING_FIELDS).  ``skipped_cycles`` counts
+    # simulated cycles ``Network._fast_forward`` jumped over (they are
+    # *included* in ``cycles``); the ``*_phase_ticks`` counters, collected
+    # only under ``NocConfig.profile_phases``, count the stepped cycles in
+    # which each step phase had any work.
+    skipped_cycles: int = 0
+    deliver_phase_ticks: int = 0
+    traffic_phase_ticks: int = 0
+    ni_phase_ticks: int = 0
+    router_phase_ticks: int = 0
+    credit_phase_ticks: int = 0
 
     def record_injection(self, packet: Packet) -> None:
         """A packet's head flit entered the network."""
@@ -113,6 +138,14 @@ class NetworkStats:
         if not self.cycles or not n_nodes:
             return 0.0
         return sum(self.flits_delivered.values()) / (self.cycles * n_nodes)
+
+    def simulation_outputs(self) -> Dict[str, object]:
+        """Every counter that is a *simulation output* (excludes the
+        :data:`ACCOUNTING_FIELDS` instrumentation), for bit-identity
+        comparisons across execution modes — the event-horizon equivalence
+        tests assert these match an always-step run exactly."""
+        return {f.name: getattr(self, f.name) for f in fields(self)
+                if f.name not in ACCOUNTING_FIELDS}
 
     def reset(self) -> None:
         """Clear all counters (used at the warmup/measurement boundary)."""

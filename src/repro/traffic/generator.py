@@ -15,11 +15,24 @@ Injection rates are specified in **uncompressed flits per node per cycle**
 (Figure 12's x-axis): the offered load is independent of the compression
 mechanism under test, which is what lets compressed networks show a
 throughput advantage at equal offered load.
+
+Event-horizon contract (DESIGN.md §12): both stochastic sources expose
+``next_arrival(now, limit)``, which the network's zero-activity fast path
+uses to find the earliest future injection.  Per-cycle injection decisions
+are drawn *exactly once per simulated cycle, in cycle order*, whether the
+draw happens inside ``generate`` (always-step mode) or ahead of time inside
+``next_arrival`` (skip mode, which buffers the resulting requests until
+``generate`` reaches their cycle).  The RNG therefore consumes an identical
+draw sequence in both modes, which is what makes cycle skipping
+bit-invisible.  The companion contract on callers: ``generate`` is called
+at most once per cycle, in nondecreasing cycle order, and any cycle it is
+never called for must lie inside a window a ``next_arrival`` search already
+covered (the network only skips cycles it proved injection-free).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.noc.config import NocConfig
 from repro.noc.ni import TrafficRequest
@@ -54,6 +67,12 @@ class SyntheticTraffic:
         self._rng = DeterministicRng(seed)
         model = value_model or ValueModel(name="uniform")
         self._blocks = BlockGenerator(model, self._rng.fork(1))
+        # Lookahead state (event-horizon contract, module docstring):
+        # cycles <= _drawn_through have had their injection decisions drawn;
+        # non-empty ones that generate() has not consumed yet live in
+        # _pending (keyed by cycle, insertion-ordered = cycle-ordered).
+        self._pending: Dict[int, List[TrafficRequest]] = {}
+        self._drawn_through = -1
         # Offered load is in uncompressed flits; convert to packets.
         mean_flits = (data_ratio * config.uncompressed_data_flits
                       + (1 - data_ratio) * 1)
@@ -71,19 +90,62 @@ class SyntheticTraffic:
             return TrafficRequest(src, dst, PacketKind.DATA, block)
         return TrafficRequest(src, dst, PacketKind.CONTROL)
 
-    def generate(self, cycle: int) -> List[TrafficRequest]:
-        """Requests injected this cycle."""
+    def _draw_cycle(self, cycle: int) -> List[TrafficRequest]:
+        """Draw cycle's injection decisions (the one place RNG is consumed)."""
         if self.duration is not None and cycle >= self.duration:
             return []
         requests = []
-        for src in range(self.topology.n_nodes):
-            if not self._rng.bernoulli(self.packet_rate):
+        rng = self._rng
+        packet_rate = self.packet_rate
+        pattern = self.pattern
+        topology = self.topology
+        for src in range(topology.n_nodes):
+            if not rng.bernoulli(packet_rate):
                 continue
-            dst = self.pattern(src, self.topology, self._rng)
+            dst = pattern(src, topology, rng)
             if dst is None or dst == src:
                 continue
             requests.append(self._make_request(src, dst))
         return requests
+
+    def generate(self, cycle: int) -> List[TrafficRequest]:
+        """Requests injected this cycle."""
+        if cycle <= self._drawn_through:
+            return self._pending.pop(cycle, [])
+        drawn = self._drawn_through
+        result: List[TrafficRequest] = []
+        while drawn < cycle:
+            drawn += 1
+            requests = self._draw_cycle(drawn)
+            if requests:
+                if drawn == cycle:
+                    result = requests
+                else:
+                    self._pending[drawn] = requests
+        self._drawn_through = drawn
+        return result
+
+    def next_arrival(self, now: int,
+                     limit: Optional[int] = None) -> Optional[int]:
+        """Earliest cycle ``>= now`` with injections, drawing ahead as
+        needed; None when there is none (none at all, or none ``<= limit``
+        when a bound is given).  Draws are buffered for ``generate``."""
+        for cycle in self._pending:
+            if cycle >= now:
+                return cycle
+        if self.packet_rate == 0:
+            return None
+        cycle = self._drawn_through
+        while limit is None or cycle < limit:
+            cycle += 1
+            if self.duration is not None and cycle >= self.duration:
+                return None
+            requests = self._draw_cycle(cycle)
+            self._drawn_through = cycle
+            if requests:
+                self._pending[cycle] = requests
+                return cycle
+        return None
 
 
 class BenchmarkTraffic:
@@ -109,6 +171,9 @@ class BenchmarkTraffic:
         self._rng = DeterministicRng(seed)
         self._blocks = BlockGenerator(profile.model, self._rng.fork(1))
         self._burst_on = [False] * config.n_nodes
+        # Lookahead state; see the module docstring and SyntheticTraffic.
+        self._pending: Dict[int, List[TrafficRequest]] = {}
+        self._drawn_through = -1
         n = config.n_nodes
         self._partners = []
         for src in range(n):
@@ -134,8 +199,8 @@ class BenchmarkTraffic:
         return min(self.profile.packet_rate * multiplier * self.rate_scale,
                    1.0)
 
-    def generate(self, cycle: int) -> List[TrafficRequest]:
-        """Requests injected this cycle."""
+    def _draw_cycle(self, cycle: int) -> List[TrafficRequest]:
+        """Draw cycle's burst transitions + injection decisions."""
         if self.duration is not None and cycle >= self.duration:
             return []
         requests = []
@@ -160,3 +225,41 @@ class BenchmarkTraffic:
             else:
                 requests.append(TrafficRequest(src, dst, PacketKind.CONTROL))
         return requests
+
+    def generate(self, cycle: int) -> List[TrafficRequest]:
+        """Requests injected this cycle."""
+        if cycle <= self._drawn_through:
+            return self._pending.pop(cycle, [])
+        drawn = self._drawn_through
+        result: List[TrafficRequest] = []
+        while drawn < cycle:
+            drawn += 1
+            requests = self._draw_cycle(drawn)
+            if requests:
+                if drawn == cycle:
+                    result = requests
+                else:
+                    self._pending[drawn] = requests
+        self._drawn_through = drawn
+        return result
+
+    def next_arrival(self, now: int,
+                     limit: Optional[int] = None) -> Optional[int]:
+        """Earliest cycle ``>= now`` with injections (see
+        :meth:`SyntheticTraffic.next_arrival`)."""
+        for cycle in self._pending:
+            if cycle >= now:
+                return cycle
+        if self.profile.packet_rate * self.rate_scale == 0:
+            return None
+        cycle = self._drawn_through
+        while limit is None or cycle < limit:
+            cycle += 1
+            if self.duration is not None and cycle >= self.duration:
+                return None
+            requests = self._draw_cycle(cycle)
+            self._drawn_through = cycle
+            if requests:
+                self._pending[cycle] = requests
+                return cycle
+        return None

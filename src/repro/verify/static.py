@@ -58,7 +58,8 @@ EJECTION_CREDITS = 1 << 30
 VALIDATED_CONFIG_FIELDS = frozenset({
     "mesh_width", "mesh_height", "concentration", "num_vcs", "vc_depth",
     "flit_bytes", "router_stages", "link_cycles", "block_bytes",
-    "frequency_ghz", "overlap_compression", "sanitize",
+    "frequency_ghz", "overlap_compression", "sanitize", "event_horizon",
+    "profile_phases",
 })
 
 #: Fields that must be integers >= 1.
@@ -67,7 +68,8 @@ _POSITIVE_INT_FIELDS = ("mesh_width", "mesh_height", "concentration",
                         "link_cycles", "block_bytes")
 
 #: Fields that must be plain booleans.
-_BOOL_FIELDS = ("overlap_compression", "sanitize")
+_BOOL_FIELDS = ("overlap_compression", "sanitize", "event_horizon",
+                "profile_phases")
 
 #: How many failed route walks to spell out before summarizing.
 _MAX_REPORTED_WALKS = 3

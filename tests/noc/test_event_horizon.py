@@ -1,0 +1,186 @@
+"""Event-horizon fast-forward equivalence (DESIGN.md §12).
+
+The contract under test: with ``event_horizon=True`` the simulator may
+jump over provably-quiescent windows, but every *observable* — the full
+``NetworkStats`` (including ``cycles``), the delivered-packet stream with
+payload words, the drain outcome, the final clock — must be bit-identical
+to a forced always-step run of the same workload.  ``Packet.pid`` is a
+process-global counter, not a simulation observable, so deliveries are
+compared by (src, dst, kind, cycle, words).
+"""
+
+import random
+from dataclasses import replace
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.harness.experiment import benchmark_trace, make_scheme
+from repro.noc import Network, NocConfig
+from repro.noc.config import TINY_CONFIG
+from repro.traffic import (
+    BenchmarkTraffic,
+    SyntheticTraffic,
+    TraceTraffic,
+    get_benchmark,
+)
+
+
+def run_one(config, mechanism, make_traffic, cycles, drain_budget=50_000):
+    """One full run: (stats dict, delivery stream, drained?, final cycle)."""
+    deliveries = []
+    network = Network(
+        config, make_scheme(mechanism, config.n_nodes),
+        on_deliver=lambda packet, block, now: deliveries.append(
+            (packet.src, packet.dst, packet.kind.value, now,
+             tuple(block.words) if block else None)))
+    network.set_traffic(make_traffic(config))
+    network.run(cycles)
+    drained = network.drain(drain_budget)
+    return network, deliveries, drained
+
+
+def assert_equivalent(base_config, mechanism, make_traffic, cycles=2000):
+    """Skip-mode and always-step runs agree on every observable."""
+    skip_net, skip_deliveries, skip_drained = run_one(
+        replace(base_config, event_horizon=True),
+        mechanism, make_traffic, cycles)
+    step_net, step_deliveries, step_drained = run_one(
+        replace(base_config, event_horizon=False),
+        mechanism, make_traffic, cycles)
+    assert step_net.stats.skipped_cycles == 0
+    assert skip_net.stats.simulation_outputs() == \
+        step_net.stats.simulation_outputs()
+    assert skip_deliveries == step_deliveries
+    assert skip_drained == step_drained
+    assert skip_net.cycle == step_net.cycle
+    return skip_net
+
+
+class TestSyntheticEquivalence:
+    @pytest.mark.parametrize("mechanism", ["FP-VAXX", "DI-VAXX"])
+    @pytest.mark.parametrize("rate,seed", [
+        (0.02, 3), (0.05, 5), (0.2, 7), (0.02, 11),
+    ])
+    def test_rates_and_seeds(self, mechanism, rate, seed):
+        assert_equivalent(
+            TINY_CONFIG, mechanism,
+            lambda c: SyntheticTraffic(c, injection_rate=rate, seed=seed))
+
+    def test_low_load_actually_skips(self):
+        skip_net = assert_equivalent(
+            TINY_CONFIG, "FP-VAXX",
+            lambda c: SyntheticTraffic(c, injection_rate=0.005, seed=3))
+        assert skip_net.stats.skipped_cycles > 0
+
+    def test_non_overlap_compression(self):
+        assert_equivalent(
+            replace(TINY_CONFIG, overlap_compression=False), "FP-VAXX",
+            lambda c: SyntheticTraffic(c, injection_rate=0.03, seed=13))
+
+    def test_all_data_packets(self):
+        assert_equivalent(
+            TINY_CONFIG, "DI-VAXX",
+            lambda c: SyntheticTraffic(c, injection_rate=0.02, seed=17,
+                                       data_ratio=1.0))
+
+
+class TestOtherSources:
+    def test_benchmark_traffic(self):
+        assert_equivalent(
+            TINY_CONFIG, "FP-VAXX",
+            lambda c: BenchmarkTraffic(c, get_benchmark("ssca2"), seed=7))
+
+    def test_trace_replay(self):
+        trace = benchmark_trace(TINY_CONFIG, "blackscholes", 800, seed=11)
+        assert_equivalent(
+            TINY_CONFIG, "FP-VAXX",
+            lambda c: TraceTraffic(trace, loop=True))
+
+    def test_no_traffic_source_jumps_to_horizon(self):
+        network = Network(replace(TINY_CONFIG, event_horizon=True),
+                          make_scheme("Baseline", TINY_CONFIG.n_nodes))
+        network.run(10_000)
+        assert network.cycle == 10_000
+        assert network.stats.cycles == 10_000
+        assert network.stats.skipped_cycles == 10_000
+
+    def test_source_without_next_arrival_falls_back_to_stepping(self):
+        class LegacyTraffic:
+            """Duck-typed source missing the next_arrival API."""
+
+            def __init__(self, config):
+                self.inner = SyntheticTraffic(config, injection_rate=0.02,
+                                              seed=3)
+
+            def generate(self, cycle):
+                return self.inner.generate(cycle)
+
+        skip_net = assert_equivalent(TINY_CONFIG, "FP-VAXX",
+                                     LegacyTraffic, cycles=500)
+        assert skip_net.stats.skipped_cycles == 0
+
+
+class TestSanitizerInteraction:
+    def test_sanitized_runs_stay_equivalent(self):
+        skip_net = assert_equivalent(
+            replace(TINY_CONFIG, sanitize=True), "FP-VAXX",
+            lambda c: SyntheticTraffic(c, injection_rate=0.02, seed=3))
+        assert skip_net.stats.skipped_cycles > 0
+
+    def test_env_var_enables_sanitizer_under_skip(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert_equivalent(
+            TINY_CONFIG, "DI-VAXX",
+            lambda c: SyntheticTraffic(c, injection_rate=0.05, seed=5),
+            cycles=800)
+
+
+class TestIdleAccounting:
+    def _recount_idle(self, network):
+        """The pre-PR O(n) definition of idleness, recomputed from scratch."""
+        buffered = sum(len(ivc.buffer)
+                       for router in network.routers
+                       for port in router.inputs
+                       for ivc in port)
+        return (buffered == 0
+                and not any(ni.busy() for ni in network.nis)
+                and not network._pending_router_arrivals
+                and not network._pending_ejections)
+
+    @pytest.mark.parametrize("event_horizon", [True, False])
+    def test_idle_matches_full_recount(self, event_horizon):
+        network = Network(
+            replace(TINY_CONFIG, event_horizon=event_horizon),
+            make_scheme("FP-VAXX", TINY_CONFIG.n_nodes))
+        network.set_traffic(SyntheticTraffic(TINY_CONFIG,
+                                             injection_rate=0.1, seed=9))
+        saw_busy = saw_idle = False
+        for _ in range(600):
+            network.step()
+            assert network.idle() == self._recount_idle(network)
+            saw_busy |= not network.idle()
+            saw_idle |= network.idle()
+        assert saw_busy and saw_idle
+
+
+class TestRandomMeshesProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        width=st.integers(min_value=1, max_value=4),
+        height=st.integers(min_value=1, max_value=4),
+        concentration=st.integers(min_value=1, max_value=2),
+        rate=st.floats(min_value=0.005, max_value=0.3),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_skip_is_invisible(self, width, height, concentration, rate,
+                               seed):
+        config = NocConfig(mesh_width=width, mesh_height=height,
+                           concentration=concentration)
+        # Uniform-random traffic needs somewhere to send: a single-node
+        # mesh has no destination distinct from the source.
+        assume(config.n_nodes >= 2)
+        assert_equivalent(
+            config, "FP-VAXX",
+            lambda c: SyntheticTraffic(c, injection_rate=rate, seed=seed),
+            cycles=600)
