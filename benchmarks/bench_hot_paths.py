@@ -33,6 +33,7 @@ from dataclasses import replace
 from repro.compression.fpc import clear_match_caches, match_approx
 from repro.core.avcl import Avcl, clear_evaluate_cache
 from repro.core.block import DataType
+from repro.faults import FaultConfig
 from repro.harness.experiment import benchmark_trace, make_scheme
 from repro.noc import Network, NocConfig
 from repro.traffic import SyntheticTraffic, TraceTraffic, record_trace
@@ -100,9 +101,9 @@ def bench_avcl_evaluate() -> float:
     return _best(one_pass)
 
 
-def bench_network_step(sanitize: bool = False) -> float:
+def bench_network_step(sanitize: bool = False, faults=None) -> float:
     config = NocConfig(mesh_width=2, mesh_height=2, concentration=2,
-                       sanitize=sanitize)
+                       sanitize=sanitize, faults=faults)
     trace = benchmark_trace(config, "ssca2", NETWORK_CYCLES, seed=11)
 
     def one_pass() -> float:
@@ -167,20 +168,44 @@ def run_all() -> dict:
         # the sanitized path is opt-in debugging, only the *disabled* path
         # (network_step_s above, with no wrapping at all) must stay fast.
         "network_step_sanitized_s": bench_network_step(sanitize=True),
+        # Fault-injection layer built but with every rate at zero: the
+        # hot paths must compile down to the faults=None closures.  Gated
+        # in --check at <= FAULTS_OFF_MAX_OVERHEAD of network_step_s from
+        # the *same* run (in-results ratio: immune to machine variance).
+        "network_step_faultsoff_s": bench_network_step(
+            faults=FaultConfig()),
     }
     results.update(bench_network_step_lowload())
     return results
+
+
+#: Allowed slowdown of a run with the fault layer built-but-unarmed
+#: (all-zero FaultConfig) over one with faults=None, measured within a
+#: single bench run: the rate-0 plumbing must stay within 5%.
+FAULTS_OFF_MAX_OVERHEAD = 1.05
 
 
 def check(results: dict, baseline_path: str, max_regression: float) -> int:
     with open(baseline_path) as handle:
         baseline = json.load(handle)
     status = 0
+    faultsoff = results.get("network_step_faultsoff_s")
+    if faultsoff is not None:
+        ratio = faultsoff / results["network_step_s"]
+        verdict = ("ok" if ratio <= FAULTS_OFF_MAX_OVERHEAD
+                   else "REGRESSION")
+        print(f"  network_step_faultsoff_s: {faultsoff:.4f}s vs same-run "
+              f"network_step_s {results['network_step_s']:.4f}s "
+              f"({ratio:.2f}x, limit {FAULTS_OFF_MAX_OVERHEAD:.2f}x) "
+              f"{verdict}")
+        if ratio > FAULTS_OFF_MAX_OVERHEAD:
+            status = 1
     for name, value in results.items():
         if not name.endswith("_s"):
             continue  # non-timing metric (cycles/sec, speedup): not gated
-        if name.endswith(("_sanitized_s", "_alwaysstep_s")):
-            continue  # debug/comparator-mode timing: reported, never gated
+        if name.endswith(("_sanitized_s", "_alwaysstep_s",
+                          "_faultsoff_s")):
+            continue  # debug/comparator timing: gated above or never
         reference = baseline.get(name)
         if reference is None:
             print(f"  {name}: no baseline, skipped")

@@ -21,7 +21,7 @@ from repro.analysis.rules import Rule, register
 #: presentation, not simulation).
 SIM_PACKAGES: Tuple[str, ...] = (
     "repro.noc", "repro.core", "repro.compression",
-    "repro.traffic", "repro.memory", "repro.apps",
+    "repro.traffic", "repro.memory", "repro.apps", "repro.faults",
 )
 
 #: Modules whose import alone injects ambient entropy into sim code.

@@ -1,0 +1,20 @@
+"""Deterministic fault injection and recovery for the NoC simulator.
+
+* :mod:`repro.faults.config`   — :class:`FaultConfig`, the knobs.
+* :mod:`repro.faults.inject`   — the injection layer (bit-flips, drops,
+  stuck-at links, credit loss, router fail-stop) with its own seeded RNG
+  streams.
+* :mod:`repro.faults.recovery` — CRC + NACK retransmission, the credit
+  watchdog and graceful degradation to exact transmission.
+* :mod:`repro.faults.campaign` — the fault-rate x mechanism x recovery
+  sweep driver behind ``python -m repro.faults``.
+
+This ``__init__`` deliberately re-exports only :class:`FaultConfig`:
+``repro.noc.config`` imports it at module load, so pulling the injector
+(which imports ``repro.noc`` modules) in here would be circular.  Import
+the other modules by full path.
+"""
+
+from repro.faults.config import FaultConfig
+
+__all__ = ["FaultConfig"]

@@ -1,0 +1,98 @@
+"""CLI for the fault-injection campaign driver.
+
+``python -m repro.faults --smoke --json fault_campaign.json`` runs the
+CI-sized campaign and writes the JSON artifact; drop ``--smoke`` (and
+raise ``--measure``/``--rates``) for fuller sweeps.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.faults.campaign import (
+    FAULT_CLASSES,
+    format_campaign,
+    run_campaign,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults",
+        description="Deterministic fault-injection campaign "
+                    "(rate x mechanism x recovery sweep + NoCSan "
+                    "detection coverage)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized campaign: tiny mesh, short trace, "
+                             "reduced matrix")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the campaign artifact to PATH")
+    parser.add_argument("--benchmark", default="ssca2",
+                        help="traffic profile to replay (default: ssca2)")
+    parser.add_argument("--mechanisms", nargs="+",
+                        default=["Baseline", "FP-VAXX"],
+                        help="mechanisms to sweep")
+    parser.add_argument("--classes", nargs="+", default=list(FAULT_CLASSES),
+                        choices=list(FAULT_CLASSES),
+                        help="fault classes to sweep")
+    parser.add_argument("--rates", nargs="+", type=float,
+                        default=[0.0, 0.002],
+                        help="fault rates to sweep (default: 0.0 0.002)")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="fault-injection seed (default: 1)")
+    parser.add_argument("--trace-cycles", type=int, default=None)
+    parser.add_argument("--warmup", type=int, default=None)
+    parser.add_argument("--measure", type=int, default=None)
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="approximation error threshold in percent")
+    parser.add_argument("--no-detect", action="store_true",
+                        help="skip the NoCSan detection-coverage pass")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-point progress lines")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.smoke:
+        trace_cycles = args.trace_cycles or 900
+        warmup = args.warmup if args.warmup is not None else 300
+        measure = args.measure if args.measure is not None else 600
+    else:
+        trace_cycles = args.trace_cycles or 3000
+        warmup = args.warmup if args.warmup is not None else 1000
+        measure = args.measure if args.measure is not None else 2000
+
+    def progress(line: str) -> None:
+        if not args.quiet:
+            print(f"[campaign] {line}", file=sys.stderr)
+
+    campaign = run_campaign(benchmark=args.benchmark,
+                            mechanisms=args.mechanisms,
+                            classes=args.classes,
+                            rates=args.rates,
+                            trace_cycles=trace_cycles,
+                            warmup=warmup, measure=measure,
+                            seed=args.seed,
+                            error_threshold_pct=args.threshold,
+                            detect=not args.no_detect,
+                            progress=progress)
+    print(format_campaign(campaign))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(campaign.to_json_dict(), handle, indent=2)
+        print(f"campaign artifact written to {args.json}")
+    if not args.no_detect and campaign.detection_coverage < 1.0:
+        missed = [fault_class
+                  for fault_class, invariant in campaign.detection.items()
+                  if invariant is None]
+        print(f"ERROR: NoCSan missed fault classes: {', '.join(missed)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

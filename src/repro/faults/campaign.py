@@ -1,0 +1,283 @@
+"""Fault-injection campaign driver.
+
+Sweeps fault rate x mechanism x recovery on/off over one recorded
+benchmark trace and measures what the paper's robustness story needs:
+
+* **delivered-word error** — every delivered data word is compared
+  against the original (pre-encoding) block, reporting max/mean relative
+  error and the fraction breaching the scheme's approximation threshold;
+* **retransmission overhead** — flits spent on NACKs + retransmissions
+  relative to total flit traffic;
+* **detection coverage** — with recovery *off* and NoCSan armed, every
+  injected fault class must trip a sanitizer invariant
+  (:func:`detection_coverage` records which).
+
+Everything here is deterministic and wall-clock free: points run
+serially in-process, seeded through :class:`~repro.faults.config.
+FaultConfig`, so a campaign JSON is reproducible bit for bit.
+
+Run ``python -m repro.faults --smoke --json out.json`` for the CI
+campaign, or import :func:`run_campaign` for custom sweeps.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.block import relative_word_error
+from repro.faults.config import FaultConfig
+
+#: Injectable fault classes, in report order.
+FAULT_CLASSES: Tuple[str, ...] = (
+    "bitflip", "drop", "stuck", "credit_loss", "failstop")
+
+#: FaultConfig rate field armed by each class.
+_CLASS_RATE_FIELD = {
+    "bitflip": "bitflip_rate",
+    "drop": "drop_rate",
+    "stuck": "stuck_rate",
+    "credit_loss": "credit_loss_rate",
+    "failstop": "failstop_rate",
+}
+
+#: Starvation age used for fail-stop detection points: longer than any
+#: healthy packet lifetime in a smoke-sized network, far shorter than a
+#: fail-stop window's worth of frozen flits.
+_FAILSTOP_DETECT_AGE = 200
+
+
+def fault_config_for(fault_class: str, rate: float, recovery: bool,
+                     seed: int = 1, **overrides) -> FaultConfig:
+    """A :class:`FaultConfig` arming exactly one fault class."""
+    rate_field = _CLASS_RATE_FIELD.get(fault_class)
+    if rate_field is None:
+        raise ValueError(f"unknown fault class {fault_class!r}; "
+                         f"choose from {FAULT_CLASSES}")
+    kwargs = {"seed": seed, "recovery": recovery, rate_field: rate}
+    kwargs.update(overrides)
+    return FaultConfig(**kwargs)
+
+
+@dataclass
+class PointResult:
+    """Measured outcome of one campaign point."""
+
+    mechanism: str
+    fault_class: str
+    rate: float
+    recovery: bool
+    #: Data blocks/words handed to consumers during the run.
+    delivered_blocks: int = 0
+    delivered_words: int = 0
+    max_rel_error: float = 0.0
+    mean_rel_error: float = 0.0
+    #: Delivered words whose relative error breaches the scheme's
+    #: approximation threshold (must be 0 with CRC+retransmission on).
+    words_over_threshold: int = 0
+    total_flits: int = 0
+    #: NACK + retransmission flits as a fraction of total flit traffic.
+    retx_flit_overhead: float = 0.0
+    drained: bool = True
+    #: Sanitizer invariant that aborted the run (detection mode), if any.
+    detected_invariant: Optional[str] = None
+    #: Injection + recovery counters (FaultInjector.summary()).
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def within_threshold(self) -> bool:
+        """Every delivered word respected the error threshold."""
+        return self.words_over_threshold == 0
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """JSON-safe representation (campaign artifact rows)."""
+        payload = asdict(self)
+        payload["within_threshold"] = self.within_threshold
+        return payload
+
+
+def run_point(config, mechanism: str, trace: list, warmup: int,
+              measure: int, *, fault_class: str, rate: float,
+              recovery: bool, error_threshold_pct: float = 10.0,
+              drain_budget: int = 100_000) -> PointResult:
+    """Run one campaign point: one mechanism under one armed fault class.
+
+    ``config.faults`` must already carry the point's
+    :class:`FaultConfig` (see :func:`fault_config_for`); ``config.
+    sanitize`` decides whether NoCSan observes the run (detection mode).
+    """
+    # Imported here, not at module top: repro.noc.config imports
+    # repro.faults.config at load time, so the campaign pulls the heavy
+    # simulator modules in lazily to keep the package graph acyclic.
+    from repro.harness.experiment import make_scheme
+    from repro.noc import Network
+    from repro.traffic import TraceTraffic
+    from repro.verify.sanitizer import SanitizerError
+
+    point = PointResult(mechanism=mechanism, fault_class=fault_class,
+                        rate=rate, recovery=recovery)
+    limit = error_threshold_pct / 100.0 + 1e-9
+    error_sum = [0.0]
+
+    def on_deliver(packet, block, now):
+        original = packet.block
+        if block is None or original is None:
+            return
+        point.delivered_blocks += 1
+        for precise, delivered in zip(original.words, block.words):
+            point.delivered_words += 1
+            err = relative_word_error(precise, delivered, original.dtype)
+            error_sum[0] += err
+            if err > point.max_rel_error:
+                point.max_rel_error = err
+            if err > limit:
+                point.words_over_threshold += 1
+
+    scheme = make_scheme(mechanism, config.n_nodes, error_threshold_pct)
+    network = Network(config, scheme, on_deliver=on_deliver)
+    network.set_traffic(TraceTraffic(trace, loop=True))
+    try:
+        network.run(warmup + measure)
+        point.drained = network.drain(drain_budget)
+    except SanitizerError as exc:
+        point.detected_invariant = exc.invariant
+        point.drained = False
+    if point.delivered_words:
+        point.mean_rel_error = error_sum[0] / point.delivered_words
+    point.total_flits = network.stats.total_flits_injected
+    faults = getattr(network, "_faults", None)
+    if faults is not None:
+        point.counters = faults.summary()
+        retx_flits = (point.counters.get("retx_flits", 0)
+                      + point.counters.get("nacks_sent", 0))
+        if point.total_flits:
+            point.retx_flit_overhead = retx_flits / point.total_flits
+    return point
+
+
+def detection_coverage(config, trace: list, warmup: int, measure: int,
+                       classes: Sequence[str] = FAULT_CLASSES,
+                       rate: float = 0.02, mechanism: str = "FP-VAXX",
+                       error_threshold_pct: float = 10.0,
+                       seed: int = 1) -> Dict[str, Optional[str]]:
+    """NoCSan as ground-truth detector: recovery off, sanitizer on.
+
+    Returns ``{fault_class: tripped invariant or None}``; full coverage
+    means no None values.  Fail-stop needs a starvation age shorter than
+    its frozen windows, set through ``REPRO_SANITIZE_MAX_AGE`` for the
+    duration of that point.
+    """
+    coverage: Dict[str, Optional[str]] = {}
+    for fault_class in classes:
+        faults = fault_config_for(fault_class, rate, recovery=False,
+                                  seed=seed)
+        cfg = replace(config, faults=faults, sanitize=True)
+        saved = os.environ.get("REPRO_SANITIZE_MAX_AGE")
+        try:
+            if fault_class == "failstop":
+                os.environ["REPRO_SANITIZE_MAX_AGE"] = \
+                    str(_FAILSTOP_DETECT_AGE)
+            point = run_point(cfg, mechanism, trace, warmup, measure,
+                              fault_class=fault_class, rate=rate,
+                              recovery=False,
+                              error_threshold_pct=error_threshold_pct)
+        finally:
+            if saved is None:
+                os.environ.pop("REPRO_SANITIZE_MAX_AGE", None)
+            else:
+                os.environ["REPRO_SANITIZE_MAX_AGE"] = saved
+        coverage[fault_class] = point.detected_invariant
+    return coverage
+
+
+@dataclass
+class CampaignResult:
+    """A full campaign: sweep points + detection-coverage map."""
+
+    points: List[PointResult] = field(default_factory=list)
+    detection: Dict[str, Optional[str]] = field(default_factory=dict)
+
+    @property
+    def detection_coverage(self) -> float:
+        """Fraction of injected fault classes NoCSan caught."""
+        if not self.detection:
+            return 0.0
+        caught = sum(1 for invariant in self.detection.values()
+                     if invariant is not None)
+        return caught / len(self.detection)
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """JSON-safe campaign artifact."""
+        return {"points": [point.to_json_dict()
+                           for point in self.points],
+                "detection": dict(self.detection),
+                "detection_coverage": self.detection_coverage}
+
+
+def run_campaign(config=None, benchmark: str = "ssca2",
+                 mechanisms: Sequence[str] = ("Baseline", "FP-VAXX"),
+                 classes: Sequence[str] = FAULT_CLASSES,
+                 rates: Sequence[float] = (0.0, 0.002),
+                 recovery_modes: Sequence[bool] = (False, True),
+                 trace_cycles: int = 1200, warmup: int = 400,
+                 measure: int = 800, seed: int = 1,
+                 error_threshold_pct: float = 10.0,
+                 detect: bool = True,
+                 progress=None) -> CampaignResult:
+    """Sweep fault rate x mechanism x recovery on/off (plus a
+    detection-coverage pass when ``detect``) over one benchmark trace.
+
+    ``progress`` (optional) is called with a one-line status string
+    before each point — hook for CLI feedback.
+    """
+    from repro.harness.experiment import benchmark_trace
+    from repro.noc import NocConfig
+
+    if config is None:
+        config = NocConfig(mesh_width=2, mesh_height=2, concentration=2)
+    trace = benchmark_trace(config, benchmark, trace_cycles, seed=11)
+    campaign = CampaignResult()
+    for mechanism in mechanisms:
+        for fault_class in classes:
+            for rate in rates:
+                for recovery in recovery_modes:
+                    if progress is not None:
+                        progress(f"{mechanism} {fault_class} rate={rate} "
+                                 f"recovery={'on' if recovery else 'off'}")
+                    faults = fault_config_for(fault_class, rate, recovery,
+                                              seed=seed)
+                    cfg = replace(config, faults=faults)
+                    campaign.points.append(run_point(
+                        cfg, mechanism, trace, warmup, measure,
+                        fault_class=fault_class, rate=rate,
+                        recovery=recovery,
+                        error_threshold_pct=error_threshold_pct))
+    if detect:
+        if progress is not None:
+            progress("detection coverage (recovery off, NoCSan on)")
+        campaign.detection = detection_coverage(
+            config, trace, warmup, measure, classes=classes,
+            error_threshold_pct=error_threshold_pct, seed=seed)
+    return campaign
+
+
+def format_campaign(campaign: CampaignResult) -> str:
+    """Human-readable campaign report."""
+    lines = ["mechanism    fault        rate    recov  max-err  "
+             "over-thr  retx-ovh  detected"]
+    for point in campaign.points:
+        lines.append(
+            f"{point.mechanism:<12} {point.fault_class:<12} "
+            f"{point.rate:<7g} {'on' if point.recovery else 'off':<6} "
+            f"{point.max_rel_error:<8.4f} {point.words_over_threshold:<9d} "
+            f"{point.retx_flit_overhead:<9.4f} "
+            f"{point.detected_invariant or '-'}")
+    if campaign.detection:
+        lines.append("")
+        lines.append("detection coverage (recovery off, NoCSan on):")
+        for fault_class in campaign.detection:
+            invariant = campaign.detection[fault_class]
+            lines.append(f"  {fault_class:<12} -> {invariant or 'MISSED'}")
+        lines.append(f"  coverage: {campaign.detection_coverage:.0%}")
+    return "\n".join(lines)

@@ -104,12 +104,21 @@ class RunResult:
     encode_cache_hits: int = 0
     encode_cache_misses: int = 0
     skipped_cycles: int = 0
+    # Fault-injection and recovery counters (repro.faults; all zero when
+    # the layer is unarmed).  Simulation outputs, *not* perf fields: a
+    # fault campaign's injections are part of its bit-identity contract.
+    faults_injected: int = 0
+    crc_rejections: int = 0
+    retransmissions: int = 0
+    degraded_blocks: int = 0
 
     @classmethod
     def from_network(cls, network: Network) -> "RunResult":
         """Snapshot a finished network run."""
         stats = network.stats
         quality = network.scheme.quality
+        faults = getattr(network, "_faults", None)
+        fault_summary = faults.summary() if faults is not None else {}
         return cls(
             mechanism=network.scheme.name,
             avg_queue_latency=stats.avg_queue_latency,
@@ -132,6 +141,10 @@ class RunResult:
             encode_cache_hits=stats.encode_cache_hits,
             encode_cache_misses=stats.encode_cache_misses,
             skipped_cycles=stats.skipped_cycles,
+            faults_injected=fault_summary.get("faults_injected", 0),
+            crc_rejections=fault_summary.get("crc_rejections", 0),
+            retransmissions=fault_summary.get("retransmissions", 0),
+            degraded_blocks=fault_summary.get("degraded_blocks", 0),
         )
 
     # --------------------------------------------------------- comparison

@@ -4,8 +4,8 @@ Every paper figure is an aggregation over dozens of *independent*
 (benchmark, mechanism, seed) simulations.  This module turns those runs
 into explicit, picklable :class:`RunSpec` work items and executes them
 
-* in parallel across worker processes (:func:`parallel_map`,
-  :func:`run_suite_parallel`), and
+* in parallel across worker processes (:func:`run_specs`,
+  :func:`parallel_map`, :func:`run_suite_parallel`), and
 * behind a content-addressed on-disk cache keyed by the full spec
   (``.repro_cache/`` by default), so re-running a sweep touches only the
   points that changed.
@@ -16,6 +16,23 @@ simulator carries no cross-run global state — so parallel execution is
 **bit-identical** to serial execution, whatever the worker count or task
 order.  (Wall-time and cache-hit instrumentation fields are exempt; see
 ``RunResult.simulation_outputs``.)
+
+Crash tolerance: a sweep must survive its weakest point.  :func:`run_specs`
+returns one :class:`SpecOutcome` per spec instead of assuming success —
+a worker that is OOM-killed (``BrokenProcessPool``) or exceeds the
+per-spec ``timeout_s`` is retried up to ``retries`` times with exponential
+backoff, the doomed specs are re-queued as singleton batches (isolating a
+poison spec from its batch mates), and everything that cannot be salvaged
+is *recorded* as a failed outcome rather than aborting the suite.
+A dead worker breaks the whole pool without saying which batch killed it,
+so a pool break requeues every in-flight batch *uncharged* and switches
+to one-batch-at-a-time quarantine rounds: the next crash is attributable,
+only the culprit pays an attempt, and innocent batch-mates keep their
+full retry budget.
+Completed results are flushed to the cache as they land, so a
+``KeyboardInterrupt`` (which tears the pool down and re-raises) loses only
+the in-flight runs.  Cache entries carry a content checksum: a truncated
+or garbled entry is detected, logged, evicted and transparently recomputed.
 
 Environment knobs:
 
@@ -33,12 +50,18 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
+import time
+import traceback
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.harness.experiment import RunResult, benchmark_trace, run_trace
 from repro.noc import NocConfig, PAPER_CONFIG
@@ -50,12 +73,16 @@ from repro.noc import NocConfig, PAPER_CONFIG
 #: v3: NocConfig gained ``event_horizon``/``profile_phases`` and RunResult
 #: gained ``skipped_cycles`` (simulation outputs are bit-identical either
 #: way; the canonical forms changed).
-CACHE_SCHEMA_VERSION = 3
+#: v4: NocConfig gained ``faults``, RunResult gained the fault/recovery
+#: counters, and cache entries gained a content checksum.
+CACHE_SCHEMA_VERSION = 4
 
 WORKERS_ENV = "REPRO_WORKERS"
 NO_CACHE_ENV = "REPRO_NO_CACHE"
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 DEFAULT_CACHE_DIR = ".repro_cache"
+
+_log = logging.getLogger("repro.harness.parallel")
 
 
 # --------------------------------------------------------------------------
@@ -108,6 +135,28 @@ def execute_spec(spec: RunSpec) -> RunResult:
                      drain_budget=spec.drain_budget)
 
 
+@dataclass
+class SpecOutcome:
+    """What happened to one spec in a :func:`run_specs` sweep."""
+
+    spec: RunSpec
+    result: Optional[RunResult] = None
+    #: Failure description (a traceback tail, "timed out", "worker
+    #: process died", ...); None on success.
+    error: Optional[str] = None
+    #: Charged execution attempts (0 for a cache hit).  A broken pool
+    #: charges only the batch proven responsible — collateral reruns of
+    #: innocent batch-mates are free.
+    attempts: int = 1
+    #: Whether the result came from the on-disk cache.
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """Whether the spec produced a result."""
+        return self.result is not None
+
+
 # --------------------------------------------------------------------------
 # On-disk result cache
 # --------------------------------------------------------------------------
@@ -122,14 +171,46 @@ def cache_dir() -> Path:
     return Path(os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR)
 
 
+def _result_checksum(result_payload: dict) -> str:
+    """Content checksum stored alongside (and verified against) a cached
+    result, so truncated or bit-rotted entries are detected."""
+    blob = json.dumps(result_payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _evict_corrupt(path: Path, reason: str) -> None:
+    """Drop an unreadable cache entry (it will be recomputed)."""
+    _log.warning("evicting corrupt cache entry %s: %s", path.name, reason)
+    try:
+        os.unlink(path)
+    except OSError:
+        pass  # already gone, or read-only cache: the miss still stands
+
+
 def load_cached(spec: RunSpec) -> Optional[RunResult]:
-    """The cached result of ``spec``, or None on a miss / unreadable entry."""
+    """The cached result of ``spec``, or None on a miss.
+
+    A present-but-unusable entry (truncated write, bit rot, a foreign
+    file) is treated as corruption: logged, evicted and reported as a
+    miss so the caller recomputes it.
+    """
     path = cache_dir() / f"{spec.cache_key()}.json"
     try:
         with open(path) as handle:
             payload = json.load(handle)
-        return RunResult.from_json_dict(payload["result"])
-    except (OSError, KeyError, TypeError, ValueError):
+    except OSError:
+        return None  # plain miss
+    except ValueError as exc:  # json.JSONDecodeError subclasses ValueError
+        _evict_corrupt(path, f"not valid JSON ({exc})")
+        return None
+    try:
+        result_payload = payload["result"]
+        stored = payload["checksum"]
+        if stored != _result_checksum(result_payload):
+            raise ValueError("checksum mismatch")
+        return RunResult.from_json_dict(result_payload)
+    except (KeyError, TypeError, ValueError) as exc:
+        _evict_corrupt(path, str(exc))
         return None
 
 
@@ -138,8 +219,10 @@ def store_cached(spec: RunSpec, result: RunResult) -> None:
     because identical specs produce identical content)."""
     directory = cache_dir()
     directory.mkdir(parents=True, exist_ok=True)
+    result_payload = result.to_json_dict()
     payload = {"spec": spec.canonical(),
-               "result": result.to_json_dict()}
+               "result": result_payload,
+               "checksum": _result_checksum(result_payload)}
     fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
     try:
         with os.fdopen(fd, "w") as handle:
@@ -166,42 +249,260 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     return max(int(workers), 1)
 
 
-def parallel_map(specs: Sequence[RunSpec],
-                 workers: Optional[int] = None,
-                 use_cache: Optional[bool] = None) -> List[RunResult]:
-    """Execute specs (cache-first), returning results in spec order.
+#: One unit of pool scheduling: the (spec-list-index, spec) items it
+#: carries and the execution attempts already consumed.
+_Batch = Tuple[List[Tuple[int, RunSpec]], int]
+
+
+def _trace_key(spec: RunSpec) -> tuple:
+    """Specs sharing this key replay the same recorded trace, so keeping
+    them on one worker reuses its per-process trace memo."""
+    return (spec.config, spec.benchmark, spec.trace_cycles, spec.seed,
+            spec.approx_packet_ratio)
+
+
+def _make_batches(items: List[Tuple[int, RunSpec]],
+                  n_workers: int) -> List[_Batch]:
+    """Group contiguous same-trace specs into batches (one trace recording
+    per batch), splitting oversized groups so the pool stays busy."""
+    limit = max(1, -(-len(items) // (n_workers * 2)))
+    batches: List[_Batch] = []
+    group: List[Tuple[int, RunSpec]] = []
+    group_key = None
+    for item in items:
+        key = _trace_key(item[1])
+        if group and (key != group_key or len(group) >= limit):
+            batches.append((group, 0))
+            group = []
+        group_key = key
+        group.append(item)
+    if group:
+        batches.append((group, 0))
+    return batches
+
+
+def _execute_batch(specs: List[RunSpec]
+                   ) -> List[Tuple[Optional[RunResult], Optional[str]]]:
+    """Worker-side entry point: run a batch, converting per-spec failures
+    into data so one bad run cannot take its batch mates down."""
+    payload: List[Tuple[Optional[RunResult], Optional[str]]] = []
+    for spec in specs:
+        try:
+            payload.append((execute_spec(spec), None))
+        # Ship the traceback home instead of crashing the worker.
+        except Exception:  # repro: allow[bare-except]
+            payload.append((None, traceback.format_exc()))
+    return payload
+
+
+def _finish(outcomes: List[Optional[SpecOutcome]], specs: Sequence[RunSpec],
+            index: int, result: Optional[RunResult], error: Optional[str],
+            attempts: int, use_cache: bool) -> None:
+    """Record one spec's final outcome (flushing successes to the cache
+    immediately, so an interrupted sweep keeps its finished work)."""
+    outcomes[index] = SpecOutcome(spec=specs[index], result=result,
+                                  error=error, attempts=attempts)
+    if result is not None and use_cache:
+        store_cached(specs[index], result)
+
+
+def _requeue_or_fail(queue: Deque[_Batch],
+                     outcomes: List[Optional[SpecOutcome]],
+                     specs: Sequence[RunSpec], items: List[Tuple[int,
+                                                                 RunSpec]],
+                     attempts: int, retries: int, use_cache: bool,
+                     reason: str) -> None:
+    """A batch died wholesale (crash/timeout): retry its specs as
+    singleton batches within the budget, else record the failures."""
+    next_attempts = attempts + 1
+    if next_attempts <= retries:
+        _log.warning("%s; retrying %d spec(s) (attempt %d/%d)", reason,
+                     len(items), next_attempts + 1, retries + 1)
+        for item in items:
+            queue.append(([item], next_attempts))
+        return
+    for index, _spec in items:
+        _finish(outcomes, specs, index, None,
+                f"{reason}; gave up after {next_attempts} attempt(s)",
+                next_attempts, use_cache)
+
+
+def _teardown(executor: ProcessPoolExecutor) -> None:
+    """Abandon a pool whose workers can no longer be trusted (hung or
+    crashed): cancel what never started and terminate the processes —
+    a worker stuck in a runaway simulation will not exit on its own."""
+    executor.shutdown(wait=False, cancel_futures=True)
+    processes = getattr(executor, "_processes", None) or {}
+    for process in list(processes.values()):
+        process.terminate()
+
+
+def _run_serial(specs: Sequence[RunSpec], misses: List[int],
+                outcomes: List[Optional[SpecOutcome]],
+                use_cache: bool) -> None:
+    """In-process execution (workers<=1): no pool, no timeout enforcement;
+    per-spec exceptions are recorded, KeyboardInterrupt propagates."""
+    for index in misses:
+        try:
+            result = execute_spec(specs[index])
+        # Record the failure and keep sweeping the remaining specs.
+        except Exception:  # repro: allow[bare-except]
+            _finish(outcomes, specs, index, None, traceback.format_exc(),
+                    1, use_cache)
+        else:
+            _finish(outcomes, specs, index, result, None, 1, use_cache)
+
+
+def _run_pool(specs: Sequence[RunSpec], misses: List[int],
+              outcomes: List[Optional[SpecOutcome]], use_cache: bool,
+              n_workers: int, timeout_s: Optional[float], retries: int,
+              retry_backoff_s: float) -> None:
+    """Pool execution with timeout, crash recovery and bounded retry."""
+    queue: Deque[_Batch] = deque(
+        _make_batches([(i, specs[i]) for i in misses], n_workers))
+    executor: Optional[ProcessPoolExecutor] = None
+    rebuilds = 0
+    quarantine = False
+    try:
+        while queue:
+            if executor is None:
+                executor = ProcessPoolExecutor(max_workers=n_workers)
+            submitted: Dict[object, _Batch] = {}
+            while queue:
+                items, attempts = queue.popleft()
+                future = executor.submit(_execute_batch,
+                                         [spec for _, spec in items])
+                submitted[future] = (items, attempts)
+                if quarantine:
+                    break  # one batch per round: a crash is attributable
+            # A crash is attributable only if this round ran one batch
+            # alone; the flag may flip mid-round, so pin it here.
+            attributable = quarantine
+            dirty = False
+            for future, (items, attempts) in submitted.items():
+                if dirty and not future.done():
+                    # Pool is being torn down: requeue at the *same*
+                    # attempt count — these specs did nothing wrong.
+                    queue.append((items, attempts))
+                    continue
+                allowance = (None if timeout_s is None
+                             else timeout_s * len(items))
+                try:
+                    payload = future.result(timeout=allowance)
+                except FuturesTimeout:
+                    dirty = True
+                    _requeue_or_fail(
+                        queue, outcomes, specs, items, attempts, retries,
+                        use_cache,
+                        f"batch of {len(items)} exceeded its "
+                        f"{allowance:.1f}s allowance")
+                except BrokenProcessPool:
+                    dirty = True
+                    if attributable:
+                        # This batch ran alone: it killed its worker.
+                        # Culprit found — later rounds run in parallel
+                        # again (a new crash re-enters quarantine).
+                        _requeue_or_fail(
+                            queue, outcomes, specs, items, attempts,
+                            retries, use_cache,
+                            "worker process died (killed or crashed)")
+                        quarantine = False
+                    else:
+                        # Any batch in the broken pool may be the killer;
+                        # requeue them all uncharged and re-run one batch
+                        # at a time until the crash is attributable.
+                        quarantine = True
+                        queue.append((items, attempts))
+                else:
+                    for (index, _spec), (result, error) in zip(items,
+                                                               payload):
+                        _finish(outcomes, specs, index, result, error,
+                                attempts + 1, use_cache)
+            if dirty:
+                _teardown(executor)
+                executor = None
+                if queue and retry_backoff_s > 0:
+                    time.sleep(min(retry_backoff_s * (2 ** rebuilds), 30.0))
+                rebuilds += 1
+    except KeyboardInterrupt:
+        # Graceful interrupt: kill the pool now; everything finished so
+        # far is already flushed to the cache by _finish.
+        if executor is not None:
+            _teardown(executor)
+            executor = None
+        raise
+    finally:
+        if executor is not None:
+            executor.shutdown()
+
+
+def run_specs(specs: Sequence[RunSpec],
+              workers: Optional[int] = None,
+              use_cache: Optional[bool] = None,
+              timeout_s: Optional[float] = None,
+              retries: int = 1,
+              retry_backoff_s: float = 0.5) -> List[SpecOutcome]:
+    """Execute specs (cache-first), returning one outcome per spec in
+    spec order — failures included, never raised.
 
     ``workers=None`` consults ``REPRO_WORKERS`` / CPU count; ``workers<=1``
-    runs serially in-process (no pool, still cached).  Results are
-    bit-identical across all modes.
+    runs serially in-process (no pool; ``timeout_s`` needs a pool and is
+    ignored).  ``timeout_s`` bounds one spec's wall time — a batch gets
+    ``timeout_s * len(batch)``.  Timed-out and crashed specs are retried
+    up to ``retries`` times as singleton batches with exponential backoff
+    starting at ``retry_backoff_s``; deterministic in-run exceptions are
+    recorded without retry (re-running them would fail identically).
+    A dead worker breaks the whole pool anonymously, so only the batch
+    proven responsible (by re-running the survivors one at a time) is
+    charged an attempt.
+    Successful results are bit-identical across all modes.
     """
     if use_cache is None:
         use_cache = cache_enabled()
-    results: List[Optional[RunResult]] = [None] * len(specs)
+    outcomes: List[Optional[SpecOutcome]] = [None] * len(specs)
     misses: List[int] = []
     for i, spec in enumerate(specs):
-        if use_cache:
-            results[i] = load_cached(spec)
-        if results[i] is None:
+        cached = load_cached(spec) if use_cache else None
+        if cached is not None:
+            outcomes[i] = SpecOutcome(spec=spec, result=cached, attempts=0,
+                                      cached=True)
+        else:
             misses.append(i)
     if misses:
         n_workers = min(resolve_workers(workers), len(misses))
-        miss_specs = [specs[i] for i in misses]
         if n_workers <= 1:
-            computed = [execute_spec(spec) for spec in miss_specs]
+            _run_serial(specs, misses, outcomes, use_cache)
         else:
-            # Chunking keeps same-benchmark specs (contiguous by
-            # convention) on one worker, so its per-process trace cache
-            # is reused instead of re-recording the trace per task.
-            chunksize = max(1, -(-len(miss_specs) // (n_workers * 2)))
-            with ProcessPoolExecutor(max_workers=n_workers) as executor:
-                computed = list(executor.map(execute_spec, miss_specs,
-                                             chunksize=chunksize))
-        for i, result in zip(misses, computed):
-            results[i] = result
-            if use_cache:
-                store_cached(specs[i], result)
-    return results  # type: ignore[return-value]
+            _run_pool(specs, misses, outcomes, use_cache, n_workers,
+                      timeout_s, retries, retry_backoff_s)
+    return outcomes  # type: ignore[return-value]
+
+
+def _failure_summary(outcome: SpecOutcome) -> str:
+    spec = outcome.spec
+    tail = (outcome.error or "unknown error").strip().splitlines()[-1]
+    return (f"{spec.benchmark}/{spec.mechanism}[seed {spec.seed}]: {tail}")
+
+
+def parallel_map(specs: Sequence[RunSpec],
+                 workers: Optional[int] = None,
+                 use_cache: Optional[bool] = None,
+                 timeout_s: Optional[float] = None,
+                 retries: int = 1,
+                 retry_backoff_s: float = 0.5) -> List[RunResult]:
+    """All-or-error façade over :func:`run_specs`: results in spec order,
+    or a RuntimeError naming every spec that failed after retries."""
+    outcomes = run_specs(specs, workers=workers, use_cache=use_cache,
+                         timeout_s=timeout_s, retries=retries,
+                         retry_backoff_s=retry_backoff_s)
+    failed = [outcome for outcome in outcomes if not outcome.ok]
+    if failed:
+        shown = "; ".join(_failure_summary(outcome)
+                          for outcome in failed[:5])
+        more = f" (+{len(failed) - 5} more)" if len(failed) > 5 else ""
+        raise RuntimeError(
+            f"{len(failed)}/{len(specs)} runs failed: {shown}{more}")
+    return [outcome.result for outcome in outcomes]
 
 
 def suite_specs(config: NocConfig = PAPER_CONFIG,

@@ -9,6 +9,9 @@ routing.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
+
+from repro.faults.config import FaultConfig
 
 
 @dataclass(frozen=True, slots=True)
@@ -50,6 +53,10 @@ class NocConfig:
     #: :class:`~repro.noc.stats.NetworkStats` (cheap observability for the
     #: event-horizon fast path; off by default to keep ``step()`` lean).
     profile_phases: bool = False
+    #: Deterministic fault-injection layer (DESIGN.md §13).  None disables
+    #: it entirely; an all-zero :class:`~repro.faults.config.FaultConfig`
+    #: builds the layer but is bit-identical to None.
+    faults: Optional[FaultConfig] = None
 
     def __post_init__(self) -> None:
         for name in ("mesh_width", "mesh_height", "concentration", "num_vcs",

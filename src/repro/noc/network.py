@@ -100,6 +100,12 @@ SKIP_ACCOUNTED_STATE: Dict[str, Dict[str, str]] = {
         "_sanitizer": "static",
         "_skipping": "static",
         "_profile": "static",
+        "_proof_cycle": "counter",
+        # The fault injector is itself skip-safe: traversal-coupled models
+        # only act on activity, and its scheduled models pin wakeups via
+        # next_event (consulted by _skip_horizon); see DESIGN.md §13.
+        "_faults": "wakeup",
+        "_fault_tick": "static",
     },
     "Router": {
         "router_id": "static",
@@ -136,6 +142,7 @@ SKIP_ACCOUNTED_STATE: Dict[str, Dict[str, str]] = {
         "_credits": "frozen",
         "_pending_decodes": "wakeup",
         "_outbound_notifications": "wakeup",
+        "_fault_layer": "static",
     },
 }
 
@@ -198,8 +205,26 @@ class Network:
         self._busy_ni_count = 0
         self._buffered_total = 0
         self._quiet = False
+        # Cycle whose step established the current _quiet proof.  Only
+        # consulted when fail-stop faults are armed: a proof made while a
+        # buffered router was dead is void once that router revives (its
+        # frozen heads pin no wakeup yet become movable), and the revival
+        # check in _may_skip needs to know which cycle the proof covers.
+        self._proof_cycle = 0
         self._skipping = config.event_horizon
         self._profile = config.profile_phases
+        # Fault-injection layer (DESIGN.md §13).  Built before the send
+        # closures and the sanitizer: both specialize on it.  An all-zero
+        # FaultConfig constructs the injector (so the plumbing is always
+        # exercised) but arms no hook — the hot paths compile to exactly
+        # the faults=None closures and the run is bit-identical.
+        self._faults = None
+        if config.faults is not None:
+            from repro.faults.inject import FaultInjector
+            self._faults = FaultInjector(config.faults, config,
+                                         self.topology)
+        self._fault_tick = (self._faults is not None
+                            and self._faults.needs_tick)
         # Credit destination per (router, input port): the attached NI for
         # local ports, the upstream router + opposite port otherwise.
         # Precomputed so _apply_credits does no topology lookups.
@@ -215,6 +240,11 @@ class Network:
                             for r in range(config.n_routers)]
         self._accept_fns = [self._make_accept_fn(n)
                             for n in range(config.n_nodes)]
+        if self._faults is not None:
+            for ni in self.nis:
+                ni.attach_fault_layer(self._faults)
+            if self._faults.recovery is not None:
+                self._faults.recovery.bind(self)
         # NoCSan: when enabled, route every callback through the sanitizer.
         # When disabled, the fast path above is untouched (zero-cost
         # opt-out).  Lazy import for the same cycle reason as above.
@@ -270,18 +300,42 @@ class Network:
             else:
                 targets.append(None)  # mesh edge: never routed to
 
-        def send(out_port: int, out_vc: int, flit: Flit) -> None:
+        faults = self._faults
+        if faults is None or not faults.affects_links:
+            # Hot path: no link fault model armed — no per-flit overhead.
+            def send(out_port: int, out_vc: int, flit: Flit) -> None:
+                self._buffered_total -= 1
+                target = targets[out_port]
+                dst_router, dst_port = target
+                if dst_router is not None:
+                    stats.link_traversals += 1
+                    self._pending_router_arrivals.append(
+                        (dst_router, dst_port, out_vc, flit))
+                else:
+                    self._pending_ejections.append((dst_port, flit))
+
+            return send
+
+        def send_faulty(out_port: int, out_vc: int, flit: Flit) -> None:
             self._buffered_total -= 1
             target = targets[out_port]
             dst_router, dst_port = target
             if dst_router is not None:
+                if faults.on_link_traversal(rid, out_port, out_vc, flit,
+                                            self.cycle):
+                    # Dropped mid-link: the flit never arrives and the
+                    # spent credit leaks (ledgered for the watchdog).
+                    sanitizer = self._sanitizer
+                    if sanitizer is not None and sanitizer.fault_tolerant:
+                        sanitizer.note_drop(flit)
+                    return
                 stats.link_traversals += 1
                 self._pending_router_arrivals.append(
                     (dst_router, dst_port, out_vc, flit))
             else:
                 self._pending_ejections.append((dst_port, flit))
 
-        return send
+        return send_faulty
 
     def _make_credit_fn(self, rid: int):
         events = self._credit_events
@@ -305,13 +359,15 @@ class Network:
         """Attach a traffic source (``generate(cycle) -> [TrafficRequest]``)."""
         self.traffic_source = source
 
-    def submit(self, request: TrafficRequest) -> None:
+    def submit(self, request: TrafficRequest):
         """Directly enqueue one request at its source NI (trace replay and
-        cache-simulator driven modes use this)."""
-        self.nis[request.src].submit(request, self.cycle)
+        cache-simulator driven modes use this).  Returns the queued
+        packet."""
+        packet = self.nis[request.src].submit(request, self.cycle)
         if not self._ni_active[request.src]:
             self._ni_active[request.src] = True
             self._busy_ni_count += 1
+        return packet
 
     # ---------------------------------------------------------- main loop
 
@@ -321,6 +377,13 @@ class Network:
         # Direct step() calls invalidate the quiescence proof; the run
         # loop's _quiet_step wrapper re-establishes it after stepping.
         self._quiet = False
+        if self._fault_tick:
+            # Credit watchdog (fires on its period when losses are
+            # outstanding).  Runs before anything else so restored credits
+            # are usable this very cycle — the restoration's first effect
+            # is then ordinary activity, which keeps the quiescence proof
+            # untouched.
+            self._faults.begin_cycle(now, self)
         profile = self._profile
         if profile and (self._pending_router_arrivals
                         or self._pending_ejections):
@@ -434,10 +497,28 @@ class Network:
     def _may_skip(self) -> bool:
         """Quiescence precondition: nothing due next cycle, and the router
         state proven at fixed point — either because the last stepped cycle
-        had zero activity, or vacuously (no flit buffered anywhere)."""
+        had zero activity, or vacuously (no flit buffered anywhere).
+
+        With fail-stop faults armed, a proof made at ``_proof_cycle`` is
+        void for any buffered router that has revived since: it never ran
+        during the proof cycle, so its heads — stale ``ready_at``, no
+        wakeup pinned — are *not* provably credit-blocked and become
+        movable the moment the router comes back (DESIGN.md §13)."""
         if self._pending_router_arrivals or self._pending_ejections:
             return False
-        return self._quiet or self._buffered_total == 0
+        if self._buffered_total == 0:
+            return True
+        if not self._quiet:
+            return False
+        faults = self._faults
+        if faults is not None and faults.affects_routers:
+            now = self.cycle
+            proof = self._proof_cycle
+            for router in self.routers:
+                if router._buffered and faults.revived_since(
+                        router.router_id, now, proof):
+                    return False
+        return True
 
     def _quiet_step(self) -> None:
         """Step once, recording whether the cycle had zero activity.
@@ -461,6 +542,7 @@ class Network:
                        and stats.decompression_ops == decomp
                        and not self._pending_router_arrivals
                        and not self._pending_ejections)
+        self._proof_cycle = self.cycle - 1
 
     def _skip_horizon(self, end: int) -> int:
         """Earliest cycle in ``[self.cycle, end]`` at which anything can
@@ -475,6 +557,14 @@ class Network:
         """
         now = self.cycle
         horizon = end
+        faults = self._faults
+        if faults is not None and faults.has_events:
+            # Scheduled faults (stuck-at / fail-stop window boundaries) and
+            # pending watchdog ticks pin wakeups: a skip must never jump
+            # over a router dying, reviving, or a credit resync.
+            event = faults.next_event(now)
+            if event is not None and event < horizon:
+                horizon = event
         source = self.traffic_source
         if source is not None:
             arrival = source.next_arrival(now, end - 1)
@@ -511,8 +601,20 @@ class Network:
         """
         skipped = target - self.cycle
         if self._buffered_total:
-            for router in self.routers:
-                router.skip_cycles(skipped)
+            faults = self._faults
+            if faults is not None and faults.affects_routers:
+                # A skip window never crosses a fail-stop boundary (pinned
+                # by _skip_horizon), so each router is uniformly dead or
+                # alive across it.  Dead routers run no pipeline stage in
+                # stepped cycles, so their VA rotation must not be
+                # replayed either.
+                now = self.cycle
+                for router in self.routers:
+                    if not faults.router_dead(router.router_id, now):
+                        router.skip_cycles(skipped)
+            else:
+                for router in self.routers:
+                    router.skip_cycles(skipped)
         if self._sanitizer is not None:
             self._sanitizer.after_skip(self.cycle, target)
         self.cycle = target
@@ -537,6 +639,18 @@ class Network:
                 self._busy_ni_count += 1
 
     def _cycle_routers(self, now: int) -> None:
+        faults = self._faults
+        if faults is not None and faults.affects_routers:
+            for router in self.routers:
+                rid = router.router_id
+                if faults.router_dead(rid, now):
+                    # Fail-stop window: no pipeline stage runs, buffered
+                    # flits freeze (arrivals are still accepted — the
+                    # buffers themselves are not the failed logic).
+                    continue
+                router.cycle(now, self._route_fns[rid], self._send_fns[rid],
+                             self._credit_fns[rid])
+            return
         for router in self.routers:
             rid = router.router_id
             router.cycle(now, self._route_fns[rid], self._send_fns[rid],
@@ -549,10 +663,14 @@ class Network:
         targets = self._credit_targets
         nis = self.nis
         routers = self.routers
+        faults = self._faults
+        swallow = faults is not None and faults.affects_credits
         for rid, in_port, vc in events:
             target = targets[rid][in_port]
             if target is None:  # pragma: no cover - impossible by wiring
                 continue
+            if swallow and faults.swallow_credit(rid, in_port, vc, target):
+                continue  # credit message lost in transit (ledgered)
             if target[0]:  # local port: credit the attached NI
                 nis[target[1]].credit(vc)
             else:

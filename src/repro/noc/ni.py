@@ -69,6 +69,9 @@ class NetworkInterface:
         #: §4.3 latency-hiding optimization: compression overlaps with NI
         #: queueing.  Disable to quantify the optimization (ablation).
         self.overlap_compression = overlap_compression
+        #: Fault-injection layer (repro.faults), attached by the network
+        #: when ``config.faults`` is set; None leaves every hook dormant.
+        self._fault_layer = None
         self._queue: deque[Packet] = deque()
         self._current_flits: Optional[List[Flit]] = None
         self._current_index = 0
@@ -80,6 +83,11 @@ class NetworkInterface:
         #: Notifications waiting to be packetized.
         self._outbound_notifications: deque[Notification] = deque()
 
+    def attach_fault_layer(self, layer) -> None:
+        """Wire the fault-injection layer's NI hooks (network construction
+        time, before any simulation)."""
+        self._fault_layer = layer
+
     # ----------------------------------------------------------- ingress
 
     def submit(self, request: TrafficRequest, now: int) -> Packet:
@@ -88,6 +96,10 @@ class NetworkInterface:
             raise ValueError(
                 f"request for node {request.src} submitted to NI "
                 f"{self.node_id}")
+        layer = self._fault_layer
+        if layer is not None and request.kind is PacketKind.DATA:
+            # Graceful degradation may force the block exact (§13).
+            request = layer.on_submit_request(request, now)
         if request.kind is PacketKind.DATA:
             if request.block is None:
                 raise ValueError("data packets must carry a cache block")
@@ -106,6 +118,8 @@ class NetworkInterface:
             packet = Packet(src=request.src, dst=request.dst,
                             kind=request.kind, created=now, inject_ready=now)
         self._queue.append(packet)
+        if layer is not None:
+            layer.on_packet_queued(self, packet, now)
         return packet
 
     def credit(self, vc: int) -> None:
@@ -172,14 +186,18 @@ class NetworkInterface:
         return horizon
 
     def audit_credits(self, local_occupancy: List[int],
-                      vc_depth: int) -> List[str]:
+                      vc_depth: int,
+                      missing: Optional[List[int]] = None) -> List[str]:
         """NoCSan hook: check this NI's credit view per VC.
 
         ``local_occupancy[vc]`` is the current buffer occupancy of the
         router's local input port.  At the end of a network step (credits
         applied, injection synchronous) ``credits + occupancy`` must equal
         ``vc_depth`` exactly; anything else means a credit was lost,
-        duplicated or stolen.
+        duplicated or stolen.  ``missing[vc]`` discounts credits the fault
+        injector is known to have swallowed (outstanding until the
+        watchdog resynchronizes them); without recovery the strict
+        equation stands and a swallowed credit is a violation.
         """
         violations: List[str] = []
         for vc, credits in enumerate(self._credits):
@@ -187,10 +205,12 @@ class NetworkInterface:
                 violations.append(f"vc {vc}: negative credit count "
                                   f"{credits}")
             occupancy = local_occupancy[vc]
-            if credits + occupancy != vc_depth:
+            expected = vc_depth - (missing[vc] if missing is not None else 0)
+            if credits + occupancy != expected:
                 violations.append(
                     f"vc {vc}: credits {credits} + local-port occupancy "
-                    f"{occupancy} != vc_depth {vc_depth}")
+                    f"{occupancy} != expected {expected} "
+                    f"(vc_depth {vc_depth})")
         return violations
 
     # --------------------------------------------------------- injection
@@ -277,8 +297,25 @@ class NetworkInterface:
             due, packet = self._pending_decodes.popleft()
             result = self.codec.decode(packet.encoded, packet.src)
             self.stats.decompression_ops += 1
+            block = result.block
+            fault = packet.fault
+            if fault is not None and fault.corrupted:
+                # Injected corruption damages the *delivered* value, after
+                # decode — the codec and dictionary state stay clean.
+                block = fault.apply(block)
+                layer = self._fault_layer
+                if layer is not None and layer.reject_corrupt(self, packet,
+                                                              now):
+                    # CRC rejected: consumed (a NACK is queued in its
+                    # place); protocol notifications still apply — the
+                    # decoders already learned from the encoded stream.
+                    for notification in result.notifications:
+                        self._outbound_notifications.append(notification)
+                    continue
+                if layer is not None:
+                    layer.on_delivery(self, packet, block, now)
             self._complete(packet, decode_latency=now - packet.tail_ejected,
-                           now=now, delivered_block=result.block)
+                           now=now, delivered_block=block)
             for notification in result.notifications:
                 self._outbound_notifications.append(notification)
         while self._outbound_notifications:
@@ -293,6 +330,11 @@ class NetworkInterface:
         """Record delivery and hand the payload to the attached consumer."""
         if packet.kind is PacketKind.NOTIFICATION:
             self.codec.deliver_notification(packet.notification)
+        elif packet.kind is PacketKind.NACK \
+                and self._fault_layer is not None:
+            # This node's earlier transmission was CRC-rejected at the
+            # destination: retransmit within the retry budget.
+            self._fault_layer.on_nack(self, packet, now)
         self.stats.record_delivery(packet, decode_latency)
         if self.on_deliver is not None:
             self.on_deliver(packet, delivered_block, now)

@@ -27,10 +27,14 @@ class PacketKind(enum.Enum):
     CONTROL = "control"
     DATA = "data"
     NOTIFICATION = "notification"
+    #: Fault-recovery negative acknowledgement (repro.faults): asks the
+    #: source to retransmit a CRC-rejected data packet.
+    NACK = "nack"
 
     @property
     def is_single_flit(self) -> bool:
-        """Control and protocol packets fit in one flit."""
+        """Control and protocol packets (including NACKs) fit in one
+        flit."""
         return self is not PacketKind.DATA
 
 
@@ -61,6 +65,10 @@ class Packet:
     head_injected: int = -1
     #: Cycle the tail flit was ejected at the destination.
     tail_ejected: int = -1
+    #: Fault-injection metadata (repro.faults.inject.PacketFaultState):
+    #: recorded corruption on data packets, the NACKed pid on NACKs.
+    #: Always None when fault injection is off.
+    fault: Optional[object] = None
     pid: int = field(default_factory=lambda: next(_packet_ids))
 
     def __post_init__(self) -> None:

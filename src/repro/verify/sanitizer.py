@@ -32,6 +32,20 @@ advances:
 Violations raise :class:`SanitizerError` carrying cycle/router/port/VC
 context and the tail of a replayable event trace.
 
+**Fault awareness** (DESIGN.md §13): with fault injection armed *and*
+recovery enabled, NoCSan accounts for the damage the injector declares —
+dropped flits leave conservation through :meth:`NocSanitizer.note_drop`,
+outstanding swallowed credits are discounted from the credit equations
+until the watchdog restores them, and corrupt-but-delivered payloads are
+checked against the injected XOR trail exactly.  With recovery *disabled*
+the strict invariants stand, which is what makes NoCSan the ground-truth
+fault detector: every injected fault class trips a specific invariant
+(bit-flips/stuck-at -> ``error-bound``, drops -> ``flit-conservation``,
+credit loss -> ``credit-conservation``, fail-stop -> ``starvation``).
+The starvation age is tunable via the ``REPRO_SANITIZE_MAX_AGE``
+environment variable so fail-stop detection tests need not simulate
+100k cycles.
+
 The cheap per-cycle check is O(#routers); the expensive audits run every
 ``deep_interval`` cycles (default 16) so sanitized runs stay usable for
 whole test suites.  When the sanitizer is *disabled*, ``Network`` skips the
@@ -131,8 +145,12 @@ class NocSanitizer:
     #: Events retained for the replayable trace tail.
     TRACE_LEN = 64
 
-    def __init__(self, network: "Network", max_flit_age: int = 100_000,
+    def __init__(self, network: "Network",
+                 max_flit_age: Optional[int] = None,
                  deep_interval: int = 16):
+        if max_flit_age is None:
+            env = os.environ.get("REPRO_SANITIZE_MAX_AGE", "")
+            max_flit_age = int(env) if env else 100_000
         if max_flit_age < 1:
             raise ValueError(f"max_flit_age must be >= 1, got {max_flit_age}")
         if deep_interval < 1:
@@ -143,6 +161,15 @@ class NocSanitizer:
         self.deep_interval = deep_interval
         self.injected = 0
         self.delivered = 0
+        #: Flits the fault injector dropped mid-link (fault-tolerant mode
+        #: only; in detector mode drops violate flit conservation instead).
+        self.dropped = 0
+        #: Fault-injection layer, when armed (None otherwise).
+        self._faults = getattr(network, "_faults", None)
+        #: Tolerant mode: discount injector-declared damage instead of
+        #: flagging it (recovery is on, so the damage is being repaired).
+        self.fault_tolerant = (self._faults is not None
+                               and self._faults.recovery_enabled)
         #: id(flit) -> (injection cycle, flit); live flits only.
         self._births: Dict[int, Tuple[int, Flit]] = {}
         #: (router, port, vc) -> flits ejected through that output VC.
@@ -216,6 +243,14 @@ class NocSanitizer:
 
         return credit
 
+    def note_drop(self, flit: Flit) -> None:
+        """The fault injector dropped ``flit`` mid-link (fault-tolerant
+        mode): retire it from conservation so the loss is accounted, not
+        flagged."""
+        self.dropped += 1
+        self._births.pop(id(flit), None)
+        self._trace.append(("drop", self.network.cycle, flit.packet.pid))
+
     def wrap_deliver(self, node: int,
                      fn: Optional[Callable[[Packet, Optional[CacheBlock],
                                             int], None]]
@@ -227,13 +262,39 @@ class NocSanitizer:
                     now: int) -> None:
             trace.append(("deliver", now, node, packet.pid))
             if block is not None and packet.encoded is not None:
-                self._check_delivered_block(packet, block)
+                fault = packet.fault
+                if (fault is not None and self.fault_tolerant
+                        and fault.corrupted):
+                    # Injector-corrupted payload delivered in tolerant
+                    # mode (CRC retransmission off): check it against the
+                    # declared XOR trail instead of the encoder promise.
+                    self._check_faulted_block(packet, block)
+                else:
+                    self._check_delivered_block(packet, block)
             if fn is not None:
                 fn(packet, block, now)
 
         return deliver
 
     # -------------------------------------------------- error-bound oracle
+
+    def _check_faulted_block(self, packet: Packet,
+                             block: CacheBlock) -> None:
+        """Recheck a corrupt-but-delivered payload against the fault
+        injector's declared damage: each word must equal the encoder's
+        promise XOR the recorded corruption masks — no more, no less."""
+        words = packet.encoded.words
+        expected = [enc.decoded for enc in words]
+        n = len(expected)
+        for index, mask in packet.fault.xors:
+            expected[index % n] ^= mask
+        for index, (word, want) in enumerate(zip(block.words, expected)):
+            if word != want:
+                self._fail(
+                    "error-bound",
+                    f"packet {packet.pid} word {index}: delivered "
+                    f"{word:#010x} but the encoder promise plus the "
+                    f"injected corruption trail gives {want:#010x}")
 
     def _check_delivered_block(self, packet: Packet,
                                block: CacheBlock) -> None:
@@ -317,10 +378,12 @@ class NocSanitizer:
         network = self.network
         buffered = sum(router._buffered for router in network.routers)
         in_flight = len(network._pending_router_arrivals)
-        if self.injected - self.delivered != buffered + in_flight:
+        if self.injected - self.delivered - self.dropped \
+                != buffered + in_flight:
             self._fail(
                 "flit-conservation",
                 f"injected {self.injected} - delivered {self.delivered} "
+                f"- dropped {self.dropped} "
                 f"!= buffered {buffered} + in-flight {in_flight}")
         # Skip-accounting cross-check: the O(1) counters behind idle() and
         # the event-horizon quiescence proof must match full recounts
@@ -379,6 +442,13 @@ class NocSanitizer:
             in_flight[key] = in_flight.get(key, 0) + 1
         topology = network.topology
         from repro.noc.network import EJECTION_CREDITS
+        # Tolerant mode discounts credits the injector declares swallowed
+        # (outstanding until the watchdog restores them); detector mode
+        # keeps the strict equations, so a swallowed credit is flagged.
+        lost_link = (self._faults.lost_link_credits
+                     if self.fault_tolerant else None)
+        lost_ni = (self._faults.lost_ni_credits
+                   if self.fault_tolerant else None)
         for router in network.routers:
             rid = router.router_id
             for port in range(topology.ports_per_router):
@@ -391,13 +461,17 @@ class NocSanitizer:
                             downstream.inputs[link.dst_port][vc].buffer)
                         flying = in_flight.get(
                             (link.dst_router, link.dst_port, vc), 0)
-                        if credits + occupancy + flying != vc_depth:
+                        expected = vc_depth
+                        if lost_link is not None:
+                            expected -= lost_link.get((rid, port, vc), 0)
+                        if credits + occupancy + flying != expected:
                             self._fail(
                                 "credit-conservation",
                                 f"link r{rid}:{DIRECTION_NAMES[port]} vc "
                                 f"{vc}: credits {credits} + downstream "
                                 f"occupancy {occupancy} + in-flight "
-                                f"{flying} != vc_depth {vc_depth}",
+                                f"{flying} != expected {expected} "
+                                f"(vc_depth {vc_depth})",
                                 router=rid, port=port, vc=vc)
                     elif port >= NUM_DIRECTIONS:
                         consumed = EJECTION_CREDITS - credits
@@ -414,7 +488,11 @@ class NocSanitizer:
             router = network.routers[rid]
             occupancy = [len(router.inputs[local_port][vc].buffer)
                          for vc in range(num_vcs)]
-            for message in ni.audit_credits(occupancy, vc_depth):
+            missing = None
+            if lost_ni is not None:
+                missing = [lost_ni.get((ni.node_id, vc), 0)
+                           for vc in range(num_vcs)]
+            for message in ni.audit_credits(occupancy, vc_depth, missing):
                 self._fail("credit-conservation",
                            f"NI {ni.node_id}: {message}",
                            router=rid, port=local_port)

@@ -25,7 +25,10 @@ source:
   internally consistent (positive depths, ejection-credit sentinel
   strictly above any real credit pool);
 * ``VERIFY203 degenerate-traffic``— a network with fewer than two nodes
-  carries no traffic (warning).
+  carries no traffic (warning);
+* ``VERIFY204 fault-config``      — an attached ``FaultConfig`` must be
+  well-formed: rates are probabilities in [0, 1], durations/periods are
+  positive cycles, budgets non-negative, switches plain booleans.
 
 ``ensure_network_verified`` is the cached entry point ``Network.__init__``
 calls: one graph check per distinct ``(config, routing)`` per process.
@@ -37,6 +40,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.faults.config import FaultConfig
 from repro.noc.config import NocConfig
 from repro.noc.routing import (
     ROUTING_FUNCTIONS,
@@ -59,7 +63,7 @@ VALIDATED_CONFIG_FIELDS = frozenset({
     "mesh_width", "mesh_height", "concentration", "num_vcs", "vc_depth",
     "flit_bytes", "router_stages", "link_cycles", "block_bytes",
     "frequency_ghz", "overlap_compression", "sanitize", "event_horizon",
-    "profile_phases",
+    "profile_phases", "faults",
 })
 
 #: Fields that must be integers >= 1.
@@ -180,6 +184,65 @@ def _check_config_fields(config: NocConfig) -> List[Violation]:
     return violations
 
 
+#: FaultConfig probability fields (must lie in [0, 1]).
+_FAULT_RATE_FIELDS = ("bitflip_rate", "drop_rate", "stuck_rate",
+                      "credit_loss_rate", "failstop_rate")
+
+#: FaultConfig cycle-count fields that must be integers >= 1.
+_FAULT_POSITIVE_FIELDS = ("stuck_duration", "failstop_duration",
+                          "retx_buffer", "watchdog_period", "degrade_window")
+
+#: FaultConfig fields that must be integers >= 0.
+_FAULT_NONNEG_FIELDS = ("seed", "retry_budget", "backoff_base")
+
+#: FaultConfig switches that must be plain booleans.
+_FAULT_BOOL_FIELDS = ("recovery", "crc_retx", "credit_watchdog", "degrade")
+
+
+def _check_fault_config(config: NocConfig) -> List[Violation]:
+    """VERIFY204: an attached FaultConfig must be well-formed."""
+    faults = getattr(config, "faults", None)
+    if faults is None:
+        return []
+    if not isinstance(faults, FaultConfig):
+        return [Violation(
+            code="VERIFY204", rule="fault-config", severity="error",
+            message=f"faults must be a FaultConfig or None, got "
+                    f"{type(faults).__name__}")]
+    violations: List[Violation] = []
+    for name in _FAULT_RATE_FIELDS:
+        value = getattr(faults, name, None)
+        if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                or not 0.0 <= value <= 1.0:
+            violations.append(Violation(
+                code="VERIFY204", rule="fault-config", severity="error",
+                message=f"faults.{name} must be a probability in [0, 1], "
+                        f"got {value!r}"))
+    for name in _FAULT_POSITIVE_FIELDS:
+        value = getattr(faults, name, None)
+        if not isinstance(value, int) or isinstance(value, bool) \
+                or value < 1:
+            violations.append(Violation(
+                code="VERIFY204", rule="fault-config", severity="error",
+                message=f"faults.{name} must be an integer >= 1, "
+                        f"got {value!r}"))
+    for name in _FAULT_NONNEG_FIELDS:
+        value = getattr(faults, name, None)
+        if not isinstance(value, int) or isinstance(value, bool) \
+                or value < 0:
+            violations.append(Violation(
+                code="VERIFY204", rule="fault-config", severity="error",
+                message=f"faults.{name} must be an integer >= 0, "
+                        f"got {value!r}"))
+    for name in _FAULT_BOOL_FIELDS:
+        value = getattr(faults, name, None)
+        if not isinstance(value, bool):
+            violations.append(Violation(
+                code="VERIFY204", rule="fault-config", severity="error",
+                message=f"faults.{name} must be a bool, got {value!r}"))
+    return violations
+
+
 def _check_credit_consistency(config: NocConfig) -> List[Violation]:
     """VERIFY202: VC/buffer/credit parameters internally consistent."""
     violations: List[Violation] = []
@@ -295,6 +358,7 @@ def verify_config(config: NocConfig, routing: str = "xy"
     properties = get_routing_properties(routing)
     report = VerificationReport(config=config, routing=routing)
     report.violations.extend(_check_config_fields(config))
+    report.violations.extend(_check_fault_config(config))
     report.violations.extend(_check_credit_consistency(config))
     report.violations.extend(_check_escape_vc(config, routing))
     if any(v.severity == "error" and v.code == "VERIFY201"

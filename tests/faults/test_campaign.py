@@ -1,0 +1,151 @@
+"""Campaign driver + CLI + NoCSan detection coverage (DESIGN.md §13).
+
+The headline robustness claim rides on :func:`detection_coverage`: with
+recovery disabled and NoCSan armed, every injected fault class must trip a
+sanitizer invariant — the sanitizer is the campaign's ground-truth
+detector.
+"""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.faults.__main__ import main as faults_main
+from repro.faults.campaign import (
+    FAULT_CLASSES,
+    detection_coverage,
+    fault_config_for,
+    format_campaign,
+    run_campaign,
+)
+from repro.harness.experiment import benchmark_trace
+from repro.noc.config import TINY_CONFIG
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return benchmark_trace(TINY_CONFIG, "ssca2", 900, seed=11)
+
+
+#: Sanitizer invariant each fault class must trip in detector mode.
+EXPECTED_INVARIANT = {
+    "bitflip": "error-bound",
+    "drop": "flit-conservation",
+    "stuck": "error-bound",
+    "credit_loss": "credit-conservation",
+    "failstop": "starvation",
+}
+
+
+class TestDetectionCoverage:
+    def test_every_fault_class_detected(self, trace):
+        coverage = detection_coverage(TINY_CONFIG, trace, warmup=300,
+                                      measure=600)
+        assert set(coverage) == set(FAULT_CLASSES)
+        missed = [cls for cls, inv in coverage.items() if inv is None]
+        assert not missed, f"NoCSan missed fault classes: {missed}"
+
+    def test_detected_invariants_match_fault_semantics(self, trace):
+        coverage = detection_coverage(TINY_CONFIG, trace, warmup=300,
+                                      measure=600)
+        for fault_class, invariant in coverage.items():
+            assert invariant == EXPECTED_INVARIANT[fault_class], \
+                f"{fault_class} tripped {invariant!r}"
+
+
+class TestFaultConfigFor:
+    def test_arms_exactly_one_class(self):
+        config = fault_config_for("drop", 0.01, recovery=True)
+        assert config.drop_rate == 0.01
+        assert config.bitflip_rate == 0.0
+        assert config.recovery
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault class"):
+            fault_config_for("gamma_ray", 0.01, recovery=False)
+
+    def test_overrides_forwarded(self):
+        config = fault_config_for("bitflip", 0.01, recovery=True,
+                                  retry_budget=9)
+        assert config.retry_budget == 9
+
+
+class TestRunCampaign:
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        return run_campaign(config=TINY_CONFIG,
+                            mechanisms=("Baseline",),
+                            classes=("bitflip", "drop"),
+                            rates=(0.0, 0.01),
+                            trace_cycles=900, warmup=300, measure=600,
+                            detect=False)
+
+    def test_point_matrix_complete(self, campaign):
+        # 1 mechanism x 2 classes x 2 rates x 2 recovery modes
+        assert len(campaign.points) == 8
+        keys = {(p.fault_class, p.rate, p.recovery)
+                for p in campaign.points}
+        assert len(keys) == 8
+
+    def test_rate_zero_points_clean(self, campaign):
+        for p in campaign.points:
+            if p.rate == 0.0:
+                assert p.counters["faults_injected"] == 0
+                assert p.max_rel_error == 0.0
+
+    def test_recovery_restores_threshold(self, campaign):
+        for p in campaign.points:
+            if p.rate > 0 and p.recovery:
+                assert p.within_threshold
+                assert p.retx_flit_overhead > 0.0
+
+    def test_json_artifact_shape(self, campaign):
+        payload = campaign.to_json_dict()
+        json.dumps(payload)  # JSON-safe end to end
+        assert len(payload["points"]) == len(campaign.points)
+        row = payload["points"][0]
+        for key in ("mechanism", "fault_class", "rate", "recovery",
+                    "max_rel_error", "words_over_threshold",
+                    "retx_flit_overhead", "within_threshold", "counters"):
+            assert key in row
+
+    def test_format_is_human_readable(self, campaign):
+        text = format_campaign(campaign)
+        assert "mechanism" in text
+        assert "bitflip" in text
+
+    def test_campaign_reproducible(self, campaign):
+        again = run_campaign(config=TINY_CONFIG,
+                             mechanisms=("Baseline",),
+                             classes=("bitflip", "drop"),
+                             rates=(0.0, 0.01),
+                             trace_cycles=900, warmup=300, measure=600,
+                             detect=False)
+        assert again.to_json_dict() == campaign.to_json_dict()
+
+
+class TestCli:
+    def test_smoke_campaign_writes_artifact(self, tmp_path, capsys):
+        artifact = tmp_path / "campaign.json"
+        status = faults_main(["--smoke", "--quiet",
+                              "--mechanisms", "Baseline",
+                              "--classes", "bitflip",
+                              "--rates", "0.01",
+                              "--json", str(artifact)])
+        assert status == 0
+        payload = json.loads(artifact.read_text())
+        assert payload["detection_coverage"] == 1.0
+        out = capsys.readouterr().out
+        assert "coverage: 100%" in out
+
+    def test_no_detect_skips_coverage_pass(self, tmp_path):
+        artifact = tmp_path / "campaign.json"
+        status = faults_main(["--smoke", "--quiet", "--no-detect",
+                              "--mechanisms", "Baseline",
+                              "--classes", "bitflip",
+                              "--rates", "0.0",
+                              "--json", str(artifact)])
+        assert status == 0
+        payload = json.loads(artifact.read_text())
+        assert payload["detection"] == {}

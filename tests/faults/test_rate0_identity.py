@@ -1,0 +1,137 @@
+"""Rate-0 bit-identity and fault-run horizon equivalence (DESIGN.md §13).
+
+Two contracts:
+
+* an all-zero :class:`FaultConfig` builds the injection plumbing but must
+  leave every observable bit-identical to ``faults=None`` — with the event
+  horizon on *and* off;
+* with faults armed, an event-horizon run must stay bit-identical to a
+  forced always-step run of the identical workload (the §12 equivalence
+  contract extends to §13: traversal-coupled faults ride on activity,
+  scheduled faults pin skip wakeups).
+"""
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faults import FaultConfig
+from repro.harness.experiment import make_scheme
+from repro.noc import Network
+from repro.noc.config import TINY_CONFIG
+from repro.traffic import SyntheticTraffic
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _unsanitized():
+    """Detector-mode cases (recovery off, faults armed) intentionally
+    violate NoCSan invariants, so a CI-level ``REPRO_SANITIZE=1`` must
+    not instrument these runs: equivalence is compared on the plain
+    simulator.  Sanitized fault runs are covered by the campaign smoke
+    (CI chaos job) and the detection-coverage tests."""
+    mp = pytest.MonkeyPatch()
+    mp.delenv("REPRO_SANITIZE", raising=False)
+    yield
+    mp.undo()
+
+
+def run_one(config, mechanism="FP-VAXX", rate=0.02, seed=3, cycles=2000,
+            drain_budget=50_000):
+    """One full run: (network, delivery stream, drained?)."""
+    deliveries = []
+    network = Network(
+        config, make_scheme(mechanism, config.n_nodes),
+        on_deliver=lambda packet, block, now: deliveries.append(
+            (packet.src, packet.dst, packet.kind.value, now,
+             tuple(block.words) if block else None)))
+    network.set_traffic(SyntheticTraffic(config, injection_rate=rate,
+                                         seed=seed))
+    network.run(cycles)
+    drained = network.drain(drain_budget)
+    return network, deliveries, drained
+
+
+def observables(network, deliveries, drained):
+    return (network.stats.simulation_outputs(), deliveries, drained,
+            network.cycle)
+
+
+class TestRateZeroIdentity:
+    """All-zero FaultConfig == faults=None, bit for bit."""
+
+    @pytest.mark.parametrize("event_horizon", [True, False])
+    def test_zero_rates_identical_to_no_faults(self, event_horizon):
+        base = replace(TINY_CONFIG, event_horizon=event_horizon)
+        bare = run_one(replace(base, faults=None))
+        armed = run_one(replace(base, faults=FaultConfig()))
+        assert observables(*bare) == observables(*armed)
+        # The plumbing was genuinely built, not skipped.
+        assert armed[0]._faults is not None
+        assert armed[0]._faults.summary()["faults_injected"] == 0
+
+    @pytest.mark.parametrize("event_horizon", [True, False])
+    def test_zero_rates_with_recovery_enabled(self, event_horizon):
+        """Recovery machinery armed but never triggered changes nothing."""
+        base = replace(TINY_CONFIG, event_horizon=event_horizon)
+        bare = run_one(replace(base, faults=None))
+        armed = run_one(replace(base, faults=FaultConfig(recovery=True)))
+        assert observables(*bare) == observables(*armed)
+        assert armed[0]._faults.recovery_enabled
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1),
+           mechanism=st.sampled_from(["Baseline", "FP-VAXX", "DI-COMP"]))
+    def test_property_rate0_identity(self, seed, mechanism):
+        bare = run_one(TINY_CONFIG, mechanism=mechanism, seed=seed,
+                       cycles=800)
+        armed = run_one(replace(TINY_CONFIG, faults=FaultConfig(seed=seed)),
+                        mechanism=mechanism, seed=seed, cycles=800)
+        assert observables(*bare) == observables(*armed)
+
+
+def assert_horizon_equivalent(faults, rate=0.01, seed=3, cycles=2500):
+    """Skip-mode and always-step fault runs agree on every observable,
+    including the injection/recovery counters."""
+    skip = run_one(replace(TINY_CONFIG, faults=faults, event_horizon=True),
+                   rate=rate, seed=seed, cycles=cycles)
+    step = run_one(replace(TINY_CONFIG, faults=faults, event_horizon=False),
+                   rate=rate, seed=seed, cycles=cycles)
+    assert step[0].stats.skipped_cycles == 0
+    assert observables(*skip) == observables(*step)
+    assert skip[0]._faults.summary() == step[0]._faults.summary()
+    return skip[0]
+
+
+class TestFaultHorizonEquivalence:
+    """Armed faults stay bit-identical under the event horizon."""
+
+    @pytest.mark.parametrize("fault_kwargs", [
+        {"bitflip_rate": 0.01},
+        {"drop_rate": 0.01},
+        {"stuck_rate": 0.002},
+        {"credit_loss_rate": 0.01},
+        {"failstop_rate": 0.002},
+        {"failstop_rate": 0.01, "failstop_duration": 50},
+    ], ids=["bitflip", "drop", "stuck", "credit_loss", "failstop",
+            "failstop_short_windows"])
+    @pytest.mark.parametrize("recovery", [True, False])
+    def test_single_class(self, fault_kwargs, recovery):
+        assert_horizon_equivalent(FaultConfig(recovery=recovery,
+                                              **fault_kwargs))
+
+    def test_all_classes_at_once(self):
+        net = assert_horizon_equivalent(FaultConfig(
+            bitflip_rate=0.005, drop_rate=0.005, stuck_rate=0.001,
+            credit_loss_rate=0.005, failstop_rate=0.001, recovery=True))
+        assert net.stats.skipped_cycles > 0  # the fast path really ran
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_property_failstop_equivalence(self, seed):
+        """Fail-stop is the hard case: frozen flits must survive skips
+        (revival voids the quiescence proof; DESIGN.md §13)."""
+        assert_horizon_equivalent(
+            FaultConfig(failstop_rate=0.005, failstop_duration=100,
+                        recovery=True),
+            seed=seed, cycles=1500)

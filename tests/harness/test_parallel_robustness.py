@@ -1,0 +1,191 @@
+"""Crash tolerance of the parallel engine (run_specs).
+
+A sweep must survive its weakest point: per-spec timeouts, workers that
+die mid-run (OOM-kill stand-in: ``os._exit``), deterministic in-run
+exceptions and interrupts all end as *recorded* :class:`SpecOutcome`
+failures — never a lost sweep — while unaffected specs still complete.
+
+Worker-side fault injection works by monkeypatching
+``parallel_mod.execute_spec`` in the parent: the pool forks on Linux, so
+children inherit the patched module.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.harness import parallel as parallel_mod
+from repro.harness.parallel import (
+    RunSpec,
+    execute_spec,
+    load_cached,
+    parallel_map,
+    run_specs,
+)
+from repro.noc import NocConfig
+
+SMALL = NocConfig(mesh_width=2, mesh_height=2, concentration=2)
+
+#: Seed marking the spec a patched execute_spec should sabotage.
+DOOMED_SEED = 4242
+
+
+def small_spec(**overrides) -> RunSpec:
+    kw = dict(config=SMALL, mechanism="Baseline", benchmark="ssca2",
+              trace_cycles=900, warmup=350, measure=350)
+    kw.update(overrides)
+    return RunSpec(**kw)
+
+
+def doomed_spec(**overrides) -> RunSpec:
+    return small_spec(seed=DOOMED_SEED, **overrides)
+
+
+@pytest.fixture
+def cache(tmp_path, monkeypatch):
+    monkeypatch.setenv(parallel_mod.CACHE_DIR_ENV, str(tmp_path))
+    return tmp_path
+
+
+def sabotage(monkeypatch, misbehave):
+    """Patch execute_spec to ``misbehave(spec)`` on the doomed seed and
+    run everything else for real."""
+    real = execute_spec
+
+    def patched(spec):
+        if spec.seed == DOOMED_SEED:
+            return misbehave(spec)
+        return real(spec)
+
+    monkeypatch.setattr(parallel_mod, "execute_spec", patched)
+
+
+class TestOutcomeContract:
+    def test_outcomes_keep_spec_order(self, cache):
+        specs = [small_spec(mechanism=m)
+                 for m in ("Baseline", "DI-COMP", "FP-VAXX")]
+        outcomes = run_specs(specs, workers=1)
+        assert [o.spec.mechanism for o in outcomes] == \
+            [s.mechanism for s in specs]
+        for outcome in outcomes:
+            assert outcome.ok and outcome.error is None
+            assert outcome.attempts == 1 and not outcome.cached
+
+    def test_cache_hits_marked(self, cache):
+        spec = small_spec()
+        run_specs([spec], workers=1)
+        [warm] = run_specs([spec], workers=1)
+        assert warm.ok and warm.cached and warm.attempts == 0
+
+    def test_serial_exception_recorded_not_raised(self, cache,
+                                                  monkeypatch):
+        def boom(spec):
+            raise ValueError("synthetic in-run failure")
+
+        sabotage(monkeypatch, boom)
+        outcomes = run_specs([small_spec(), doomed_spec()], workers=1)
+        good, bad = outcomes
+        assert good.ok
+        assert not bad.ok and bad.result is None
+        assert "ValueError" in bad.error
+        assert "synthetic in-run failure" in bad.error
+
+    def test_serial_keyboard_interrupt_propagates(self, cache,
+                                                  monkeypatch):
+        """^C must stop the sweep, not be swallowed as a failed spec."""
+        def interrupt(spec):
+            raise KeyboardInterrupt
+
+        sabotage(monkeypatch, interrupt)
+        with pytest.raises(KeyboardInterrupt):
+            run_specs([doomed_spec()], workers=1, use_cache=False)
+
+    def test_parallel_map_names_failed_specs(self, cache, monkeypatch):
+        def boom(spec):
+            raise ValueError("synthetic in-run failure")
+
+        sabotage(monkeypatch, boom)
+        with pytest.raises(RuntimeError, match="1/2 runs failed"):
+            parallel_map([small_spec(), doomed_spec()], workers=1)
+
+
+class TestPoolCrashTolerance:
+    def test_worker_exception_recorded_without_retry(self, cache,
+                                                     monkeypatch):
+        """A deterministic in-run exception would fail identically on
+        every retry, so it is recorded after one attempt."""
+        def boom(spec):
+            raise ValueError("synthetic in-run failure")
+
+        sabotage(monkeypatch, boom)
+        good, bad = run_specs([small_spec(), doomed_spec()], workers=2,
+                              retries=2, retry_backoff_s=0.0)
+        assert good.ok
+        assert not bad.ok and bad.attempts == 1
+        assert "ValueError" in bad.error
+
+    def test_killed_worker_recorded_as_failure(self, cache, monkeypatch):
+        """os._exit skips all cleanup — exactly what the OOM killer does
+        to a worker.  The doomed spec must end as a recorded failure
+        (after its retry budget) while its neighbour still completes."""
+        def die(spec):
+            os._exit(1)
+
+        sabotage(monkeypatch, die)
+        good, bad = run_specs([small_spec(), doomed_spec()], workers=2,
+                              retries=1, retry_backoff_s=0.0)
+        assert good.ok and good.result is not None
+        assert not bad.ok
+        assert bad.attempts == 2  # initial + one retry
+        assert "worker process died" in bad.error
+        assert "gave up after 2 attempt(s)" in bad.error
+
+    def test_failed_specs_never_cached(self, cache, monkeypatch):
+        def die(spec):
+            os._exit(1)
+
+        sabotage(monkeypatch, die)
+        good, bad = run_specs([small_spec(), doomed_spec()], workers=2,
+                              retries=0, retry_backoff_s=0.0)
+        assert load_cached(good.spec) is not None
+        assert load_cached(bad.spec) is None
+
+    def test_crash_once_then_retry_succeeds(self, cache, tmp_path,
+                                            monkeypatch):
+        """Transient deaths (the realistic OOM case) are healed by the
+        quarantine re-run: same spec, fresh pool, bit-identical result —
+        and the first (unattributed) crash costs no attempt."""
+        flag = tmp_path / "crashed-once"
+        real = execute_spec
+
+        def die_once(spec):
+            if not flag.exists():
+                flag.write_text("")
+                os._exit(1)
+            return real(spec)
+
+        sabotage(monkeypatch, die_once)
+        reference = real(doomed_spec())
+        good, healed = run_specs([small_spec(), doomed_spec()], workers=2,
+                                 retries=1, retry_backoff_s=0.0,
+                                 use_cache=False)
+        assert good.ok
+        assert healed.ok and healed.attempts == 1
+        assert (healed.result.simulation_outputs()
+                == reference.simulation_outputs())
+
+    def test_timeout_recorded_as_failure(self, cache, monkeypatch):
+        """A hung worker (runaway simulation) trips the per-spec wall
+        clock; the spec is recorded, the pool replaced, the rest of the
+        sweep completes."""
+        def hang(spec):
+            time.sleep(30)
+
+        sabotage(monkeypatch, hang)
+        good, bad = run_specs([small_spec(), doomed_spec()], workers=2,
+                              timeout_s=1.5, retries=0,
+                              retry_backoff_s=0.0)
+        assert good.ok
+        assert not bad.ok
+        assert "allowance" in bad.error
