@@ -8,7 +8,13 @@ Times, over fixed deterministic workloads:
 * event-horizon fast path — the same network skipping quiescent windows
   under uniform-random low-load traffic (DESIGN.md §12), reported both as
   seconds and as simulated cycles/second, next to a forced always-step
-  run of the identical workload.
+  run of the identical workload;
+* saturated-load stepping — an 8x8 mesh at 0.1 flits/node/cycle, run on
+  both the struct-of-arrays core and the object core (DESIGN.md §14),
+  with the wall clock split per step phase so regressions are
+  attributable to a phase rather than a total;
+* big-mesh stepping — the same load on 16x16, plus the numpy backend
+  when it is importable.
 
 Run standalone::
 
@@ -51,6 +57,13 @@ NETWORK_CYCLES = 1500
 #: DESIGN.md §12 for the amplification argument.)
 LOWLOAD_RATE = 0.002
 LOWLOAD_CYCLES = 60_000
+#: Saturated-load point (ISSUE 6): uniform-random traffic at 0.1
+#: *uncompressed flits* per node per cycle — the repo's injection-rate
+#: unit — on an 8x8 mesh, replayed under the Baseline scheme so the
+#: datapoint times network stepping rather than encode/decode.
+SATURATED_RATE = 0.1
+SATURATED_CYCLES = 1500
+BIGMESH_CYCLES = 600
 REPEATS = 3
 
 
@@ -101,19 +114,72 @@ def bench_avcl_evaluate() -> float:
     return _best(one_pass)
 
 
+def _replay_network(config: NocConfig, scheme_name: str,
+                    trace: list) -> Network:
+    """Fresh network replaying a recorded trace — the shared setup of
+    every ``network_step*`` datapoint (recording itself is untimed)."""
+    network = Network(config, make_scheme(scheme_name, config.n_nodes))
+    network.set_traffic(TraceTraffic(trace, loop=True))
+    return network
+
+
+def _timed_replay(config: NocConfig, scheme_name: str, trace: list,
+                  cycles: int) -> float:
+    """Best-of-``REPEATS`` wall time of one trace replay."""
+
+    def one_pass() -> float:
+        network = _replay_network(config, scheme_name, trace)
+        start = time.perf_counter()
+        network.run(cycles)
+        return time.perf_counter() - start
+
+    return _best(one_pass)
+
+
+def _phase_split_replay(config: NocConfig, scheme_name: str, trace: list,
+                        cycles: int):
+    """One replay with the wall clock split per step phase.
+
+    Wraps the network's router/deliver/credit phase methods with timing
+    shims (instance attributes shadow the bound methods, so ``step()``
+    picks them up); everything not covered is the NI/traffic/stats
+    remainder.  Returns ``(total_s, phases_s, network)``.
+    """
+    network = _replay_network(config, scheme_name, trace)
+    phases = {"router": 0.0, "deliver": 0.0, "credits": 0.0}
+    cycle_routers = network._cycle_routers
+    deliver = network._deliver_arrivals
+    credits = network._apply_credits
+    perf = time.perf_counter
+
+    def timed_routers(*args):
+        t0 = perf()
+        cycle_routers(*args)
+        phases["router"] += perf() - t0
+
+    def timed_deliver(*args):
+        t0 = perf()
+        deliver(*args)
+        phases["deliver"] += perf() - t0
+
+    def timed_credits(*args):
+        t0 = perf()
+        credits(*args)
+        phases["credits"] += perf() - t0
+
+    network._cycle_routers = timed_routers
+    network._deliver_arrivals = timed_deliver
+    network._apply_credits = timed_credits
+    start = perf()
+    network.run(cycles)
+    return perf() - start, phases, network
+
+
 def bench_network_step(sanitize: bool = False, faults=None) -> float:
     config = NocConfig(mesh_width=2, mesh_height=2, concentration=2,
                        sanitize=sanitize, faults=faults)
     trace = benchmark_trace(config, "ssca2", NETWORK_CYCLES, seed=11)
-
-    def one_pass() -> float:
-        network = Network(config, make_scheme("FP-VAXX", config.n_nodes))
-        network.set_traffic(TraceTraffic(trace, loop=True))
-        start = time.perf_counter()
-        network.run(NETWORK_CYCLES)
-        return time.perf_counter() - start
-
-    return _best(one_pass)
+    return _timed_replay(config, "FP-VAXX", trace, NETWORK_CYCLES)
 
 
 def bench_network_step_lowload() -> dict:
@@ -130,23 +196,23 @@ def bench_network_step_lowload() -> dict:
                               seed=13, data_ratio=1.0)
     trace = record_trace(source, LOWLOAD_CYCLES)
 
-    def one_pass(event_horizon: bool):
-        network = Network(replace(config, event_horizon=event_horizon),
-                          make_scheme("FP-VAXX", config.n_nodes))
-        network.set_traffic(TraceTraffic(trace, loop=True))
-        start = time.perf_counter()
+    def run_once(event_horizon: bool) -> Network:
+        network = _replay_network(replace(config,
+                                          event_horizon=event_horizon),
+                                  "FP-VAXX", trace)
         network.run(LOWLOAD_CYCLES)
-        return time.perf_counter() - start, network
+        return network
 
-    _, skip_net = one_pass(True)
-    _, step_net = one_pass(False)
+    skip_net = run_once(True)
+    step_net = run_once(False)
     if skip_net.stats.simulation_outputs() != step_net.stats.simulation_outputs():
         raise AssertionError(
             "event-horizon run diverged from always-step run: "
             f"{skip_net.stats.simulation_outputs()} != "
             f"{step_net.stats.simulation_outputs()}")
-    lowload = _best(lambda: one_pass(True)[0])
-    alwaysstep = _best(lambda: one_pass(False)[0])
+    lowload = _timed_replay(config, "FP-VAXX", trace, LOWLOAD_CYCLES)
+    alwaysstep = _timed_replay(replace(config, event_horizon=False),
+                               "FP-VAXX", trace, LOWLOAD_CYCLES)
     return {
         "network_step_lowload_s": lowload,
         "network_step_lowload_cycles_per_sec": LOWLOAD_CYCLES / lowload,
@@ -157,6 +223,110 @@ def bench_network_step_lowload() -> dict:
         "network_step_lowload_alwaysstep_s": alwaysstep,
         "network_step_lowload_speedup_x": alwaysstep / lowload,
     }
+
+
+def _core_comparison(config: NocConfig, trace: list, cycles: int):
+    """Run one trace on the SoA core and the object core, asserting
+    bit-identical simulation outputs, and return their best wall times
+    (plus the SoA pass's per-phase split)."""
+    soa_cfg = replace(config, core="soa")
+    obj_cfg = replace(config, core="object")
+    best_total = None
+    best_phases = None
+    soa_net = None
+    for _ in range(REPEATS):
+        total, phases, network = _phase_split_replay(soa_cfg, "Baseline",
+                                                     trace, cycles)
+        if best_total is None or total < best_total:
+            best_total, best_phases, soa_net = total, phases, network
+    obj_total = None
+    obj_phases = None
+    obj_net = None
+    for _ in range(REPEATS):
+        total, phases, network = _phase_split_replay(obj_cfg, "Baseline",
+                                                     trace, cycles)
+        if obj_total is None or total < obj_total:
+            obj_total, obj_phases, obj_net = total, phases, network
+    if soa_net.stats.simulation_outputs() != obj_net.stats.simulation_outputs():
+        raise AssertionError(
+            "SoA core diverged from the object core on the bench "
+            f"workload: {soa_net.stats.simulation_outputs()} != "
+            f"{obj_net.stats.simulation_outputs()}")
+    return best_total, best_phases, soa_net, obj_total, obj_phases
+
+
+def bench_network_step_saturated() -> dict:
+    """Saturated-load stepping: SoA core vs object core on 8x8 at 0.1
+    flits/node/cycle, with the wall clock split per step phase.
+
+    Both cores run the identical recorded trace and must produce
+    bit-identical simulation outputs (asserted).  ``profile_phases`` is on,
+    so the per-phase cycles/sec figures pair each phase's activity ticks
+    with its measured wall share.  The speedup ratios are measured within
+    this run (like the faults-off gate: immune to machine variance) and
+    gated in ``--check``.
+    """
+    config = NocConfig(mesh_width=8, mesh_height=8, concentration=1,
+                       profile_phases=True)
+    source = SyntheticTraffic(config, injection_rate=SATURATED_RATE,
+                              seed=13, data_ratio=0.25)
+    trace = record_trace(source, SATURATED_CYCLES)
+    soa_s, soa_phases, soa_net, obj_s, obj_phases = _core_comparison(
+        config, trace, SATURATED_CYCLES)
+    stats = soa_net.stats
+    results = {
+        "network_step_saturated_s": soa_s,
+        "network_step_saturated_cycles_per_sec": SATURATED_CYCLES / soa_s,
+        # Object-core comparator on the identical workload: reported for
+        # the speedup trajectory, exempt from --check (it times the
+        # reference core, not the default fast path).
+        "network_step_saturated_objectcore_s": obj_s,
+        "network_step_saturated_speedup_x": obj_s / soa_s,
+        "network_step_saturated_router_phase_s": soa_phases["router"],
+        "network_step_saturated_router_speedup_x":
+            obj_phases["router"] / soa_phases["router"],
+    }
+    # Per-phase cycles/sec: cycles in which the phase did any work
+    # (profile_phases ticks) over the wall time spent inside the phase —
+    # a regression here names the phase, not just the total.
+    for key, ticks in (("router", stats.router_phase_ticks),
+                       ("deliver", stats.deliver_phase_ticks),
+                       ("credits", stats.credit_phase_ticks)):
+        seconds = soa_phases[key]
+        if seconds > 0:
+            results[f"network_step_saturated_{key}_phase_cycles_per_sec"] \
+                = ticks / seconds
+    return results
+
+
+def bench_network_step_bigmesh() -> dict:
+    """Big-mesh stepping: the saturated workload on 16x16, SoA vs object
+    core, plus the numpy backend when it is importable."""
+    config = NocConfig(mesh_width=16, mesh_height=16, concentration=1)
+    source = SyntheticTraffic(config, injection_rate=SATURATED_RATE,
+                              seed=13, data_ratio=0.25)
+    trace = record_trace(source, BIGMESH_CYCLES)
+    soa_s, _, soa_net, obj_s, _ = _core_comparison(config, trace,
+                                                   BIGMESH_CYCLES)
+    results = {
+        "network_step_bigmesh_s": soa_s,
+        "network_step_bigmesh_cycles_per_sec": BIGMESH_CYCLES / soa_s,
+        "network_step_bigmesh_objectcore_s": obj_s,
+        "network_step_bigmesh_speedup_x": obj_s / soa_s,
+    }
+    try:
+        import numpy  # noqa: F401  (optional extra, see pyproject [fast])
+    except ImportError:
+        return results
+    np_cfg = replace(config, core="numpy")
+    np_net = _replay_network(np_cfg, "Baseline", trace)
+    np_net.run(BIGMESH_CYCLES)
+    if np_net.stats.simulation_outputs() != soa_net.stats.simulation_outputs():
+        raise AssertionError(
+            "numpy core diverged from the SoA core on the bench workload")
+    results["network_step_bigmesh_numpy_s"] = _timed_replay(
+        np_cfg, "Baseline", trace, BIGMESH_CYCLES)
+    return results
 
 
 def run_all() -> dict:
@@ -176,6 +346,8 @@ def run_all() -> dict:
             faults=FaultConfig()),
     }
     results.update(bench_network_step_lowload())
+    results.update(bench_network_step_saturated())
+    results.update(bench_network_step_bigmesh())
     return results
 
 
@@ -183,6 +355,19 @@ def run_all() -> dict:
 #: (all-zero FaultConfig) over one with faults=None, measured within a
 #: single bench run: the rate-0 plumbing must stay within 5%.
 FAULTS_OFF_MAX_OVERHEAD = 1.05
+
+#: In-run speedup floors for the struct-of-arrays core over the object
+#: core on the same recorded workload (measured within one bench run, so
+#: machine variance cancels).  ISSUE 6 targeted 5x at 0.1
+#: flits/node/cycle; the measured ceiling is lower — shared
+#: NI/traffic/stats work bounds the full-run ratio near 2.8x even with an
+#: infinitely fast router phase, and the per-flit-hop floor of a
+#: bit-identical Python pass bounds the router phase near 2x at this load
+#: (DESIGN.md §14 has the arithmetic) — so the gates lock in the measured
+#: wins with headroom for noise rather than encode an unreachable target.
+SATURATED_MIN_SPEEDUP = 1.2
+SATURATED_ROUTER_MIN_SPEEDUP = 1.5
+BIGMESH_MIN_SPEEDUP = 1.3
 
 
 def check(results: dict, baseline_path: str, max_regression: float) -> int:
@@ -200,11 +385,24 @@ def check(results: dict, baseline_path: str, max_regression: float) -> int:
               f"{verdict}")
         if ratio > FAULTS_OFF_MAX_OVERHEAD:
             status = 1
+    for name, floor in (
+            ("network_step_saturated_speedup_x", SATURATED_MIN_SPEEDUP),
+            ("network_step_saturated_router_speedup_x",
+             SATURATED_ROUTER_MIN_SPEEDUP),
+            ("network_step_bigmesh_speedup_x", BIGMESH_MIN_SPEEDUP)):
+        speedup = results.get(name)
+        if speedup is None:
+            continue
+        verdict = "ok" if speedup >= floor else "REGRESSION"
+        print(f"  {name}: {speedup:.2f}x vs same-run object core "
+              f"(floor {floor:.2f}x) {verdict}")
+        if speedup < floor:
+            status = 1
     for name, value in results.items():
         if not name.endswith("_s"):
             continue  # non-timing metric (cycles/sec, speedup): not gated
         if name.endswith(("_sanitized_s", "_alwaysstep_s",
-                          "_faultsoff_s")):
+                          "_faultsoff_s", "_objectcore_s", "_numpy_s")):
             continue  # debug/comparator timing: gated above or never
         reference = baseline.get(name)
         if reference is None:
@@ -238,6 +436,14 @@ def main(argv=None) -> int:
     print(f"event-horizon low-load speedup (skip vs always-step): "
           f"{results['network_step_lowload_speedup_x']:.2f}x "
           f"({results['network_step_lowload_cycles_per_sec']:,.0f} cycles/s)")
+    print(f"SoA core saturated speedup (vs object core, same run): "
+          f"{results['network_step_saturated_speedup_x']:.2f}x full run, "
+          f"{results['network_step_saturated_router_speedup_x']:.2f}x "
+          f"router phase "
+          f"({results['network_step_saturated_cycles_per_sec']:,.0f} "
+          f"cycles/s)")
+    print(f"SoA core 16x16 speedup (vs object core, same run): "
+          f"{results['network_step_bigmesh_speedup_x']:.2f}x")
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(results, handle, indent=2)

@@ -53,7 +53,7 @@ class NocStateMutation(Rule):
                  "out-of-band write is invisible to them until it corrupts "
                  "a simulation.")
     includes = ("repro",)
-    excludes = ("repro.noc.router", "repro.noc.ni")
+    excludes = ("repro.noc.router", "repro.noc.ni", "repro.noc.core_soa")
 
     def check(self, ctx: ModuleContext) -> Iterable[Finding]:
         for node in ast.walk(ctx.tree):
@@ -180,7 +180,8 @@ class SkipSafetyAccounting(Rule):
                  "no argument for why a skipped window leaves it "
                  "bit-identical to stepping, so the quiescence proof "
                  "silently stops covering the simulator.")
-    includes = ("repro.noc.network", "repro.noc.router", "repro.noc.ni")
+    includes = ("repro.noc.network", "repro.noc.router", "repro.noc.ni",
+                "repro.noc.core_soa")
 
     def check(self, ctx: ModuleContext) -> Iterable[Finding]:
         # Imported lazily: the analysis engine must not pull the simulator

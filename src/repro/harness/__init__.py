@@ -1,4 +1,11 @@
-"""Experiment harness: mechanism registry, per-figure drivers, reporting."""
+"""Experiment harness: mechanism registry, per-figure drivers, reporting.
+
+The figure drivers pull in :mod:`repro.apps`, whose kernels need numpy
+(the ``[fast]`` extra).  Everything else in the harness — and both
+default simulation cores — is pure stdlib, so the figure names below are
+resolved lazily (PEP 562): ``run_trace`` and friends import cleanly on a
+numpy-free install, and only touching a figure driver raises ImportError.
+"""
 
 from repro.harness.experiment import (
     MECHANISM_ORDER,
@@ -7,33 +14,6 @@ from repro.harness.experiment import (
     make_scheme,
     run_synthetic,
     run_trace,
-)
-from repro.harness.figures import (
-    SuiteResult,
-    area_overhead,
-    figure9,
-    figure10,
-    figure11,
-    figure12,
-    figure13,
-    figure14,
-    figure15,
-    figure16,
-    figure17,
-    format_area_overhead,
-    format_figure9,
-    format_figure10,
-    format_figure11,
-    format_figure12,
-    format_figure13,
-    format_figure14,
-    format_figure15,
-    format_figure16,
-    format_figure17,
-    format_table1,
-    run_benchmark_suite,
-    saturation_throughput,
-    table1,
 )
 from repro.harness.parallel import (
     RunSpec,
@@ -51,6 +31,34 @@ from repro.harness.sweeps import (
     seed_sweep,
     significantly_better,
 )
+
+#: Names served lazily from repro.harness.figures (numpy-dependent).
+_FIGURE_EXPORTS = frozenset({
+    "SuiteResult",
+    "area_overhead",
+    "figure9", "figure10", "figure11", "figure12", "figure13",
+    "figure14", "figure15", "figure16", "figure17",
+    "format_area_overhead",
+    "format_figure9", "format_figure10", "format_figure11",
+    "format_figure12", "format_figure13", "format_figure14",
+    "format_figure15", "format_figure16", "format_figure17",
+    "format_table1",
+    "run_benchmark_suite",
+    "saturation_throughput",
+    "table1",
+})
+
+
+def __getattr__(name: str):
+    if name in _FIGURE_EXPORTS:
+        from repro.harness import figures
+        return getattr(figures, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | _FIGURE_EXPORTS)
+
 
 __all__ = [
     "MECHANISM_ORDER",

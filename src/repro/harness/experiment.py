@@ -200,13 +200,16 @@ def run_trace(config: NocConfig, mechanism: str, trace: list,
               approx_override: Optional[float] = None,
               drain_budget: int = 200_000,
               sanitize: Optional[bool] = None,
-              event_horizon: Optional[bool] = None) -> RunResult:
+              event_horizon: Optional[bool] = None,
+              core: Optional[str] = None) -> RunResult:
     """Replay a trace under one mechanism with warmup + measurement.
 
     ``sanitize`` overrides ``config.sanitize`` (None keeps the config's
     setting; the ``REPRO_SANITIZE`` environment variable still applies).
     ``event_horizon`` likewise overrides ``config.event_horizon`` — the
-    equivalence tests force it both ways on one config.
+    equivalence tests force it both ways on one config.  ``core``
+    overrides ``config.core`` the same way (the cross-core identity suite
+    runs one config through every backend).
     """
     start = time.perf_counter()
     hits0, misses0 = encode_cache_totals()
@@ -214,6 +217,8 @@ def run_trace(config: NocConfig, mechanism: str, trace: list,
         config = replace(config, sanitize=sanitize)
     if event_horizon is not None and event_horizon != config.event_horizon:
         config = replace(config, event_horizon=event_horizon)
+    if core is not None and core != config.core:
+        config = replace(config, core=core)
     scheme = make_scheme(mechanism, config.n_nodes, error_threshold_pct)
     network = Network(config, scheme)
     network.set_traffic(TraceTraffic(trace, loop=True,
@@ -241,14 +246,15 @@ def run_synthetic(config: NocConfig, mechanism: str, traffic_factory,
                   error_threshold_pct: float = 10.0,
                   drain_budget: int = 400_000,
                   sanitize: Optional[bool] = None,
-                  event_horizon: Optional[bool] = None) -> RunResult:
+                  event_horizon: Optional[bool] = None,
+                  core: Optional[str] = None) -> RunResult:
     """Run live synthetic traffic (Figure 12's methodology).
 
     ``traffic_factory(config)`` builds a fresh traffic source so each
     mechanism sees an identically-seeded stream.  Unlike :func:`run_trace`,
     saturated networks are expected here: the run is *not* drained, and
-    latency reflects packets delivered inside the window.  ``sanitize``
-    and ``event_horizon`` override their config fields as in
+    latency reflects packets delivered inside the window.  ``sanitize``,
+    ``event_horizon`` and ``core`` override their config fields as in
     :func:`run_trace`.
     """
     start = time.perf_counter()
@@ -257,6 +263,8 @@ def run_synthetic(config: NocConfig, mechanism: str, traffic_factory,
         config = replace(config, sanitize=sanitize)
     if event_horizon is not None and event_horizon != config.event_horizon:
         config = replace(config, event_horizon=event_horizon)
+    if core is not None and core != config.core:
+        config = replace(config, core=core)
     scheme = make_scheme(mechanism, config.n_nodes, error_threshold_pct)
     network = Network(config, scheme)
     network.set_traffic(traffic_factory(config))

@@ -75,7 +75,9 @@ from repro.noc import NocConfig, PAPER_CONFIG
 #: way; the canonical forms changed).
 #: v4: NocConfig gained ``faults``, RunResult gained the fault/recovery
 #: counters, and cache entries gained a content checksum.
-CACHE_SCHEMA_VERSION = 4
+#: v5: NocConfig gained the ``core`` backend field (all backends are
+#: bit-identical; the canonical form changed).
+CACHE_SCHEMA_VERSION = 5
 
 WORKERS_ENV = "REPRO_WORKERS"
 NO_CACHE_ENV = "REPRO_NO_CACHE"

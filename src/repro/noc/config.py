@@ -57,6 +57,12 @@ class NocConfig:
     #: it entirely; an all-zero :class:`~repro.faults.config.FaultConfig`
     #: builds the layer but is bit-identical to None.
     faults: Optional[FaultConfig] = None
+    #: Simulation-core backend (DESIGN.md §14): ``"soa"`` (default) steps
+    #: all routers in one batched pass over flat state arrays, ``"object"``
+    #: keeps the per-object reference routers, ``"numpy"`` adds vectorized
+    #: wakeup reductions (optional dependency, ``pip install .[fast]``).
+    #: All three are bit-identical; ``router_factory`` forces ``object``.
+    core: str = "soa"
 
     def __post_init__(self) -> None:
         for name in ("mesh_width", "mesh_height", "concentration", "num_vcs",
@@ -64,6 +70,10 @@ class NocConfig:
                      "block_bytes"):
             if getattr(self, name) < 1:
                 raise ValueError(f"{name} must be >= 1")
+        if self.core not in ("object", "soa", "numpy"):
+            raise ValueError(
+                f"core must be one of 'object', 'soa', 'numpy', "
+                f"got {self.core!r}")
 
     @property
     def n_routers(self) -> int:

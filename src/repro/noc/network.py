@@ -64,6 +64,10 @@ SKIP_CLASSIFICATIONS = frozenset({
     "replayed",
     # the simulated-time counters themselves, advanced by _fast_forward
     "clock",
+    # conservative cached bound consulted only to *skip work* (never to
+    # decide an outcome): staleness across a skipped window costs extra
+    # scans, not correctness, so skip/step divergence is unobservable
+    "advisory",
 })
 
 #: Skip-safety accounting registry (lint rule REPRO701).  Every mutable
@@ -106,6 +110,68 @@ SKIP_ACCOUNTED_STATE: Dict[str, Dict[str, str]] = {
         # next_event (consulted by _skip_horizon); see DESIGN.md §13.
         "_faults": "wakeup",
         "_fault_tick": "static",
+        "_core": "static",
+    },
+    # Struct-of-arrays core (DESIGN.md §14): the flat arrays carry exactly
+    # the object core's state, so each inherits its classification —
+    # bufs/head_ready are the wakeup-pinning buffers, va_input_rr is the
+    # replayed rotation, buffered the O(1) activity counter, and the
+    # arbiter/ownership arrays are frozen across zero-activity cycles.
+    "SoaCore": {
+        "n_routers": "static",
+        "n_ports": "static",
+        "num_vcs": "static",
+        "vc_depth": "static",
+        "pipe_delay": "static",
+        "slots": "static",
+        "stats": "static",
+        "bufs": "wakeup",
+        "head_ready": "wakeup",
+        "route_out": "frozen",
+        "out_vc": "frozen",
+        "out_credits": "frozen",
+        "out_owner": "frozen",
+        # Pure caches of frozen allocation state (flat index of the held
+        # output VC; unowned-VC count per out port): change only when an
+        # allocation event does, which quiescent cycles have none of.
+        "out_idx": "frozen",
+        "free_out_vcs": "frozen",
+        # SA scratch, provably empty between cycles (drained by the same
+        # cycle_all pass that fills it).
+        "_req_lists": "static",
+        # Parked slots (credit-blocked SA candidates; VC-starved heads)
+        # move only on allocation activity or credit returns, neither of
+        # which occurs in a skipped window.
+        "credit_waiter": "frozen",
+        "va_waiters": "frozen",
+        "va_rr": "frozen",
+        "sa_rr": "frozen",
+        "port_rr": "frozen",
+        "va_input_rr": "replayed",
+        "buffered": "counter",
+        # Lazily-pruned cache of buffered routers; a skipped window buffers
+        # and drains nothing, so membership cannot change across it.
+        "active": "frozen",
+        "va_pending": "frozen",
+        "sa_cand": "frozen",
+        "min_ready": "advisory",
+        "route_table": "static",
+        "send_targets": "static",
+        "credit_dests": "static",
+        "routers": "static",
+        "net": "static",
+        "send_fns": "static",
+        "credit_fns": "static",
+    },
+    "NumpyCore": {
+        "_np": "static",
+        "head_ready": "wakeup",
+    },
+    "SoaRouter": {
+        "core": "static",
+        "router_id": "static",
+        "_inputs_view": "static",
+        "_credits_view": "static",
     },
     "Router": {
         "router_id": "static",
@@ -170,11 +236,24 @@ class Network:
         self.stats = NetworkStats()
         self._route = get_routing_fn(routing)
         self.cycle = 0
-        make_router = router_factory if router_factory is not None else Router
-        self.routers = [
-            make_router(r, self.topology.ports_per_router, config.num_vcs,
-                        config.vc_depth, config.router_stages, self.stats)
-            for r in range(config.n_routers)]
+        # Core selection (DESIGN.md §14): the batched struct-of-arrays core
+        # is the default; custom router classes (router_factory) require
+        # per-object routers, so they force the object core.
+        core_kind = config.core if router_factory is None else "object"
+        self._core = None
+        if core_kind != "object":
+            from repro.noc.core_soa import make_core
+            self._core = make_core(core_kind, config, self.topology,
+                                   self.stats, self._route)
+            self.routers = self._core.routers
+        else:
+            make_router = (router_factory if router_factory is not None
+                           else Router)
+            self.routers = [
+                make_router(r, self.topology.ports_per_router,
+                            config.num_vcs, config.vc_depth,
+                            config.router_stages, self.stats)
+                for r in range(config.n_routers)]
         for router in self.routers:
             for port in range(NUM_DIRECTIONS, self.topology.ports_per_router):
                 router.set_output_credits(port, EJECTION_CREDITS)
@@ -263,6 +342,10 @@ class Network:
             for ni in self.nis:
                 ni.on_deliver = sanitizer.wrap_deliver(ni.node_id,
                                                        ni.on_deliver)
+        # Bind last: the core specializes on the final (possibly wrapped)
+        # callback tables and on whether link faults need per-flit hooks.
+        if self._core is not None:
+            self._core.bind(self)
 
     # -------------------------------------------------------------- wiring
 
@@ -346,8 +429,18 @@ class Network:
         return credit
 
     def _make_accept_fn(self, node: int):
-        router = self.routers[self.topology.router_of(node)]
+        rid = self.topology.router_of(node)
         port = self.topology.local_port_of(node)
+        core = self._core
+        if core is not None:
+            core_accept = core.accept
+
+            def accept(vc: int, flit: Flit, now: int) -> None:
+                self._buffered_total += 1
+                core_accept(rid, port, vc, flit, now)
+
+            return accept
+        router = self.routers[rid]
 
         def accept(vc: int, flit: Flit, now: int) -> None:
             self._buffered_total += 1
@@ -583,11 +676,19 @@ class Network:
             if horizon <= now:
                 return now
         if self._buffered_total:
-            for router in self.routers:
-                if router._buffered:
-                    ready = router.next_ready(now)
-                    if ready is not None and ready < horizon:
-                        horizon = ready
+            core = self._core
+            if core is not None:
+                # One min-reduction over the flat head_ready array replaces
+                # the per-router next_ready loop (vectorized under numpy).
+                ready = core.next_ready_all(now)
+                if ready is not None and ready < horizon:
+                    horizon = ready
+            else:
+                for router in self.routers:
+                    if router._buffered:
+                        ready = router.next_ready(now)
+                        if ready is not None and ready < horizon:
+                            horizon = ready
         return max(horizon, now)
 
     def _fast_forward(self, target: int) -> None:
@@ -612,6 +713,8 @@ class Network:
                 for router in self.routers:
                     if not faults.router_dead(router.router_id, now):
                         router.skip_cycles(skipped)
+            elif self._core is not None:
+                self._core.skip_all(skipped)
             else:
                 for router in self.routers:
                     router.skip_cycles(skipped)
@@ -629,8 +732,13 @@ class Network:
         self._pending_router_arrivals = []
         self._pending_ejections = []
         self._buffered_total += len(router_arrivals)
-        for router_id, port, vc, flit in router_arrivals:
-            self.routers[router_id].accept(port, vc, flit, now)
+        if router_arrivals:
+            core = self._core
+            if core is not None:
+                core.accept_arrivals(router_arrivals, now)
+            else:
+                for router_id, port, vc, flit in router_arrivals:
+                    self.routers[router_id].accept(port, vc, flit, now)
         active = self._ni_active
         for node, flit in ejections:
             self.nis[node].eject(flit, now)
@@ -639,6 +747,10 @@ class Network:
                 self._busy_ni_count += 1
 
     def _cycle_routers(self, now: int) -> None:
+        core = self._core
+        if core is not None:
+            core.cycle_all(now, self._faults)
+            return
         faults = self._faults
         if faults is not None and faults.affects_routers:
             for router in self.routers:
@@ -659,6 +771,11 @@ class Network:
     def _apply_credits(self) -> None:
         events = self._credit_events
         if not events:
+            return
+        core = self._core
+        if core is not None:
+            core.apply_credits(events, self.nis, self._credit_targets,
+                               self._faults)
             return
         targets = self._credit_targets
         nis = self.nis

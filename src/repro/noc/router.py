@@ -266,6 +266,19 @@ class Router:
         """Total buffered flits (used by drain detection and tests)."""
         return sum(len(vc.buffer) for port in self.inputs for vc in port)
 
+    def buffer_occupancy(self, port: int, vc: int) -> int:
+        """Flits buffered in input VC ``(port, vc)``.
+
+        Core-neutral accessor: NoCSan's conservation audits use this (and
+        :meth:`credit_count`) so the same checks run against both the
+        object layout and the flat SoA layout (DESIGN.md §14).
+        """
+        return len(self.inputs[port][vc].buffer)
+
+    def credit_count(self, port: int, vc: int) -> int:
+        """Credits held for downstream VC ``(port, vc)``."""
+        return self.out_credits[port][vc]
+
     def audit(self) -> List[str]:
         """NoCSan hook: cross-check the wormhole protocol state machine.
 

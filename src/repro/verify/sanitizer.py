@@ -454,11 +454,11 @@ class NocSanitizer:
             for port in range(topology.ports_per_router):
                 link = topology.link(rid, port)
                 for vc in range(num_vcs):
-                    credits = router.out_credits[port][vc]
+                    credits = router.credit_count(port, vc)
                     if link is not None:
                         downstream = network.routers[link.dst_router]
-                        occupancy = len(
-                            downstream.inputs[link.dst_port][vc].buffer)
+                        occupancy = downstream.buffer_occupancy(
+                            link.dst_port, vc)
                         flying = in_flight.get(
                             (link.dst_router, link.dst_port, vc), 0)
                         expected = vc_depth
@@ -486,7 +486,7 @@ class NocSanitizer:
             rid = topology.router_of(ni.node_id)
             local_port = topology.local_port_of(ni.node_id)
             router = network.routers[rid]
-            occupancy = [len(router.inputs[local_port][vc].buffer)
+            occupancy = [router.buffer_occupancy(local_port, vc)
                          for vc in range(num_vcs)]
             missing = None
             if lost_ni is not None:
