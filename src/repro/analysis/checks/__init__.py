@@ -3,22 +3,32 @@
 Importing this package registers every rule (the modules self-register via
 :func:`repro.analysis.rules.register`):
 
-* :mod:`.determinism` — 1xx: simulations must be bit-reproducible;
-* :mod:`.bits`        — 2xx: word arithmetic must respect 32-bit hardware;
-* :mod:`.parallel`    — 3xx: work shipped to worker processes must pickle
+* :mod:`.determinism`  — 1xx: simulations must be bit-reproducible;
+* :mod:`.bits`         — 2xx: word arithmetic must respect 32-bit hardware;
+* :mod:`.parallel`     — 3xx: work shipped to worker processes must pickle
   and share no mutable module state;
-* :mod:`.hygiene`     — 4xx/5xx: API hygiene and typing completeness;
-* :mod:`.noc_state`   — 6xx: NoC protocol state stays behind the
+* :mod:`.hygiene`      — 4xx/5xx: API hygiene and typing completeness;
+* :mod:`.noc_state`    — 6xx/7xx: NoC protocol state stays behind the
   Router/NI methods the NoCSan sanitizer audits, and every NocConfig
-  field has a static-verifier validation rule.
+  field has a static-verifier validation rule;
+* :mod:`.state_proofs` — 80x: flow-sensitive proofs that every
+  ``SKIP_ACCOUNTED_STATE`` classification holds at each mutation site;
+* :mod:`.rng_streams`  — 81x: taint-based RNG stream isolation between
+  the fault and workload subsystems;
+* :mod:`.api_parity`   — 82x: the Network hot path fits both router
+  representations and both SoA core backends.
 """
 
 from repro.analysis.checks import (
+    api_parity,
     bits,
     determinism,
     hygiene,
     noc_state,
     parallel,
+    rng_streams,
+    state_proofs,
 )
 
-__all__ = ["bits", "determinism", "hygiene", "noc_state", "parallel"]
+__all__ = ["api_parity", "bits", "determinism", "hygiene", "noc_state",
+           "parallel", "rng_streams", "state_proofs"]

@@ -50,6 +50,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run only this rule (repeatable)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
+    parser.add_argument("--explain", metavar="RULE",
+                        help="print a rule's full description "
+                             "(invariant, rationale, bad/good examples) "
+                             "and exit")
+    parser.add_argument("--bits-heuristic", action="store_true",
+                        help="disable flow-sensitive REPRO202 analysis "
+                             "and fall back to the expression-local "
+                             "masking heuristic")
     return parser
 
 
@@ -82,12 +90,25 @@ def _emit_human(new: Sequence[Finding], suppressed: Sequence[Finding],
 def _emit_json(new: Sequence[Finding], suppressed: Sequence[Finding],
                stale: Sequence[Finding], parse_errors: Sequence[str],
                files_scanned: int) -> None:
+    triggered = sorted({f.rule for f in new})
+    rules = {}
+    by_name = {rule.name: rule for rule in all_rules()}
+    for name in triggered:
+        rule = by_name.get(name)
+        if rule is not None:
+            rules[name] = {
+                "code": rule.code,
+                "severity": rule.severity.value,
+                "invariant": rule.invariant,
+                "explain": rule.explain(),
+            }
     payload = {
         "files_scanned": files_scanned,
         "findings": [f.to_json_dict() for f in new],
         "baselined": [f.to_json_dict() for f in suppressed],
         "stale_baseline": [f.to_json_dict() for f in stale],
         "parse_errors": list(parse_errors),
+        "rules": rules,
     }
     print(json.dumps(payload, indent=2))
 
@@ -101,6 +122,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         _list_rules()
         return EXIT_CLEAN
 
+    if args.explain:
+        catalogue = {rule.name: rule for rule in all_rules()}
+        catalogue.update({rule.code: rule for rule in all_rules()})
+        rule = catalogue.get(args.explain)
+        if rule is None:
+            print(f"unknown rule: {args.explain}", file=sys.stderr)
+            return EXIT_USAGE
+        print(f"{rule.code} {rule.name} [{rule.severity.value}]\n")
+        print(rule.explain())
+        return EXIT_CLEAN
+
     rules = all_rules()
     if args.rules:
         by_name = {rule.name: rule for rule in rules}
@@ -111,7 +143,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return EXIT_USAGE
         rules = [by_name[name] for name in args.rules]
 
-    report = analyze_paths(args.paths, rules)
+    # The registry holds singletons: flip REPRO202 into legacy mode only
+    # for the duration of this run.
+    toggled = [rule for rule in rules
+               if args.bits_heuristic and rule.name == "unmasked-word-arith"]
+    for rule in toggled:
+        setattr(rule, "flow_mode", False)
+    try:
+        report = analyze_paths(args.paths, rules)
+    finally:
+        for rule in toggled:
+            setattr(rule, "flow_mode", True)
     if report.files_scanned == 0:
         print(f"no Python files found under: {' '.join(args.paths)}",
               file=sys.stderr)

@@ -1,15 +1,16 @@
-"""File discovery and the per-module rule driver."""
+"""File discovery and the rule driver (per-module and whole-program)."""
 
 from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterator, List, Optional, Sequence, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.analysis.context import ModuleContext
 from repro.analysis.findings import Finding
-from repro.analysis.rules import Rule, all_rules, rules_for_module
+from repro.analysis.rules import ProjectRule, Rule, all_rules, \
+    rules_for_module
 
 #: Directory names never descended into.
 SKIP_DIRS = {"__pycache__", ".git", ".repro_cache", ".mypy_cache",
@@ -51,21 +52,59 @@ def iter_python_files(paths: Sequence[Union[str, Path]]) -> Iterator[Path]:
                 yield path
 
 
+def _run_rules(contexts: Sequence[ModuleContext],
+               pool: Sequence[Rule]) -> List[Finding]:
+    """Per-module rules over each context, then whole-program rules over
+    the combined project; inline ``# repro: allow`` suppressions apply to
+    both via the module owning each finding."""
+    findings: List[Finding] = []
+    by_path: Dict[str, ModuleContext] = {ctx.path: ctx for ctx in contexts}
+    for ctx in contexts:
+        for rule in rules_for_module(ctx.module, pool):
+            for finding in rule.check(ctx):
+                if not ctx.is_allowed(finding.rule, finding.line):
+                    findings.append(finding)
+    project_rules = [rule for rule in pool
+                     if isinstance(rule, ProjectRule)]
+    if project_rules:
+        # Imported here: the flow layer is only paid for when a
+        # whole-program rule is actually in the pool.
+        from repro.analysis.flow.project import ProjectContext
+        project = ProjectContext(contexts)
+        for rule in project_rules:
+            for finding in rule.check_project(project):
+                ctx_for = by_path.get(finding.path)
+                if ctx_for is None or \
+                        not ctx_for.is_allowed(finding.rule, finding.line):
+                    findings.append(finding)
+    return sorted(findings)
+
+
 def analyze_source(path: str, source: str,
                    rules: Optional[Sequence[Rule]] = None
                    ) -> List[Finding]:
     """Run rules over one in-memory module (the fixture-test entry point).
+    Whole-program rules in the pool see a single-module project.
 
     Raises :class:`SyntaxError` when the source does not parse.
     """
-    tree = ast.parse(source, filename=path)
-    ctx = ModuleContext(path=path, source=source, tree=tree)
-    findings: List[Finding] = []
-    for rule in rules_for_module(ctx.module, rules):
-        for finding in rule.check(ctx):
-            if not ctx.is_allowed(finding.rule, finding.line):
-                findings.append(finding)
-    return sorted(findings)
+    return analyze_project({path: source}, rules)
+
+
+def analyze_project(sources: Dict[str, str],
+                    rules: Optional[Sequence[Rule]] = None
+                    ) -> List[Finding]:
+    """Run rules over a set of in-memory modules (``path -> source``), the
+    multi-file fixture entry point.
+
+    Raises :class:`SyntaxError` when any source does not parse.
+    """
+    pool = list(rules) if rules is not None else all_rules()
+    contexts = [
+        ModuleContext(path=path, source=source,
+                      tree=ast.parse(source, filename=path))
+        for path, source in sources.items()]
+    return _run_rules(contexts, pool)
 
 
 def analyze_paths(paths: Sequence[Union[str, Path]],
@@ -75,13 +114,18 @@ def analyze_paths(paths: Sequence[Union[str, Path]],
     (default: the full registry)."""
     pool = list(rules) if rules is not None else all_rules()
     report = AnalysisReport()
+    contexts: List[ModuleContext] = []
     for path in iter_python_files(paths):
         report.files_scanned += 1
         text = path.read_text(encoding="utf-8")
         try:
-            report.findings.extend(analyze_source(str(path), text, pool))
+            tree = ast.parse(text, filename=str(path))
         except SyntaxError as exc:
             report.parse_errors.append(f"{path}: {exc.msg} "
                                        f"(line {exc.lineno})")
+            continue
+        contexts.append(ModuleContext(path=str(path), source=text,
+                                      tree=tree))
+    report.findings.extend(_run_rules(contexts, pool))
     report.findings.sort()
     return report

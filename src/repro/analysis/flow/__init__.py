@@ -1,0 +1,41 @@
+"""Whole-program, flow-sensitive analysis layer.
+
+The per-module framework (:mod:`repro.analysis.context`) is syntactic: one
+file, one AST, no notion of control flow or of the other modules in the
+tree.  This package adds the three pieces the proof passes need:
+
+* :mod:`repro.analysis.flow.cfg` — per-function control-flow graphs over
+  the stdlib AST (branches, loops, ``try``/``except``, early exits);
+* :mod:`repro.analysis.flow.dataflow` — a generic forward fixed-point
+  solver over label-set lattices, plus the symbolic-path evaluator used
+  for alias tracking (``arrivals_append = net._pending.append``);
+* :mod:`repro.analysis.flow.project` — a cross-module symbol table
+  (classes, methods, properties, ``__slots__``) with member resolution
+  through base classes, built once per analysis run.
+
+Rules that consume this layer subclass
+:class:`repro.analysis.rules.ProjectRule` and receive the
+:class:`~repro.analysis.flow.project.ProjectContext` instead of a single
+module.
+"""
+
+from repro.analysis.flow.cfg import Block, Cfg, build_cfg, element_exprs
+from repro.analysis.flow.dataflow import (AbstractEval, PathEval, State,
+                                          iter_elements, join_labels,
+                                          solve_forward)
+from repro.analysis.flow.project import ClassInfo, ProjectContext
+
+__all__ = [
+    "AbstractEval",
+    "Block",
+    "Cfg",
+    "ClassInfo",
+    "PathEval",
+    "ProjectContext",
+    "State",
+    "build_cfg",
+    "element_exprs",
+    "iter_elements",
+    "join_labels",
+    "solve_forward",
+]

@@ -1,0 +1,342 @@
+"""Per-function control-flow graphs over the stdlib AST.
+
+A :class:`Cfg` is a set of basic blocks connected by directed edges.  Each
+block holds a list of *elements*; an element is either a simple statement
+(``ast.Assign``, ``ast.Expr``, ``ast.Return``, ...) or, for compound
+statements, the head node itself (``ast.If``/``ast.While`` contribute
+their test, ``ast.For`` its iterator/target binding, ``ast.With`` its
+items).  Clients must therefore never ``ast.walk`` an element directly —
+the bodies of compound heads belong to *other* blocks.  Use
+:func:`element_exprs` to get exactly the expressions evaluated at an
+element.
+
+Exception edges are over-approximated: every block created inside a
+``try`` body (plus the block preceding the ``try``) gets an edge to every
+handler entry, so a handler's in-state is a superset of any state the
+body could raise from.  ``finally`` bodies are modeled on the fall-through
+path only (the re-raise path through ``finally`` is subsumed by the
+handler edges for the analyses built on top, which only ever union).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["Block", "Cfg", "build_cfg", "element_exprs"]
+
+
+@dataclass
+class Block:
+    """One basic block: straight-line elements plus successor edges."""
+
+    block_id: int
+    elems: List[ast.AST] = field(default_factory=list)
+    succs: List[int] = field(default_factory=list)
+
+
+@dataclass
+class Cfg:
+    """Control-flow graph for one function body (or a bare statement list)."""
+
+    blocks: Dict[int, Block]
+    entry: int
+    exit_id: int
+
+    def preds(self) -> Dict[int, List[int]]:
+        """Predecessor map (computed on demand; graphs are small)."""
+        result: Dict[int, List[int]] = {bid: [] for bid in self.blocks}
+        for block in self.blocks.values():
+            for succ in block.succs:
+                result[succ].append(block.block_id)
+        return result
+
+    def rpo(self) -> List[int]:
+        """Reverse postorder from the entry (unreachable blocks appended
+        last so every block still gets visited by the solver)."""
+        seen: Set[int] = set()
+        order: List[int] = []
+
+        def visit(bid: int) -> None:
+            # Iterative DFS: deep fixture functions must not hit the
+            # interpreter recursion limit.
+            stack: List[Tuple[int, Iterator[int]]] = []
+            seen.add(bid)
+            stack.append((bid, iter(self.blocks[bid].succs)))
+            while stack:
+                current, succs = stack[-1]
+                advanced = False
+                for succ in succs:
+                    if succ not in seen:
+                        seen.add(succ)
+                        stack.append((succ, iter(self.blocks[succ].succs)))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(current)
+                    stack.pop()
+
+        visit(self.entry)
+        for bid in self.blocks:
+            if bid not in seen:
+                visit(bid)
+        return list(reversed(order))
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.blocks: Dict[int, Block] = {}
+        self._next = 0
+        self.exit_id = self.new_block()
+
+    def new_block(self) -> int:
+        bid = self._next
+        self._next = 1 + self._next
+        self.blocks[bid] = Block(block_id=bid)
+        return bid
+
+    def edge(self, src: int, dst: int) -> None:
+        succs = self.blocks[src].succs
+        if dst not in succs:
+            succs.append(dst)
+
+    # The handler tuple is the stack of exception targets currently in
+    # scope; ``raise`` and in-scope block creation both wire into it.
+    def body(self, stmts: Sequence[ast.stmt], current: int,
+             break_to: Optional[int], continue_to: Optional[int],
+             handlers: Tuple[int, ...]) -> Optional[int]:
+        """Lay out ``stmts`` starting in block ``current``.  Returns the
+        open block after the last statement, or None when every path
+        terminated (return/raise/break/continue)."""
+        open_block: Optional[int] = current
+        for stmt in stmts:
+            if open_block is None:
+                # Unreachable code after a terminator: park it in a fresh
+                # disconnected block so its defs never leak anywhere.
+                open_block = self.new_block()
+                self._wire_handlers(open_block, handlers)
+            open_block = self._stmt(stmt, open_block, break_to,
+                                    continue_to, handlers)
+        return open_block
+
+    def _wire_handlers(self, bid: int, handlers: Tuple[int, ...]) -> None:
+        for handler in handlers:
+            self.edge(bid, handler)
+
+    def _branch_block(self, handlers: Tuple[int, ...]) -> int:
+        bid = self.new_block()
+        self._wire_handlers(bid, handlers)
+        return bid
+
+    def _stmt(self, stmt: ast.stmt, current: int,
+              break_to: Optional[int], continue_to: Optional[int],
+              handlers: Tuple[int, ...]) -> Optional[int]:
+        if isinstance(stmt, (ast.If,)):
+            self.blocks[current].elems.append(stmt.test)
+            after = self._branch_block(handlers)
+            then_entry = self._branch_block(handlers)
+            self.edge(current, then_entry)
+            then_end = self.body(stmt.body, then_entry, break_to,
+                                 continue_to, handlers)
+            if then_end is not None:
+                self.edge(then_end, after)
+            if stmt.orelse:
+                else_entry = self._branch_block(handlers)
+                self.edge(current, else_entry)
+                else_end = self.body(stmt.orelse, else_entry, break_to,
+                                     continue_to, handlers)
+                if else_end is not None:
+                    self.edge(else_end, after)
+            else:
+                self.edge(current, after)
+            return after
+
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            head = self._branch_block(handlers)
+            self.edge(current, head)
+            # While heads hold the test; For heads hold the For node
+            # itself (the target <- iter binding).
+            self.blocks[head].elems.append(
+                stmt.test if isinstance(stmt, ast.While) else stmt)
+            after = self._branch_block(handlers)
+            body_entry = self._branch_block(handlers)
+            self.edge(head, body_entry)
+            body_end = self.body(stmt.body, body_entry, after, head,
+                                 handlers)
+            if body_end is not None:
+                self.edge(body_end, head)
+            if stmt.orelse:
+                else_entry = self._branch_block(handlers)
+                self.edge(head, else_entry)
+                else_end = self.body(stmt.orelse, else_entry, break_to,
+                                     continue_to, handlers)
+                if else_end is not None:
+                    self.edge(else_end, after)
+            else:
+                self.edge(head, after)
+            return after
+
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self.blocks[current].elems.append(stmt)
+            return self.body(stmt.body, current, break_to, continue_to,
+                             handlers)
+
+        if isinstance(stmt, ast.Try) or (hasattr(ast, "TryStar")
+                                         and isinstance(stmt, ast.TryStar)):
+            return self._try(stmt, current, break_to, continue_to, handlers)
+
+        if isinstance(stmt, ast.Match):
+            self.blocks[current].elems.append(stmt.subject)
+            after = self._branch_block(handlers)
+            exhaustive = False
+            for case in stmt.cases:
+                case_entry = self._branch_block(handlers)
+                self.edge(current, case_entry)
+                self.blocks[case_entry].elems.append(case.pattern)
+                case_end = self.body(case.body, case_entry, break_to,
+                                     continue_to, handlers)
+                if case_end is not None:
+                    self.edge(case_end, after)
+                if isinstance(case.pattern, ast.MatchAs) \
+                        and case.pattern.pattern is None and case.guard is None:
+                    exhaustive = True
+            if not exhaustive:
+                self.edge(current, after)
+            return after
+
+        if isinstance(stmt, ast.Return):
+            self.blocks[current].elems.append(stmt)
+            self.edge(current, self.exit_id)
+            return None
+
+        if isinstance(stmt, ast.Raise):
+            self.blocks[current].elems.append(stmt)
+            self._wire_handlers(current, handlers)
+            self.edge(current, self.exit_id)
+            return None
+
+        if isinstance(stmt, ast.Break):
+            if break_to is not None:
+                self.edge(current, break_to)
+            return None
+
+        if isinstance(stmt, ast.Continue):
+            if continue_to is not None:
+                self.edge(current, continue_to)
+            return None
+
+        # Simple statement (including nested def/class, which bind a name
+        # but whose bodies are separate scopes).
+        self.blocks[current].elems.append(stmt)
+        return current
+
+    def _try(self, stmt: "ast.Try", current: int,
+             break_to: Optional[int], continue_to: Optional[int],
+             handlers: Tuple[int, ...]) -> Optional[int]:
+        handler_entries = [self._branch_block(handlers)
+                           for _ in stmt.handlers]
+        inner = handlers + tuple(handler_entries)
+        # Any pre-try state can reach a handler (the body may raise before
+        # its first assignment completes).
+        for entry in handler_entries:
+            self.edge(current, entry)
+        body_entry = self._branch_block(inner)
+        self.edge(current, body_entry)
+        first_new = body_entry
+        body_end = self.body(stmt.body, body_entry, break_to, continue_to,
+                             inner)
+        # Every block laid out for the body may raise into every handler.
+        for bid in range(first_new, self._next):
+            if bid not in handler_entries:
+                self._wire_handlers(bid, tuple(handler_entries))
+
+        after = self._branch_block(handlers)
+        tails: List[int] = []
+        if stmt.orelse:
+            if body_end is not None:
+                else_entry = self._branch_block(handlers)
+                self.edge(body_end, else_entry)
+                else_end = self.body(stmt.orelse, else_entry, break_to,
+                                     continue_to, handlers)
+                if else_end is not None:
+                    tails.append(else_end)
+        elif body_end is not None:
+            tails.append(body_end)
+        for handler, entry in zip(stmt.handlers, handler_entries):
+            if handler.name:
+                self.blocks[entry].elems.append(handler)
+            handler_end = self.body(handler.body, entry, break_to,
+                                    continue_to, handlers)
+            if handler_end is not None:
+                tails.append(handler_end)
+        if stmt.finalbody:
+            final_entry = self._branch_block(handlers)
+            for tail in tails:
+                self.edge(tail, final_entry)
+            final_end = self.body(stmt.finalbody, final_entry, break_to,
+                                  continue_to, handlers)
+            if final_end is None:
+                return None
+            self.edge(final_end, after)
+        else:
+            for tail in tails:
+                self.edge(tail, after)
+            if not tails:
+                return None
+        return after
+
+
+def build_cfg(func_or_body: object) -> Cfg:
+    """Build a CFG for a function definition or a bare statement list."""
+    if isinstance(func_or_body, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        stmts: Sequence[ast.stmt] = func_or_body.body
+    elif isinstance(func_or_body, ast.Module):
+        stmts = func_or_body.body
+    else:
+        stmts = list(func_or_body)  # type: ignore[arg-type]
+    builder = _Builder()
+    entry = builder.new_block()
+    end = builder.body(stmts, entry, None, None, ())
+    if end is not None:
+        builder.edge(end, builder.exit_id)
+    return Cfg(blocks=builder.blocks, entry=entry,
+               exit_id=builder.exit_id)
+
+
+def element_exprs(elem: ast.AST) -> List[ast.expr]:
+    """The expressions evaluated *at* a CFG element.
+
+    For compound heads this is the head expression only — never the body,
+    whose statements live in other blocks.  This is the walk entry point
+    clients must use instead of ``ast.walk(elem)``.
+    """
+    if isinstance(elem, ast.For) or isinstance(elem, ast.AsyncFor):
+        return [elem.iter, elem.target]
+    if isinstance(elem, (ast.With, ast.AsyncWith)):
+        exprs: List[ast.expr] = []
+        for item in elem.items:
+            exprs.append(item.context_expr)
+            if item.optional_vars is not None:
+                exprs.append(item.optional_vars)
+        return exprs
+    if isinstance(elem, ast.Return):
+        return [elem.value] if elem.value is not None else []
+    if isinstance(elem, ast.Raise):
+        return [e for e in (elem.exc, elem.cause) if e is not None]
+    if isinstance(elem, ast.Assign):
+        return [elem.value, *elem.targets]
+    if isinstance(elem, ast.AnnAssign):
+        return ([elem.value, elem.target] if elem.value is not None
+                else [elem.target])
+    if isinstance(elem, ast.AugAssign):
+        return [elem.value, elem.target]
+    if isinstance(elem, ast.Expr):
+        return [elem.value]
+    if isinstance(elem, ast.Assert):
+        return [e for e in (elem.test, elem.msg) if e is not None]
+    if isinstance(elem, ast.Delete):
+        return list(elem.targets)
+    if isinstance(elem, ast.expr):
+        return [elem]
+    return []

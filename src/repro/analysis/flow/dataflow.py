@@ -1,0 +1,317 @@
+"""Generic forward fixed-point solver over label-set lattices.
+
+The abstract state maps local variable names to finite sets of string
+labels; the join is per-variable set union, so any monotone evaluator
+terminates (label universes are bounded — see :data:`MAX_PATH_SEGMENTS`).
+Two evaluators are provided:
+
+* :class:`AbstractEval` — the extension hooks (clients override
+  ``eval_call``/``bind_labels``/...);
+* :class:`PathEval` — symbolic access paths rooted at parameter names:
+  ``net = self.net`` binds ``net -> {"self.net"}``, indexing appends
+  ``[]`` (``router = self.routers[i]`` -> ``{"self.routers[]"}``), so
+  aliases of simulator state (including bound-method aliases such as
+  ``arrivals_append = net._pending.append``) stay visible to the rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.analysis.flow.cfg import Cfg
+
+__all__ = ["AbstractEval", "PathEval", "State", "MAX_PATH_SEGMENTS",
+           "iter_elements", "join_labels", "solve_forward",
+           "comp_scope_state"]
+
+Labels = FrozenSet[str]
+State = Dict[str, Labels]
+
+EMPTY: Labels = frozenset()
+
+#: Access paths longer than this are dropped (not truncated) — keeps the
+#: lattice finite under loops like ``node = node.next``.
+MAX_PATH_SEGMENTS = 8
+
+#: Fixed-point iteration cap; graphs that have not converged by then get
+#: their last (still sound-per-path, possibly incomplete) states.
+MAX_PASSES = 50
+
+
+def join_labels(a: State, b: State) -> State:
+    """Per-variable union of two states."""
+    out = dict(a)
+    for name, labels in b.items():
+        old = out.get(name)
+        out[name] = labels if old is None else (old | labels)
+    return out
+
+
+class AbstractEval:
+    """Expression evaluation + binding hooks for the solver.
+
+    The default evaluation is "know nothing": every expression is the
+    empty label set and assignments just copy the value labels into the
+    target name.  Subclasses override the ``eval_*`` hooks.
+    """
+
+    def eval(self, expr: ast.expr, state: State) -> Labels:
+        if isinstance(expr, ast.Name):
+            return self.eval_name(expr.id, state)
+        if isinstance(expr, ast.Attribute):
+            return self.eval_attribute(expr, state)
+        if isinstance(expr, ast.Subscript):
+            return self.eval_subscript(expr, state)
+        if isinstance(expr, ast.Call):
+            for arg in expr.args:
+                self.eval(arg, state)
+            for kw in expr.keywords:
+                self.eval(kw.value, state)
+            return self.eval_call(expr, state)
+        if isinstance(expr, ast.NamedExpr):
+            labels = self.eval(expr.value, state)
+            state[expr.target.id] = labels
+            return labels
+        if isinstance(expr, ast.IfExp):
+            self.eval(expr.test, state)
+            return (self.eval(expr.body, state)
+                    | self.eval(expr.orelse, state))
+        if isinstance(expr, ast.BoolOp):
+            out: Labels = EMPTY
+            for value in expr.values:
+                out = out | self.eval(value, state)
+            return out
+        if isinstance(expr, ast.Starred):
+            return self.eval(expr.value, state)
+        if isinstance(expr, ast.Await):
+            return self.eval(expr.value, state)
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            for elt in expr.elts:
+                self.eval(elt, state)
+            return EMPTY
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                             ast.DictComp)):
+            comp_scope_state(expr, state, self)
+            return EMPTY
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                self.eval(child, state)
+        return EMPTY
+
+    # --------------------------------------------------------------- hooks
+
+    def eval_name(self, name: str, state: State) -> Labels:
+        if name in state:
+            return state[name]
+        return self.unknown_name(name)
+
+    def unknown_name(self, name: str) -> Labels:
+        return EMPTY
+
+    def eval_attribute(self, expr: ast.Attribute, state: State) -> Labels:
+        self.eval(expr.value, state)
+        return EMPTY
+
+    def eval_subscript(self, expr: ast.Subscript, state: State) -> Labels:
+        self.eval(expr.value, state)
+        self.eval(expr.slice, state)
+        return EMPTY
+
+    def eval_call(self, expr: ast.Call, state: State) -> Labels:
+        self.eval(expr.func, state)
+        return EMPTY
+
+    def bind_labels(self, name: str, labels: Labels,
+                    elem: ast.AST) -> Labels:
+        """Labels actually stored when ``name`` is (re)bound at ``elem``
+        (reaching-definitions evaluators return a def-site label here)."""
+        return labels
+
+    def unpack_labels(self, labels: Labels) -> Labels:
+        """Labels for one element of an unpacked/iterated value."""
+        return labels
+
+
+class PathEval(AbstractEval):
+    """Symbolic access paths rooted at unknown (parameter/free) names."""
+
+    def unknown_name(self, name: str) -> Labels:
+        return frozenset({name})
+
+    def eval_attribute(self, expr: ast.Attribute, state: State) -> Labels:
+        return self._extend(self.eval(expr.value, state), "." + expr.attr)
+
+    def eval_subscript(self, expr: ast.Subscript, state: State) -> Labels:
+        self.eval(expr.slice, state)
+        return self._extend(self.eval(expr.value, state), "[]")
+
+    def unpack_labels(self, labels: Labels) -> Labels:
+        return self._extend(labels, "[]")
+
+    @staticmethod
+    def _extend(labels: Labels, suffix: str) -> Labels:
+        out = set()
+        for label in labels:
+            if label.count(".") + 1 <= MAX_PATH_SEGMENTS:
+                if suffix == "[]":
+                    if not label.endswith("[]"):
+                        out.add(label + "[]")
+                    else:
+                        out.add(label)
+                else:
+                    out.add(label + suffix)
+        return frozenset(out)
+
+
+def path_segments(path: str) -> List[str]:
+    """Split an access path into segments, folding ``[]`` markers into the
+    preceding segment: ``"self.routers[].stats"`` ->
+    ``["self", "routers[]", "stats"]``."""
+    return path.split(".")
+
+
+# ------------------------------------------------------------------ solver
+
+def _bind_target(target: ast.expr, labels: Labels, state: State,
+                 ev: AbstractEval, elem: ast.AST) -> None:
+    if isinstance(target, ast.Name):
+        state[target.id] = ev.bind_labels(target.id, labels, elem)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            _bind_target(elt, ev.unpack_labels(labels), state, ev, elem)
+    elif isinstance(target, ast.Starred):
+        _bind_target(target.value, ev.unpack_labels(labels), state, ev,
+                     elem)
+    else:
+        # Attribute / Subscript stores do not bind locals; evaluate the
+        # receiver so NamedExpr side effects still land.
+        ev.eval(target, state)
+
+
+def transfer(elem: ast.AST, state: State, ev: AbstractEval) -> None:
+    """Apply one element's effect to ``state`` in place."""
+    if isinstance(elem, ast.Assign):
+        labels = ev.eval(elem.value, state)
+        for target in elem.targets:
+            _bind_target(target, labels, state, ev, elem)
+    elif isinstance(elem, ast.AnnAssign):
+        labels = (ev.eval(elem.value, state)
+                  if elem.value is not None else EMPTY)
+        if elem.value is not None:
+            _bind_target(elem.target, labels, state, ev, elem)
+    elif isinstance(elem, ast.AugAssign):
+        labels = ev.eval(elem.value, state)
+        if isinstance(elem.target, ast.Name):
+            old = state.get(elem.target.id, EMPTY)
+            state[elem.target.id] = ev.bind_labels(
+                elem.target.id, old | labels, elem)
+        else:
+            ev.eval(elem.target, state)
+    elif isinstance(elem, (ast.For, ast.AsyncFor)):
+        labels = ev.eval(elem.iter, state)
+        _bind_target(elem.target, ev.unpack_labels(labels), state, ev,
+                     elem)
+    elif isinstance(elem, (ast.With, ast.AsyncWith)):
+        for item in elem.items:
+            labels = ev.eval(item.context_expr, state)
+            if item.optional_vars is not None:
+                _bind_target(item.optional_vars, labels, state, ev, elem)
+    elif isinstance(elem, ast.Delete):
+        for target in elem.targets:
+            if isinstance(target, ast.Name):
+                state.pop(target.id, None)
+            else:
+                ev.eval(target, state)
+    elif isinstance(elem, (ast.Import, ast.ImportFrom)):
+        for alias in elem.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            state[bound] = EMPTY
+    elif isinstance(elem, (ast.FunctionDef, ast.AsyncFunctionDef,
+                           ast.ClassDef)):
+        state[elem.name] = EMPTY
+    elif isinstance(elem, ast.ExceptHandler):
+        if elem.name:
+            state[elem.name] = EMPTY
+    elif isinstance(elem, ast.pattern):
+        for name in _pattern_names(elem):
+            state[name] = EMPTY
+    elif isinstance(elem, ast.Expr):
+        ev.eval(elem.value, state)
+    elif isinstance(elem, ast.expr):
+        ev.eval(elem, state)
+    elif isinstance(elem, (ast.Return, ast.Raise, ast.Assert)):
+        for expr in _stmt_exprs(elem):
+            ev.eval(expr, state)
+
+
+def _stmt_exprs(elem: ast.AST) -> List[ast.expr]:
+    return [child for child in ast.iter_child_nodes(elem)
+            if isinstance(child, ast.expr)]
+
+
+def _pattern_names(pattern: ast.pattern) -> List[str]:
+    names: List[str] = []
+    for node in ast.walk(pattern):
+        if isinstance(node, (ast.MatchAs, ast.MatchStar)) and node.name:
+            names.append(node.name)
+        elif isinstance(node, ast.MatchMapping) and node.rest:
+            names.append(node.rest)
+    return names
+
+
+def _apply_block(elems: List[ast.AST], state: State,
+                 ev: AbstractEval) -> State:
+    out = dict(state)
+    for elem in elems:
+        transfer(elem, out, ev)
+    return out
+
+
+def solve_forward(cfg: Cfg, ev: AbstractEval,
+                  init: Optional[State] = None) -> Dict[int, State]:
+    """Iterate to a fixed point; returns the in-state of every block."""
+    in_states: Dict[int, State] = {bid: {} for bid in cfg.blocks}
+    in_states[cfg.entry] = dict(init) if init else {}
+    order = cfg.rpo()
+    for _ in range(MAX_PASSES):
+        changed = False
+        for bid in order:
+            block = cfg.blocks[bid]
+            out = _apply_block(block.elems, in_states[bid], ev)
+            for succ in block.succs:
+                merged = join_labels(in_states[succ], out)
+                if merged != in_states[succ]:
+                    in_states[succ] = merged
+                    changed = True
+        if not changed:
+            break
+    return in_states
+
+
+def iter_elements(cfg: Cfg, ev: AbstractEval,
+                  in_states: Dict[int, State]
+                  ) -> Iterator[Tuple[ast.AST, State]]:
+    """Yield ``(element, state-before-element)`` for every element, using
+    the solved per-block in-states.  The yielded state is live — callers
+    must not mutate it."""
+    for bid in cfg.rpo():
+        state = dict(in_states[bid])
+        for elem in cfg.blocks[bid].elems:
+            yield elem, state
+            transfer(elem, state, ev)
+
+
+def comp_scope_state(comp: ast.expr, state: State,
+                     ev: AbstractEval) -> State:
+    """State inside a comprehension: outer state plus the comprehension
+    targets bound from their iterables (so ``r`` in
+    ``sum(r._buffered for r in net.routers)`` resolves)."""
+    inner = dict(state)
+    generators = getattr(comp, "generators", [])
+    for gen in generators:
+        labels = ev.eval(gen.iter, inner)
+        _bind_target(gen.target, ev.unpack_labels(labels), inner, ev, comp)
+        for cond in gen.ifs:
+            ev.eval(cond, inner)
+    return inner

@@ -1,0 +1,235 @@
+"""Whole-program attribute-mutation collection.
+
+Walks every function in scope with the symbolic-path evaluator and
+normalizes each store into a :class:`FieldMutation`: *which registered
+field of which owning class* is mutated, *how deep* (rebinding the field,
+mutating its container contents, or mutating an object it holds), and
+*by which operation*.  Aliases are followed flow-sensitively — both local
+aliases (``events = self._credit_events``) and bound-method aliases
+(``arrivals_append = net._pending.append``) — and closure bodies inherit
+the solved state at their ``def`` site, so captured aliases stay
+resolvable.
+
+Receiver resolution is pattern-based (``self`` plus a caller-supplied
+path resolver) — see the soundness caveats in DESIGN.md §15.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, List, Optional, Sequence
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.flow.cfg import element_exprs
+from repro.analysis.flow.dataflow import PathEval, State, iter_elements, \
+    solve_forward
+from repro.analysis.flow.project import FuncItem, ProjectContext
+
+__all__ = ["FieldMutation", "MUTATING_METHODS", "collect_field_mutations"]
+
+#: Container/collection methods that mutate their receiver in place.
+MUTATING_METHODS = frozenset({
+    "append", "appendleft", "extend", "extendleft", "insert",
+    "add", "discard", "remove", "pop", "popleft", "popitem",
+    "clear", "update", "setdefault", "sort", "reverse", "fill",
+})
+
+#: ``resolve(object_path, enclosing_class) -> candidate owner classes``.
+Resolver = Callable[[str, Optional[str]], FrozenSet[str]]
+
+
+@dataclass
+class FieldMutation:
+    """One site that mutates a field of a resolved owner class."""
+
+    ctx: ModuleContext
+    node: ast.AST
+    #: Candidate owning classes (ambiguous receivers — e.g. elements of
+    #: ``.routers`` — carry every candidate; rules must be conservative).
+    owner_classes: FrozenSet[str]
+    field: str
+    #: ``rebind`` (the field name itself is re-assigned), ``content``
+    #: (the field's container contents change), or ``deep`` (a field of
+    #: an object *held by* the field changes).
+    depth: str
+    #: ``assign`` | ``augadd`` | ``augsub`` | ``augother`` | ``del`` |
+    #: ``call:<method>``.
+    op: str
+    #: Assigned value for simple single-target assignments, else None.
+    value: Optional[ast.expr]
+    item: FuncItem
+    object_path: str
+
+    def site_tags(self) -> FrozenSet[str]:
+        """``Class.method`` tags this site belongs to (every chain level,
+        so a closure inside ``Network._make_send_fn`` matches both the
+        closure and the factory method)."""
+        if self.item.class_name is not None:
+            return frozenset(f"{self.item.class_name}.{name}"
+                             for name in self.item.chain[1:])
+        return frozenset(self.item.chain)
+
+
+def collect_field_mutations(project: ProjectContext,
+                            module_prefixes: Sequence[str],
+                            resolve: Resolver) -> List[FieldMutation]:
+    """All field mutations in the given modules, alias-resolved."""
+    out: List[FieldMutation] = []
+    for item in project.functions(module_prefixes):
+        if _is_top_level(item):
+            _walk_function(project, item, {}, resolve, out)
+    return out
+
+
+def _is_top_level(item: FuncItem) -> bool:
+    expected = 2 if item.class_name is not None else 1
+    return len(item.chain) == expected
+
+
+def _param_names(func: ast.FunctionDef) -> FrozenSet[str]:
+    args = func.args
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    if args.vararg is not None:
+        names.append(args.vararg.arg)
+    if args.kwarg is not None:
+        names.append(args.kwarg.arg)
+    return frozenset(names)
+
+
+def _walk_function(project: ProjectContext, item: FuncItem, init: State,
+                   resolve: Resolver, out: List[FieldMutation]) -> None:
+    ev = PathEval()
+    cfg = project.cfg_for(item.node)
+    init = {name: labels for name, labels in init.items()
+            if name not in _param_names(item.node)}
+    states = solve_forward(cfg, ev, init)
+    for elem, state in iter_elements(cfg, ev, states):
+        if isinstance(elem, ast.FunctionDef):
+            nested = FuncItem(ctx=item.ctx, node=elem,
+                              class_name=item.class_name,
+                              chain=item.chain + (elem.name,))
+            _walk_function(project, nested, dict(state), resolve, out)
+            continue
+        _collect_elem(project, elem, state, ev, item, resolve, out)
+
+
+def _collect_elem(project: ProjectContext, elem: ast.AST, state: State,
+                  ev: PathEval, item: FuncItem, resolve: Resolver,
+                  out: List[FieldMutation]) -> None:
+    if isinstance(elem, ast.Assign):
+        value = elem.value if len(elem.targets) == 1 else None
+        for target in elem.targets:
+            _walk_store(project, target, "assign", value, elem, state, ev,
+                        item, resolve, out)
+    elif isinstance(elem, ast.AnnAssign) and elem.value is not None:
+        _walk_store(project, elem.target, "assign", elem.value, elem,
+                    state, ev, item, resolve, out)
+    elif isinstance(elem, ast.AugAssign):
+        if isinstance(elem.op, ast.Add):
+            op = "augadd"
+        elif isinstance(elem.op, ast.Sub):
+            op = "augsub"
+        else:
+            op = "augother"
+        _walk_store(project, elem.target, op, elem.value, elem, state, ev,
+                    item, resolve, out)
+    elif isinstance(elem, ast.Delete):
+        for target in elem.targets:
+            _walk_store(project, target, "del", None, elem, state, ev,
+                        item, resolve, out)
+    # Mutating calls can hide anywhere in the element's expressions
+    # (including call statements and branch tests).
+    for expr in element_exprs(elem):
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                _collect_call(node, state, ev, item, resolve, out,
+                              elem)
+
+
+def _walk_store(project: ProjectContext, target: ast.expr, op: str,
+                value: Optional[ast.expr], elem: ast.AST, state: State,
+                ev: PathEval, item: FuncItem, resolve: Resolver,
+                out: List[FieldMutation]) -> None:
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            _walk_store(project, elt, op, None, elem, state, ev, item,
+                        resolve, out)
+    elif isinstance(target, ast.Starred):
+        _walk_store(project, target.value, op, None, elem, state, ev,
+                    item, resolve, out)
+    elif isinstance(target, ast.Attribute):
+        for path in ev.eval(target.value, dict(state)):
+            _record(path, target.attr, op, value, elem, state, item,
+                    resolve, out)
+    elif isinstance(target, ast.Subscript):
+        for path in ev.eval(target.value, dict(state)):
+            _record(path, None, op, value, elem, state, item, resolve,
+                    out)
+
+
+def _collect_call(call: ast.Call, state: State, ev: PathEval,
+                  item: FuncItem, resolve: Resolver,
+                  out: List[FieldMutation], elem: ast.AST) -> None:
+    func = call.func
+    if isinstance(func, ast.Attribute) and func.attr in MUTATING_METHODS:
+        for path in ev.eval(func.value, dict(state)):
+            _record(path, None, f"call:{func.attr}", None, call, state,
+                    item, resolve, out)
+    elif isinstance(func, ast.Name):
+        for label in ev.eval(func, dict(state)):
+            head, _, method = label.rpartition(".")
+            if head and method in MUTATING_METHODS:
+                _record(head, None, f"call:{method}", None, call, state,
+                        item, resolve, out)
+
+
+def _record(object_path: str, stored_attr: Optional[str], op: str,
+            value: Optional[ast.expr], node: ast.AST, state: State,
+            item: FuncItem, resolve: Resolver,
+            out: List[FieldMutation]) -> None:
+    segments = object_path.split(".")
+    if stored_attr is not None:
+        owners = resolve(object_path, item.class_name)
+        if owners:
+            out.append(FieldMutation(
+                ctx=item.ctx, node=node, owner_classes=owners,
+                field=stored_attr, depth="rebind", op=op, value=value,
+                item=item, object_path=object_path))
+            return
+    # Not a direct field rebinding: attribute the mutation to the first
+    # field segment past the longest resolvable object prefix.
+    for cut in range(len(segments) - (0 if stored_attr is None else 0),
+                     0, -1):
+        if stored_attr is None and cut == len(segments):
+            owners = resolve(object_path, item.class_name)
+            if owners:
+                # The object itself resolves to an owner instance; a bare
+                # subscript/content mutation on it cannot be attributed
+                # to any registered field.
+                return
+            continue
+        prefix = ".".join(segments[:cut])
+        owners = resolve(prefix, item.class_name)
+        if not owners:
+            continue
+        remaining = segments[cut:]
+        if not remaining:
+            return
+        field = remaining[0]
+        had_subscript = field.endswith("[]")
+        if had_subscript:
+            field = field[:-2]
+        if stored_attr is not None:
+            # Attribute store through the field's object: deep unless the
+            # path only crosses container subscripts of the field itself.
+            depth = "deep"
+        elif len(remaining) > 1:
+            depth = "deep"
+        else:
+            depth = "content"
+        out.append(FieldMutation(
+            ctx=item.ctx, node=node, owner_classes=owners, field=field,
+            depth=depth, op=op, value=value, item=item,
+            object_path=object_path))
+        return

@@ -1,0 +1,271 @@
+"""Cross-module symbol table for whole-program rules.
+
+Built once per analysis run from every parsed module, then handed to each
+:class:`repro.analysis.rules.ProjectRule`.  The table is name-based (no
+import resolution): class names in this repo are unique within
+``src/repro``, and when a test fixture shadows a simulator class the
+``repro.*`` definition wins.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.flow.cfg import Cfg, build_cfg
+
+__all__ = ["ClassInfo", "ProjectContext", "FuncItem"]
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: members split by kind for resolution."""
+
+    name: str
+    ctx: ModuleContext
+    node: ast.ClassDef
+    bases: Tuple[str, ...]
+    methods: Dict[str, ast.FunctionDef] = field(default_factory=dict)
+    properties: Set[str] = field(default_factory=set)
+    slots: Set[str] = field(default_factory=set)
+    class_vars: Set[str] = field(default_factory=set)
+    #: attr -> method names that bind ``self.attr`` (assign/annassign).
+    attr_sites: Dict[str, List[str]] = field(default_factory=dict)
+
+    @property
+    def attrs(self) -> Set[str]:
+        return set(self.attr_sites)
+
+
+@dataclass
+class FuncItem:
+    """One function to analyze: where it lives and how it is reached."""
+
+    ctx: ModuleContext
+    node: ast.FunctionDef
+    #: Enclosing class name, if the function is (nested inside) a method.
+    class_name: Optional[str]
+    #: Def-name chain from the top level, e.g. ["Network",
+    #: "_make_send_fn", "send"] for a closure inside a method.
+    chain: Tuple[str, ...]
+
+    @property
+    def qualname(self) -> str:
+        return ".".join(self.chain)
+
+
+class ProjectContext:
+    """All parsed modules plus the derived class/function tables."""
+
+    def __init__(self, contexts: Sequence[ModuleContext]):
+        self.modules: Dict[str, ModuleContext] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self._functions: List[FuncItem] = []
+        self._cfgs: Dict[int, Cfg] = {}
+        self.cache: Dict[str, object] = {}
+        for ctx in contexts:
+            if ctx.module not in self.modules:
+                self.modules[ctx.module] = ctx
+            self._index_module(ctx)
+
+    # ------------------------------------------------------------ indexing
+
+    def _index_module(self, ctx: ModuleContext) -> None:
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, ast.ClassDef):
+                self._index_class(ctx, stmt)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if isinstance(stmt, ast.FunctionDef):
+                    self._index_function(ctx, stmt, None, (stmt.name,))
+
+    def _index_class(self, ctx: ModuleContext, node: ast.ClassDef) -> None:
+        info = ClassInfo(name=node.name, ctx=ctx, node=node,
+                         bases=tuple(base.id for base in node.bases
+                                     if isinstance(base, ast.Name)))
+        for stmt in node.body:
+            if isinstance(stmt, ast.FunctionDef):
+                if _is_property(stmt):
+                    info.properties.add(stmt.name)
+                else:
+                    info.methods[stmt.name] = stmt
+                self._collect_attr_sites(stmt, info)
+                self._index_function(ctx, stmt, node.name,
+                                     (node.name, stmt.name))
+            elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                           else [stmt.target])
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        if target.id == "__slots__":
+                            info.slots |= _slot_names(stmt)
+                        else:
+                            info.class_vars.add(target.id)
+        existing = self.classes.get(node.name)
+        # A repro.* definition always beats a fixture/test shadow.
+        if existing is None or (not existing.ctx.module.startswith("repro.")
+                                and ctx.module.startswith("repro.")):
+            self.classes[node.name] = info
+
+    def _index_function(self, ctx: ModuleContext, node: ast.FunctionDef,
+                        class_name: Optional[str],
+                        chain: Tuple[str, ...]) -> None:
+        self._functions.append(FuncItem(ctx=ctx, node=node,
+                                        class_name=class_name,
+                                        chain=chain))
+        for stmt in ast.walk(node):
+            if isinstance(stmt, ast.FunctionDef) and stmt is not node \
+                    and _is_directly_nested(node, stmt):
+                self._index_function(ctx, stmt, class_name,
+                                     chain + (stmt.name,))
+
+    @staticmethod
+    def _collect_attr_sites(method: ast.FunctionDef,
+                            info: ClassInfo) -> None:
+        for node in ast.walk(method):
+            targets: List[ast.expr] = []
+            if isinstance(node, (ast.Assign,)):
+                targets = node.targets
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = [node.target]
+            for target in targets:
+                if isinstance(target, ast.Attribute) \
+                        and isinstance(target.value, ast.Name) \
+                        and target.value.id == "self":
+                    info.attr_sites.setdefault(target.attr,
+                                               []).append(method.name)
+
+    # ----------------------------------------------------------- iteration
+
+    def functions(self, module_prefixes: Sequence[str] = ()
+                  ) -> Iterator[FuncItem]:
+        """Every indexed function (methods, module functions, closures),
+        optionally restricted to modules under the given prefixes."""
+        for item in self._functions:
+            if not module_prefixes or any(
+                    item.ctx.module == p or
+                    item.ctx.module.startswith(p + ".")
+                    for p in module_prefixes):
+                yield item
+
+    def cfg_for(self, func: ast.FunctionDef) -> Cfg:
+        key = id(func)
+        if key not in self._cfgs:
+            self._cfgs[key] = build_cfg(func)
+        return self._cfgs[key]
+
+    # ---------------------------------------------------------- resolution
+
+    def mro(self, class_name: str) -> List[ClassInfo]:
+        """The class plus its resolvable base chain (linear, name-based)."""
+        out: List[ClassInfo] = []
+        seen: Set[str] = set()
+        queue = [class_name]
+        while queue:
+            name = queue.pop(0)
+            if name in seen:
+                continue
+            seen.add(name)
+            info = self.classes.get(name)
+            if info is not None:
+                out.append(info)
+                queue.extend(info.bases)
+        return out
+
+    def resolve_member(self, class_name: str, attr: str
+                       ) -> Optional[Tuple[str, Optional[ast.FunctionDef]]]:
+        """Resolve ``attr`` on ``class_name`` (walking bases).  Returns
+        ``(kind, funcnode)`` where kind is one of ``method``,
+        ``property``, ``attr``, ``slot``, ``classvar`` — or None when the
+        member does not resolve anywhere."""
+        for info in self.mro(class_name):
+            if attr in info.methods:
+                return ("method", info.methods[attr])
+            if attr in info.properties:
+                return ("property", None)
+            if attr in info.attr_sites:
+                return ("attr", None)
+            if attr in info.slots:
+                return ("slot", None)
+            if attr in info.class_vars:
+                return ("classvar", None)
+        return None
+
+
+def _is_property(func: ast.FunctionDef) -> bool:
+    for dec in func.decorator_list:
+        if isinstance(dec, ast.Name) and dec.id in ("property",
+                                                    "cached_property"):
+            return True
+        if isinstance(dec, ast.Attribute) and dec.attr in ("setter",
+                                                           "getter",
+                                                           "deleter"):
+            return True
+    return False
+
+
+def _slot_names(stmt: ast.stmt) -> Set[str]:
+    value = stmt.value if isinstance(stmt, (ast.Assign, ast.AnnAssign)) \
+        else None
+    if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+        return {elt.value for elt in value.elts
+                if isinstance(elt, ast.Constant)
+                and isinstance(elt.value, str)}
+    if isinstance(value, ast.Constant) and isinstance(value.value, str):
+        return {value.value}
+    return set()
+
+
+def _is_directly_nested(outer: ast.FunctionDef,
+                        inner: ast.FunctionDef) -> bool:
+    """True when ``inner`` is nested in ``outer`` without an intervening
+    function/class scope (those get indexed by their own recursion)."""
+    for stmt in ast.walk(outer):
+        if stmt is inner:
+            continue
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)) and stmt is not outer:
+            if any(node is inner for node in ast.walk(stmt)):
+                return False
+    return True
+
+
+def call_arity_error(func: ast.FunctionDef, n_pos: int,
+                     keywords: Sequence[str], *,
+                     bound: bool = True) -> Optional[str]:
+    """Check a call shape against a function signature.
+
+    ``n_pos``/``keywords`` describe the call site; ``bound`` means the
+    receiver is already bound (method call), so ``self`` is skipped.
+    Returns a short description of the mismatch, or None when the call
+    fits.
+    """
+    args = func.args
+    positional = [a.arg for a in args.posonlyargs + args.args]
+    if bound and positional:
+        positional = positional[1:]
+    n_defaults = len(args.defaults)
+    required = positional[: len(positional) - n_defaults] \
+        if n_defaults else positional
+    if n_pos > len(positional) and args.vararg is None:
+        return (f"takes at most {len(positional)} positional "
+                f"argument(s), call passes {n_pos}")
+    supplied = set(keywords)
+    filled = set(positional[:n_pos]) | supplied
+    missing = [name for name in required if name not in filled]
+    if missing:
+        kwonly_required = []
+    else:
+        kwonly_required = [
+            a.arg for a, d in zip(args.kwonlyargs, args.kw_defaults)
+            if d is None and a.arg not in supplied]
+    if missing or kwonly_required:
+        lacking = ", ".join(missing + kwonly_required)
+        return f"missing required argument(s): {lacking}"
+    if args.kwarg is None:
+        valid = set(positional) | {a.arg for a in args.kwonlyargs}
+        unknown = [kw for kw in keywords if kw not in valid]
+        if unknown:
+            return f"unexpected keyword argument(s): {', '.join(unknown)}"
+    return None

@@ -10,10 +10,15 @@ each in-scope rule for findings.
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
+import textwrap
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, \
+    Sequence, Tuple, Type
 
 from repro.analysis.context import ModuleContext
 from repro.analysis.findings import Finding, Severity
+
+if TYPE_CHECKING:
+    from repro.analysis.flow.project import ProjectContext
 
 _REGISTRY: Dict[str, "Rule"] = {}
 
@@ -32,13 +37,19 @@ class Rule:
     name: str = ""
     #: Numeric code, grouped by family (1xx determinism, 2xx 32-bit,
     #: 3xx parallel safety, 4xx API hygiene, 5xx typing, 6xx NoC state
-    #: encapsulation).
+    #: encapsulation, 8xx whole-program flow proofs).
     code: str = ""
     severity: Severity = Severity.ERROR
     #: One-line statement of the invariant the rule encodes.
     invariant: str = ""
+    #: True for whole-program rules (see :class:`ProjectRule`): they are
+    #: skipped by the per-module driver and fed a ProjectContext instead.
+    project: bool = False
     includes: Tuple[str, ...] = ()
     excludes: Tuple[str, ...] = ()
+    #: Minimal violating / conforming snippets shown by ``--explain``.
+    example_bad: str = ""
+    example_good: str = ""
 
     def applies_to(self, module: str) -> bool:
         """Whether this rule runs on ``module`` (dotted name)."""
@@ -54,6 +65,23 @@ class Rule:
         """Yield findings for one module."""
         raise NotImplementedError
 
+    def explain(self) -> str:
+        """Self-describing text for ``--explain`` and the JSON report:
+        the rule's docstring, its invariant, and bad/good examples."""
+        parts: List[str] = []
+        doc = type(self).__doc__
+        if doc:
+            parts.append(textwrap.dedent(" " * 4 + doc).strip())
+        if self.invariant:
+            parts.append(f"Invariant: {self.invariant}")
+        if self.example_bad:
+            parts.append("Bad:\n" + textwrap.indent(
+                textwrap.dedent(self.example_bad).strip(), "    "))
+        if self.example_good:
+            parts.append("Good:\n" + textwrap.indent(
+                textwrap.dedent(self.example_good).strip(), "    "))
+        return "\n\n".join(parts)
+
     # ------------------------------------------------------------- helpers
 
     def finding(self, ctx: ModuleContext, node: ast.AST,
@@ -63,6 +91,31 @@ class Rule:
         line, col = ctx.location(node)
         return Finding(path=ctx.path, line=line, col=col, rule=self.name,
                        severity=severity or self.severity, message=message)
+
+
+class ProjectRule(Rule):
+    """A whole-program rule: runs once per analysis over every parsed
+    module (via a :class:`~repro.analysis.flow.project.ProjectContext`)
+    instead of once per file.  Subclasses implement
+    :meth:`check_project`; ``includes``/``excludes`` describe the modules
+    the rule *reports on* (the project context still sees everything)."""
+
+    project = True
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project: "ProjectContext"
+                      ) -> Iterable[Finding]:
+        """Yield findings across the whole project."""
+        raise NotImplementedError
+
+    def finding_at(self, ctx: ModuleContext, node: ast.AST,
+                   message: str,
+                   severity: Optional[Severity] = None) -> Finding:
+        """Alias of :meth:`finding` that reads better at project scope,
+        where the owning module varies per finding."""
+        return self.finding(ctx, node, message, severity)
 
 
 def register(cls: Type[Rule]) -> Type[Rule]:
@@ -90,9 +143,12 @@ def get_rule(name: str) -> Rule:
 
 def rules_for_module(module: str,
                      rules: Optional[Sequence[Rule]] = None) -> List[Rule]:
-    """The subset of ``rules`` (default: all) that applies to ``module``."""
+    """The subset of ``rules`` (default: all) that applies to ``module``
+    in the per-module driver (whole-program rules are excluded — they run
+    once over the project, not per file)."""
     pool = list(rules) if rules is not None else all_rules()
-    return [rule for rule in pool if rule.applies_to(module)]
+    return [rule for rule in pool
+            if not rule.project and rule.applies_to(module)]
 
 
 def _ensure_loaded() -> None:

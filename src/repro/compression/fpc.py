@@ -111,9 +111,9 @@ class SignExtended(PatternClass):
             best = _nearest_in_range(lo, min(hi, self._pos_hi), word)
         if hi >= self._neg_lo:  # block intersects the negative range
             cand = _nearest_in_range(max(lo, self._neg_lo), hi, word)
-            # In-block distances: |cand - word| <= mask, bounded by
-            # construction, so the unmasked subtraction cannot overflow
-            # the 32-bit datapath.  # repro: allow[unmasked-word-arith]
+            # Pure comparison sink: the unmasked differences feed only
+            # abs() and the '<', never re-entering the datapath (the
+            # flow-sensitive REPRO202 proves this).
             if best is None or abs(cand - word) < abs(best - word):
                 best = cand
         return best

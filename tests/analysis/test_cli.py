@@ -1,6 +1,7 @@
 """CLI behaviour: exit codes, output formats, baseline workflow."""
 
 import json
+import textwrap
 
 from repro.analysis.cli import EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE, main
 
@@ -105,3 +106,70 @@ class TestOutput:
         # banned-import fires; the float-eq-only run stays clean.
         assert main([str(src), "--no-baseline",
                      "--rule", "float-eq"]) == EXIT_CLEAN
+
+    def test_list_rules_includes_flow_passes(self, capsys):
+        assert main(["--list-rules"]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        for code in ("REPRO801", "REPRO803", "REPRO811", "REPRO821"):
+            assert code in out
+
+    def test_json_includes_rule_explanations(self, tmp_path, capsys):
+        src = make_tree(tmp_path, DIRTY_SOURCE)
+        assert main([str(src), "--no-baseline",
+                     "--format", "json"]) == EXIT_FINDINGS
+        payload = json.loads(capsys.readouterr().out)
+        assert "banned-import" in payload["rules"]
+        entry = payload["rules"]["banned-import"]
+        assert entry["code"]
+        assert entry["invariant"]
+        assert entry["explain"]
+
+    def test_json_rules_empty_when_clean(self, tmp_path, capsys):
+        src = make_tree(tmp_path, CLEAN_SOURCE)
+        assert main([str(src), "--no-baseline",
+                     "--format", "json"]) == EXIT_CLEAN
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rules"] == {}
+
+
+class TestExplain:
+    def test_explain_by_name(self, capsys):
+        assert main(["--explain", "skip-path-purity"]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        assert "REPRO803" in out
+        assert "Invariant:" in out
+        assert "Bad:" in out
+        assert "Good:" in out
+
+    def test_explain_by_code(self, capsys):
+        assert main(["--explain", "REPRO202"]) == EXIT_CLEAN
+        assert "unmasked-word-arith" in capsys.readouterr().out
+
+    def test_explain_unknown_rule_exits_two(self, capsys):
+        assert main(["--explain", "no-such-rule"]) == EXIT_USAGE
+        assert "unknown rule" in capsys.readouterr().err
+
+
+class TestBitsHeuristicFlag:
+    #: Flow mode proves the sum is masked at its only use; the legacy
+    #: expression-local heuristic cannot see past the assignment.
+    FLOW_OK = textwrap.dedent("""\
+        WORD_MASK = 0xFFFFFFFF
+
+
+        def mix(word, key):
+            mixed = word + key
+            return mixed & WORD_MASK
+        """)
+
+    def test_flow_mode_is_default(self, tmp_path):
+        src = make_tree(tmp_path, self.FLOW_OK)
+        assert main([str(src), "--no-baseline",
+                     "--rule", "unmasked-word-arith"]) == EXIT_CLEAN
+
+    def test_heuristic_flag_restores_legacy(self, tmp_path, capsys):
+        src = make_tree(tmp_path, self.FLOW_OK)
+        assert main([str(src), "--no-baseline", "--bits-heuristic",
+                     "--rule",
+                     "unmasked-word-arith"]) == EXIT_FINDINGS
+        assert "unmasked-word-arith" in capsys.readouterr().out

@@ -1,0 +1,269 @@
+"""Unit tests for the flow layer: CFG construction and the fixed-point
+dataflow solver (branches, loops, try/except, early returns, aliases)."""
+
+import ast
+import textwrap
+
+from repro.analysis.flow import (
+    PathEval,
+    build_cfg,
+    element_exprs,
+    iter_elements,
+    solve_forward,
+)
+from repro.analysis.flow.dataflow import AbstractEval
+
+
+def make_cfg(source):
+    tree = ast.parse(textwrap.dedent(source))
+    func = tree.body[0]
+    assert isinstance(func, ast.FunctionDef)
+    return build_cfg(func)
+
+
+def solve_paths(source):
+    """Solve the first function with PathEval; return (cfg, in-states)."""
+    cfg = make_cfg(source)
+    return cfg, solve_forward(cfg, PathEval())
+
+
+def final_state(source):
+    """The solved state at the function's ``return`` statement."""
+    cfg, states = solve_paths(source)
+    for elem, state in iter_elements(cfg, PathEval(), states):
+        if isinstance(elem, ast.Return):
+            return dict(state)
+    raise AssertionError("fixture has no return statement")
+
+
+class TestCfgShapes:
+    def test_linear_body_is_single_block(self):
+        cfg = make_cfg("""
+            def f(x):
+                a = x
+                b = a
+                return b
+            """)
+        real = [b for b in cfg.blocks.values() if b.elems]
+        assert len(real) == 1
+
+    def test_if_else_branches_and_join(self):
+        cfg = make_cfg("""
+            def f(x):
+                if x:
+                    a = 1
+                else:
+                    a = 2
+                return a
+            """)
+        # entry (test) -> two branch blocks -> join.
+        entry = cfg.blocks[cfg.entry]
+        assert len(entry.succs) == 2
+        joins = [b for b in cfg.blocks.values()
+                 if sum(entry_id in blk.succs
+                        for entry_id, blk in cfg.blocks.items()) >= 0]
+        assert joins  # structural sanity; the solver tests prove the join
+
+    def test_while_has_back_edge(self):
+        cfg = make_cfg("""
+            def f(x):
+                while x:
+                    x = x - 1
+                return x
+            """)
+        # Some block must point back at an earlier block (the loop head).
+        back = any(succ <= bid
+                   for bid, block in cfg.blocks.items()
+                   for succ in block.succs)
+        assert back
+
+    def test_early_return_targets_exit(self):
+        cfg = make_cfg("""
+            def f(x):
+                if x:
+                    return 1
+                return 2
+            """)
+        returning = [b for b in cfg.blocks.values()
+                     if any(isinstance(e, ast.Return) for e in b.elems)]
+        assert len(returning) == 2
+        assert all(b.succs == [cfg.exit_id] for b in returning)
+
+    def test_unreachable_code_still_present(self):
+        cfg = make_cfg("""
+            def f(x):
+                return x
+                y = 1
+            """)
+        elems = [e for b in cfg.blocks.values() for e in b.elems]
+        assert any(isinstance(e, ast.Assign) for e in elems)
+        assert set(cfg.rpo()) == set(cfg.blocks)
+
+    def test_element_exprs_for_compound_heads(self):
+        tree = ast.parse("for i in xs:\n    pass\n")
+        for_node = tree.body[0]
+        exprs = element_exprs(for_node)
+        assert for_node.iter in exprs
+
+    def test_try_except_edges_from_mid_body(self):
+        cfg = make_cfg("""
+            def f(x):
+                try:
+                    a = 1
+                    b = risky()
+                    c = 2
+                except ValueError:
+                    d = 3
+                return x
+            """)
+        handler_blocks = [bid for bid, b in cfg.blocks.items()
+                          if any(isinstance(e, ast.ExceptHandler) or
+                                 (isinstance(e, ast.Assign) and
+                                  isinstance(e.targets[0], ast.Name) and
+                                  e.targets[0].id == "d")
+                                 for e in b.elems)]
+        assert handler_blocks
+        # Every body block must reach a handler entry (exceptions can be
+        # raised between any two statements).
+        body_blocks = [bid for bid, b in cfg.blocks.items()
+                       if any(isinstance(e, ast.Assign) and
+                              isinstance(e.targets[0], ast.Name) and
+                              e.targets[0].id in ("a", "b", "c")
+                              for e in b.elems)]
+        for bid in body_blocks:
+            reachable = set()
+            stack = [bid]
+            while stack:
+                cur = stack.pop()
+                for succ in cfg.blocks[cur].succs:
+                    if succ not in reachable:
+                        reachable.add(succ)
+                        stack.append(succ)
+            assert reachable & set(handler_blocks)
+
+
+class TestSolver:
+    def test_straight_line_alias(self):
+        state = final_state("""
+            def f(self):
+                net = self.net
+                return net
+            """)
+        assert state["net"] == frozenset({"self.net"})
+
+    def test_branch_join_unions_labels(self):
+        state = final_state("""
+            def f(self, cond):
+                if cond:
+                    target = self.left
+                else:
+                    target = self.right
+                return target
+            """)
+        assert state["target"] == frozenset({"self.left", "self.right"})
+
+    def test_loop_target_gets_element_path(self):
+        state = final_state("""
+            def f(self):
+                for router in self.routers:
+                    last = router
+                return last
+            """)
+        assert "self.routers[]" in state["router"]
+
+    def test_loop_reassignment_reaches_fixed_point(self):
+        state = final_state("""
+            def f(self, n):
+                cur = self.head
+                while n:
+                    cur = self.tail
+                    n = n - 1
+                return cur
+            """)
+        assert state["cur"] == frozenset({"self.head", "self.tail"})
+
+    def test_try_except_merges_partial_defs(self):
+        state = final_state("""
+            def f(self):
+                obj = self.primary
+                try:
+                    obj = self.risky
+                    obj = self.after
+                except ValueError:
+                    flag = obj
+                return obj
+            """)
+        # Inside the handler, obj may be any of the three definitions.
+        assert state["obj"] >= frozenset({"self.after"})
+
+    def test_subscript_appends_index_marker(self):
+        state = final_state("""
+            def f(self, i):
+                ni = self.nis[i]
+                return ni
+            """)
+        assert state["ni"] == frozenset({"self.nis[]"})
+
+    def test_bound_method_alias(self):
+        state = final_state("""
+            def f(self):
+                push = self.net._pending.append
+                return push
+            """)
+        assert state["push"] == frozenset({"self.net._pending.append"})
+
+    def test_del_kills_binding(self):
+        state = final_state("""
+            def f(self):
+                tmp = self.net
+                del tmp
+                return 0
+            """)
+        assert "tmp" not in state
+
+    def test_comprehension_targets_resolve(self):
+        # Comprehension target binding happens in an inner scope; the
+        # outer state must keep its own labels untouched.
+        state = final_state("""
+            def f(self):
+                total = self.count
+                sizes = [r.depth for r in self.routers]
+                return total
+            """)
+        assert state["total"] == frozenset({"self.count"})
+
+    def test_reaching_defs_via_bind_labels(self):
+        class DefSites(AbstractEval):
+            def bind_labels(self, name, labels, elem):
+                return frozenset({f"L{elem.lineno}"})
+
+        source = textwrap.dedent("""
+            def f(cond):
+                v = 1
+                if cond:
+                    v = 2
+                use = v
+            """)
+        func = ast.parse(source).body[0]
+        cfg = build_cfg(func)
+        states = solve_forward(cfg, DefSites())
+        final = {}
+        for elem, state in iter_elements(cfg, DefSites(), states):
+            if isinstance(elem, ast.Assign) and \
+                    isinstance(elem.targets[0], ast.Name) and \
+                    elem.targets[0].id == "use":
+                final = dict(state)
+        # Both defs of v (lines 3 and 5) reach the use on line 6.
+        assert final["v"] == frozenset({"L3", "L5"})
+
+    def test_break_skips_rest_of_loop(self):
+        state = final_state("""
+            def f(self, items):
+                found = self.default
+                for item in items:
+                    if item:
+                        found = self.hit
+                        break
+                return found
+            """)
+        assert state["found"] == frozenset({"self.default", "self.hit"})

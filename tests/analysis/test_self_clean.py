@@ -38,3 +38,29 @@ def test_committed_baseline_is_empty_for_core_and_util():
     assert protected == [], (
         "baseline policy: repro.core and repro.util carry no grandfathered "
         "debt\n" + "\n".join(f.format_human() for f in protected))
+
+
+def test_flow_proof_passes_hold_on_real_tree():
+    """The whole-program proof passes (REPRO80x/81x/82x) certify the real
+    simulator with an *empty* baseline: every state-classification claim,
+    RNG stream boundary and cross-core surface is proven, not
+    grandfathered."""
+    from repro.analysis import get_rule
+
+    flow_rules = [get_rule(name) for name in (
+        "state-static-rebind", "state-counter-shape", "skip-path-purity",
+        "state-containment", "state-clock-advance",
+        "rng-stream-isolation", "rng-salt-collision",
+        "router-surface-parity", "core-backend-parity")]
+    report = analyze_paths([REPO_ROOT / "src"], flow_rules)
+    assert report.ok, "\n".join(f.format_human() for f in report.findings)
+
+
+def test_committed_baseline_is_empty_for_flow_proofs():
+    baseline = Baseline.load(REPO_ROOT / DEFAULT_BASELINE)
+    flow = [f for f in baseline.findings
+            if f.rule.startswith(("state-", "rng-", "router-", "core-"))]
+    assert flow == [], (
+        "baseline policy: flow-proof findings are fixed or carry inline "
+        "# repro: allow[...] justifications, never baseline entries\n"
+        + "\n".join(f.format_human() for f in flow))
