@@ -16,19 +16,27 @@ Importing this package registers every rule (the modules self-register via
 * :mod:`.rng_streams`  — 81x: taint-based RNG stream isolation between
   the fault and workload subsystems;
 * :mod:`.api_parity`   — 82x: the Network hot path fits both router
-  representations and both SoA core backends.
+  representations and both SoA core backends;
+* :mod:`.value_ranges` — 90x: abstract-interpretation value proofs —
+  shift ranges, 32-bit containment, zero divisors, and the AVCL
+  error-bound certifier;
+* :mod:`.hot_alloc`    — 91x: no per-execution allocation inside the
+  per-cycle hot loops.
 """
 
 from repro.analysis.checks import (
     api_parity,
     bits,
     determinism,
+    hot_alloc,
     hygiene,
     noc_state,
     parallel,
     rng_streams,
     state_proofs,
+    value_ranges,
 )
 
-__all__ = ["api_parity", "bits", "determinism", "hygiene", "noc_state",
-           "parallel", "rng_streams", "state_proofs"]
+__all__ = ["api_parity", "bits", "determinism", "hot_alloc", "hygiene",
+           "noc_state", "parallel", "rng_streams", "state_proofs",
+           "value_ranges"]

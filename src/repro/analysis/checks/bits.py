@@ -1,319 +1,21 @@
 """32-bit hygiene rules (2xx).
 
-Python integers are unbounded; the hardware being modelled is not.  Every
-word that leaves an arithmetic expression must be re-masked to 32 bits
-(``& WORD_MASK`` / ``to_unsigned``), shifts must stay inside the word, and
-floats are never compared for exact equality outside the bit-manipulation
+Floats are never compared for exact equality outside the bit-manipulation
 core (:mod:`repro.util.bitops`), where bit-exactness is the whole point.
+
+The shift-range and word-masking heuristics that used to live here
+(REPRO201/REPRO202) were retired in favour of the abstract-interpretation
+proofs in :mod:`repro.analysis.checks.value_ranges` (REPRO901/REPRO902).
 """
 
 from __future__ import annotations
 
 import ast
-from typing import FrozenSet, Iterable, Optional
+from typing import Iterable, Optional
 
 from repro.analysis.context import ModuleContext
 from repro.analysis.findings import Finding
-from repro.analysis.flow.cfg import build_cfg, element_exprs
-from repro.analysis.flow.dataflow import AbstractEval, Labels, \
-    iter_elements, solve_forward
 from repro.analysis.rules import Rule, register
-
-WORD_BITS = 32
-
-#: Names whose value is, by repo convention, a raw 32-bit word.
-WORDISH_SUFFIXES = ("word", "pattern")
-
-#: Masks whose application bounds a word expression.
-MASK_NAMES = {"WORD_MASK", "MANTISSA_MASK", "EXPONENT_MASK"}
-
-#: Calls that normalize their argument back into 32-bit range.
-NORMALIZING_CALLS = {"to_unsigned", "to_signed"}
-
-
-@register
-class ShiftRange(Rule):
-    """Shift amounts must stay inside the 32-bit word."""
-
-    name = "shift-range"
-    code = "REPRO201"
-    invariant = ("A shift of >= 32 on a 32-bit datapath is undefined in the "
-                 "modelled hardware (and silently 'works' in Python); "
-                 "constant-building expressions with a literal base are "
-                 "exempt.")
-    includes = ("repro",)
-
-    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.BinOp):
-                continue
-            if not isinstance(node.op, (ast.LShift, ast.RShift)):
-                continue
-            amount = ctx.fold_int(node.right)
-            if amount is None:
-                continue
-            op = "<<" if isinstance(node.op, ast.LShift) else ">>"
-            if amount < 0:
-                yield self.finding(
-                    ctx, node, f"negative shift amount {amount} ({op})")
-                continue
-            if amount < WORD_BITS:
-                continue
-            if ctx.fold_int(node.left) is not None:
-                # Fully constant expression (e.g. ``1 << WORD_BITS`` as the
-                # two's-complement modulus): deliberate constant building.
-                continue
-            yield self.finding(
-                ctx, node,
-                f"shift amount {amount} >= {WORD_BITS} on a non-constant "
-                f"operand: out of range for the 32-bit datapath")
-
-
-#: Pure shrink-or-compare helpers a word value may pass through on its
-#: way to a comparison sink without re-entering the datapath.
-_PASSTHROUGH_CALLS = {"abs", "min", "max"}
-
-
-class _ReachingDefsEval(AbstractEval):
-    """Each binding is labelled by its definition site, so the solved
-    states answer "which defs of ``v`` reach this element"."""
-
-    def bind_labels(self, name: str, labels: Labels,
-                    elem: ast.AST) -> Labels:
-        return frozenset({f"def:{id(elem)}"})
-
-
-@register
-class UnmaskedWordArithmetic(Rule):
-    """Word arithmetic must be re-masked into 32 bits.
-
-    By default the rule is flow-sensitive: an unmasked word expression
-    stored into a local is fine when *every* use that definition reaches
-    is a masking context (``v & WORD_MASK``, ``v >> k``, ``v % m``,
-    ``to_unsigned(v)``, ``v &= WORD_MASK`` or a bare comparison), and a
-    value feeding only a comparison (optionally through ``abs``/``min``/
-    ``max``) never re-enters the datapath at all.  ``--bits-heuristic``
-    restores the expression-local legacy behavior."""
-
-    name = "unmasked-word-arith"
-    code = "REPRO202"
-    invariant = ("Arithmetic on *word/*pattern values must flow through "
-                 "'& WORD_MASK' or to_unsigned()/to_signed() before use; "
-                 "unbounded Python ints diverge from the 32-bit hardware.")
-    includes = ("repro.noc", "repro.core", "repro.compression")
-    example_bad = """
-        def mix(word, key):
-            return table[(word + key)]   # unbounded value escapes
-    """
-    example_good = """
-        def mix(word, key):
-            mixed = word + key           # flow mode: every reached use
-            return table[mixed & WORD_MASK]   # of 'mixed' is masked
-    """
-
-    #: Flow-sensitive def-use tracking; ``--bits-heuristic`` turns it off.
-    flow_mode: bool = True
-
-    #: Operators that can carry a word out of 32-bit range.
-    _GROWING_OPS = (ast.Add, ast.Sub, ast.Mult, ast.LShift, ast.Pow)
-
-    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.BinOp):
-                continue
-            if not isinstance(node.op, self._GROWING_OPS):
-                continue
-            if not (self._wordish(node.left) or self._wordish(node.right)):
-                continue
-            if self._is_masked(ctx, node):
-                continue
-            if self.flow_mode and self._flow_suppressed(ctx, node):
-                continue
-            op_name = type(node.op).__name__
-            yield self.finding(
-                ctx, node,
-                f"unmasked word arithmetic ({op_name}) on a "
-                f"*word/*pattern operand: apply '& WORD_MASK' or "
-                f"to_unsigned() before the value escapes")
-
-    # ------------------------------------------------------- flow mode
-
-    def _flow_suppressed(self, ctx: ModuleContext,
-                         node: ast.BinOp) -> bool:
-        """True when flow analysis proves the unmasked value harmless:
-        it only feeds a comparison, or it is stored in a local whose
-        every reached use re-masks (or merely compares) it."""
-        if self._comparison_sink(ctx, node):
-            return True
-        stmt, var = self._local_store(ctx, node)
-        if stmt is None or var is None:
-            return False
-        func = ctx.enclosing_function(node)
-        if not isinstance(func, ast.FunctionDef):
-            return False
-        return self._all_uses_masked(ctx, func, stmt, var)
-
-    def _comparison_sink(self, ctx: ModuleContext,
-                         node: ast.BinOp) -> bool:
-        """The expression's value feeds only a comparison, possibly via
-        ``abs``/``min``/``max`` — it never re-enters the datapath, so
-        Python's unbounded compare gives the same verdict the hardware
-        comparator would on in-range operands."""
-        current: ast.AST = node
-        for ancestor in ctx.ancestors(node):
-            if isinstance(ancestor, ast.BinOp):
-                current = ancestor
-                continue
-            if isinstance(ancestor, ast.Call):
-                func_name = None
-                if isinstance(ancestor.func, ast.Name):
-                    func_name = ancestor.func.id
-                if func_name in _PASSTHROUGH_CALLS and \
-                        ancestor.func is not current:
-                    current = ancestor
-                    continue
-                return False
-            if isinstance(ancestor, ast.Compare):
-                return True
-            if isinstance(ancestor, (ast.BoolOp, ast.UnaryOp)):
-                current = ancestor
-                continue
-            return False
-        return False
-
-    @staticmethod
-    def _local_store(ctx: ModuleContext, node: ast.BinOp
-                     ) -> "tuple[Optional[ast.Assign], Optional[str]]":
-        """The ``v = <node>`` statement binding this expression to a
-        single local name, if that is the expression's only consumer."""
-        parent = ctx.parent(node)
-        if isinstance(parent, ast.Assign) and parent.value is node \
-                and len(parent.targets) == 1 \
-                and isinstance(parent.targets[0], ast.Name):
-            return parent, parent.targets[0].id
-        return None, None
-
-    def _all_uses_masked(self, ctx: ModuleContext, func: ast.FunctionDef,
-                         stmt: ast.Assign, var: str) -> bool:
-        cfg = build_cfg(func)
-        states = solve_forward(cfg, _ReachingDefsEval())
-        def_label = f"def:{id(stmt)}"
-        uses = 0
-        for elem, state in iter_elements(cfg, _ReachingDefsEval(),
-                                         states):
-            reaching: FrozenSet[str] = state.get(var, frozenset())
-            if def_label not in reaching:
-                continue
-            if isinstance(elem, ast.AugAssign) and \
-                    isinstance(elem.target, ast.Name) and \
-                    elem.target.id == var:
-                uses += 1
-                if not self._masking_augassign(ctx, elem):
-                    return False
-                continue
-            for expr in element_exprs(elem):
-                for name in ast.walk(expr):
-                    if isinstance(name, ast.Name) and name.id == var \
-                            and isinstance(name.ctx, ast.Load):
-                        uses += 1
-                        if not self._masking_use(ctx, name):
-                            return False
-        # A def that reaches no use is a dead store of an unmasked word —
-        # keep flagging it rather than blessing unreachable code.
-        return uses > 0
-
-    def _masking_augassign(self, ctx: ModuleContext,
-                           elem: ast.AugAssign) -> bool:
-        """``v &= MASK`` / ``v >>= k`` / ``v %= m`` re-bound the value
-        in place; any other augmented op keeps it unbounded."""
-        if isinstance(elem.op, ast.BitAnd):
-            return self._mask_like(ctx, elem.value)
-        return isinstance(elem.op, (ast.RShift, ast.Mod))
-
-    def _masking_use(self, ctx: ModuleContext, name: ast.Name) -> bool:
-        """One ``Load`` of the tracked local is harmless when the value
-        is immediately re-masked, normalized, or only compared."""
-        current: ast.AST = name
-        for ancestor in ctx.ancestors(name):
-            if isinstance(ancestor, ast.BinOp):
-                if isinstance(ancestor.op, ast.BitAnd):
-                    other = (ancestor.right if ancestor.left is current
-                             else ancestor.left)
-                    if self._mask_like(ctx, other):
-                        return True
-                if isinstance(ancestor.op, (ast.RShift, ast.Mod)) \
-                        and ancestor.left is current:
-                    return True
-                current = ancestor
-                continue
-            if isinstance(ancestor, ast.Call):
-                func_name = None
-                if isinstance(ancestor.func, ast.Name):
-                    func_name = ancestor.func.id
-                elif isinstance(ancestor.func, ast.Attribute):
-                    func_name = ancestor.func.attr
-                if func_name in NORMALIZING_CALLS:
-                    return True
-                if func_name in _PASSTHROUGH_CALLS and \
-                        ancestor.func is not current:
-                    current = ancestor
-                    continue
-                return False
-            if isinstance(ancestor, ast.Compare):
-                return True
-            if isinstance(ancestor, (ast.BoolOp, ast.UnaryOp)):
-                current = ancestor
-                continue
-            return False
-        return False
-
-    def _wordish(self, node: ast.expr) -> bool:
-        name: Optional[str] = None
-        if isinstance(node, ast.Name):
-            name = node.id
-        elif isinstance(node, ast.Attribute):
-            name = node.attr
-        if name is None:
-            return False
-        lowered = name.lower()
-        return any(lowered == suffix or lowered.endswith("_" + suffix)
-                   or lowered.endswith(suffix)
-                   for suffix in WORDISH_SUFFIXES)
-
-    def _is_masked(self, ctx: ModuleContext, node: ast.BinOp) -> bool:
-        """Walk outward through the expression looking for a masking
-        operation or a normalizing call consuming the result."""
-        current: ast.AST = node
-        for ancestor in ctx.ancestors(node):
-            if isinstance(ancestor, ast.BinOp):
-                if isinstance(ancestor.op, ast.BitAnd):
-                    other = (ancestor.right if ancestor.left is current
-                             else ancestor.left)
-                    if self._mask_like(ctx, other):
-                        return True
-                if isinstance(ancestor.op, (ast.RShift, ast.Mod)):
-                    # ``x >> k`` shrinks; ``x % m`` bounds.
-                    return True
-                current = ancestor
-                continue
-            if isinstance(ancestor, ast.Call):
-                func = ancestor.func
-                func_name = None
-                if isinstance(func, ast.Name):
-                    func_name = func.id
-                elif isinstance(func, ast.Attribute):
-                    func_name = func.attr
-                return func_name in NORMALIZING_CALLS
-            # Any other construct (assignment, return, comparison,
-            # subscript, argument position…) ends the masking window.
-            return False
-        return False
-
-    def _mask_like(self, ctx: ModuleContext, node: ast.expr) -> bool:
-        if isinstance(node, ast.Name) and node.id in MASK_NAMES:
-            return True
-        folded = ctx.fold_int(node)
-        return folded is not None and 0 <= folded <= 0xFFFFFFFF
 
 
 @register

@@ -1,0 +1,171 @@
+"""Hot-path allocation lint (91x).
+
+The per-cycle loops are the simulator's inner loop: every avoidable
+allocation there is paid millions of times per sweep and shows up
+directly in the perf-smoke numbers.  REPRO911 walks the per-cycle entry
+points of the SoA core (``SoaCore.cycle_all``) and the object router
+(``Router.cycle``) plus every ``self``-method they transitively call,
+and flags constructs that allocate on each execution:
+
+* list / dict / set literals and displays;
+* tuple literals with any non-constant element (constant tuples are
+  folded by CPython);
+* list/set/dict/generator comprehensions;
+* ``lambda`` expressions (a fresh function object per evaluation).
+
+Methods on the cold-path registry (setup, audit, debugging) are not
+descended into; a justified per-site escape is the usual
+``# repro: allow[hot-alloc]`` comment — e.g. the arrival/ejection
+payload tuples, which *are* the data being communicated.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.flow.project import ProjectContext
+from repro.analysis.rules import ProjectRule, register
+
+#: Per-cycle entry points: (module, class, method).
+HOT_ROOTS: Tuple[Tuple[str, str, str], ...] = (
+    ("repro.noc.core_soa", "SoaCore", "cycle_all"),
+    ("repro.noc.core_soa", "SoaCore", "accept_arrivals"),
+    ("repro.noc.core_soa", "SoaCore", "apply_credits"),
+    ("repro.noc.router", "Router", "cycle"),
+)
+
+#: Allow-registry: methods reachable from a hot root that are known
+#: cold setup/diagnostic paths and are not descended into.
+COLD_METHODS: frozenset = frozenset({
+    "audit", "bind", "reset", "__init__", "__repr__",
+})
+
+
+@register
+class HotPathAllocation(ProjectRule):
+    """No per-execution allocation inside the per-cycle loops."""
+
+    name = "hot-alloc"
+    code = "REPRO911"
+    invariant = ("The per-cycle loops (SoaCore.cycle_all / Router.cycle "
+                 "and their callees) run millions of times per sweep; "
+                 "container literals, comprehensions and lambdas there "
+                 "allocate on every execution and belong in __init__ "
+                 "(preallocated scratch) or outside the loop.")
+    includes = ("repro.noc",)
+    example_bad = """
+        def cycle(self, now):
+            requests = {}                # fresh dict every cycle
+            order = sorted(ports, key=lambda p: p - self._rr)
+    """
+    example_good = """
+        def __init__(self):
+            self._req_lists = [[] for _ in range(n_ports)]  # once
+
+        def cycle(self, now):
+            lst = self._req_lists[port]  # reused, cleared with del lst[:]
+    """
+
+    def check_project(self, project: ProjectContext) -> Iterable[Finding]:
+        for module, class_name, method in HOT_ROOTS:
+            ctx = project.modules.get(module)
+            if ctx is None:
+                continue
+            for name, fn in self._hot_closure(project, class_name, method):
+                yield from self._check_function(ctx, class_name, name, fn)
+
+    # ------------------------------------------------------------ closure
+
+    def _hot_closure(self, project: ProjectContext, class_name: str,
+                     root: str) -> Iterator[Tuple[str, ast.FunctionDef]]:
+        """The root method plus every ``self``-method it transitively
+        calls (resolved through the class's mro), cold paths excluded."""
+        methods: Dict[str, ast.FunctionDef] = {}
+        for info in reversed(project.mro(class_name)):
+            methods.update(info.methods)
+        seen: Set[str] = set()
+        queue: List[str] = [root]
+        while queue:
+            name = queue.pop(0)
+            if name in seen or name in COLD_METHODS:
+                continue
+            seen.add(name)
+            fn = methods.get(name)
+            if fn is None:
+                continue
+            yield name, fn
+            for node in ast.walk(fn):
+                if (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and isinstance(node.func.value, ast.Name)
+                        and node.func.value.id == "self"
+                        and node.func.attr in methods):
+                    queue.append(node.func.attr)
+
+    # ----------------------------------------------------------- checking
+
+    def _check_function(self, ctx: ModuleContext, class_name: str,
+                        method: str, fn: ast.FunctionDef
+                        ) -> Iterator[Finding]:
+        where = f"{class_name}.{method}"
+        for node in self._walk_executed(fn):
+            what = self._allocation(node)
+            if what is None:
+                continue
+            yield self.finding_at(
+                ctx, node,
+                f"{what} in per-cycle hot path {where}: preallocate in "
+                f"__init__ (scratch cleared with 'del lst[:]') or hoist "
+                f"out of the cycle loop")
+
+    @staticmethod
+    def _walk_executed(fn: ast.FunctionDef) -> Iterator[ast.AST]:
+        """Every node evaluated when the function runs: the body, minus
+        type annotations (and the signature, which is evaluated once at
+        def time).  Parallel-unpack value tuples (``a, b = x, y``) are
+        skipped — CPython compiles them to stack rotations, not a tuple
+        allocation."""
+        skip: Set[int] = set()
+        stack: List[ast.AST] = list(reversed(fn.body))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Tuple) \
+                    and isinstance(node.value, ast.Tuple):
+                skip.add(id(node.value))
+            if id(node) not in skip:
+                yield node
+            for fname, value in ast.iter_fields(node):
+                if fname in ("annotation", "returns"):
+                    continue
+                if isinstance(value, ast.AST):
+                    stack.append(value)
+                elif isinstance(value, list):
+                    stack.extend(v for v in value if isinstance(v, ast.AST))
+
+    @staticmethod
+    def _allocation(node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.ListComp):
+            return "list comprehension"
+        if isinstance(node, ast.SetComp):
+            return "set comprehension"
+        if isinstance(node, ast.DictComp):
+            return "dict comprehension"
+        if isinstance(node, ast.GeneratorExp):
+            return "generator expression"
+        if isinstance(node, ast.Lambda):
+            return "lambda construction"
+        if isinstance(node, ast.List) and isinstance(node.ctx, ast.Load):
+            return "list literal"
+        if isinstance(node, ast.Dict):
+            return "dict literal"
+        if isinstance(node, ast.Set):
+            return "set literal"
+        if isinstance(node, ast.Tuple) and isinstance(node.ctx, ast.Load) \
+                and node.elts \
+                and not all(isinstance(e, ast.Constant) for e in node.elts):
+            return "tuple literal (non-constant elements)"
+        return None

@@ -11,7 +11,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import time
 from typing import Optional, Sequence
 
 from repro.analysis.baseline import DEFAULT_BASELINE, Baseline
@@ -43,6 +45,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--write-baseline", action="store_true",
                         help="rewrite the baseline file to exactly the "
                              "current findings, then exit 0")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline file to exactly the "
+                             "current findings; exit 1 when stale entries "
+                             "were dropped (so CI notices shrinkage)")
     parser.add_argument("--format", choices=("human", "json"),
                         default="human", help="output format")
     parser.add_argument("--rule", action="append", dest="rules",
@@ -54,10 +60,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print a rule's full description "
                              "(invariant, rationale, bad/good examples) "
                              "and exit")
-    parser.add_argument("--bits-heuristic", action="store_true",
-                        help="disable flow-sensitive REPRO202 analysis "
-                             "and fall back to the expression-local "
-                             "masking heuristic")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the whole-program "
+                             "rules (0 = one per CPU; default: 1, "
+                             "serial)")
+    parser.add_argument("--max-seconds", type=float, default=None,
+                        metavar="T",
+                        help="fail (exit 1) when the analysis takes "
+                             "longer than T seconds of wall time — the "
+                             "CI latency budget")
     return parser
 
 
@@ -89,7 +100,8 @@ def _emit_human(new: Sequence[Finding], suppressed: Sequence[Finding],
 
 def _emit_json(new: Sequence[Finding], suppressed: Sequence[Finding],
                stale: Sequence[Finding], parse_errors: Sequence[str],
-               files_scanned: int) -> None:
+               files_scanned: int, analysis_seconds: float,
+               jobs: int) -> None:
     triggered = sorted({f.rule for f in new})
     rules = {}
     by_name = {rule.name: rule for rule in all_rules()}
@@ -104,6 +116,8 @@ def _emit_json(new: Sequence[Finding], suppressed: Sequence[Finding],
             }
     payload = {
         "files_scanned": files_scanned,
+        "analysis_seconds": round(analysis_seconds, 3),
+        "jobs": jobs,
         "findings": [f.to_json_dict() for f in new],
         "baselined": [f.to_json_dict() for f in suppressed],
         "stale_baseline": [f.to_json_dict() for f in stale],
@@ -143,17 +157,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return EXIT_USAGE
         rules = [by_name[name] for name in args.rules]
 
-    # The registry holds singletons: flip REPRO202 into legacy mode only
-    # for the duration of this run.
-    toggled = [rule for rule in rules
-               if args.bits_heuristic and rule.name == "unmasked-word-arith"]
-    for rule in toggled:
-        setattr(rule, "flow_mode", False)
-    try:
-        report = analyze_paths(args.paths, rules)
-    finally:
-        for rule in toggled:
-            setattr(rule, "flow_mode", True)
+    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+    started = time.monotonic()
+    report = analyze_paths(args.paths, rules, jobs=jobs)
+    elapsed = time.monotonic() - started
     if report.files_scanned == 0:
         print(f"no Python files found under: {' '.join(args.paths)}",
               file=sys.stderr)
@@ -173,10 +180,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"unreadable baseline {args.baseline}: {exc}",
                   file=sys.stderr)
             return EXIT_USAGE
+
+    if args.update_baseline:
+        _, _, stale = baseline.split(report.findings)
+        Baseline(report.findings).save(args.baseline)
+        print(f"wrote {len(report.findings)} finding(s) to {args.baseline}")
+        if stale:
+            print(f"dropped {len(stale)} stale baseline entr"
+                  f"{'y' if len(stale) == 1 else 'ies'}")
+            return EXIT_FINDINGS
+        return EXIT_CLEAN
+
     new, suppressed, stale = baseline.split(report.findings)
 
-    emit = _emit_json if args.format == "json" else _emit_human
-    emit(new, suppressed, stale, report.parse_errors, report.files_scanned)
+    if args.format == "json":
+        _emit_json(new, suppressed, stale, report.parse_errors,
+                   report.files_scanned, elapsed, jobs)
+    else:
+        _emit_human(new, suppressed, stale, report.parse_errors,
+                    report.files_scanned)
+    if args.max_seconds is not None and elapsed > args.max_seconds:
+        print(f"analysis took {elapsed:.1f}s, over the --max-seconds "
+              f"budget of {args.max_seconds:.1f}s", file=sys.stderr)
+        return EXIT_FINDINGS
     if new or report.parse_errors:
         return EXIT_FINDINGS
     return EXIT_CLEAN

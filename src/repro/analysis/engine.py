@@ -1,11 +1,22 @@
-"""File discovery and the rule driver (per-module and whole-program)."""
+"""File discovery and the rule driver (per-module and whole-program).
+
+The driver runs serially by default; ``analyze_paths(..., jobs=N)``
+distributes the whole-program rules (where essentially all of the
+analysis time goes — each builds flow summaries over the project)
+across ``N`` worker processes.  Workers receive ``(path, source)``
+pairs and rule *names*; they re-parse and resolve the names against
+the registry, so only registry singletons can be parallelised —
+ad-hoc rule instances fall back to the serial driver.  The merged
+finding list is sorted either way, so output is deterministic and
+independent of ``jobs``.
+"""
 
 from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Sequence, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.context import ModuleContext
 from repro.analysis.findings import Finding
@@ -52,31 +63,108 @@ def iter_python_files(paths: Sequence[Union[str, Path]]) -> Iterator[Path]:
                 yield path
 
 
-def _run_rules(contexts: Sequence[ModuleContext],
-               pool: Sequence[Rule]) -> List[Finding]:
-    """Per-module rules over each context, then whole-program rules over
-    the combined project; inline ``# repro: allow`` suppressions apply to
-    both via the module owning each finding."""
+def _module_findings(contexts: Sequence[ModuleContext],
+                     pool: Sequence[Rule]) -> List[Finding]:
+    """Per-module rules over each context, with inline ``# repro: allow``
+    suppressions applied."""
     findings: List[Finding] = []
-    by_path: Dict[str, ModuleContext] = {ctx.path: ctx for ctx in contexts}
     for ctx in contexts:
         for rule in rules_for_module(ctx.module, pool):
             for finding in rule.check(ctx):
                 if not ctx.is_allowed(finding.rule, finding.line):
                     findings.append(finding)
+    return findings
+
+
+def _project_findings(contexts: Sequence[ModuleContext],
+                      project_rules: Sequence[ProjectRule]
+                      ) -> List[Finding]:
+    """Whole-program rules over the combined project; allow-comments
+    apply via the module owning each finding."""
+    if not project_rules:
+        return []
+    # Imported here: the flow layer is only paid for when a
+    # whole-program rule is actually in the pool.
+    from repro.analysis.flow.project import ProjectContext
+    by_path: Dict[str, ModuleContext] = {ctx.path: ctx for ctx in contexts}
+    project = ProjectContext(contexts)
+    findings: List[Finding] = []
+    for rule in project_rules:
+        for finding in rule.check_project(project):
+            ctx_for = by_path.get(finding.path)
+            if ctx_for is None or \
+                    not ctx_for.is_allowed(finding.rule, finding.line):
+                findings.append(finding)
+    return findings
+
+
+def _run_rules(contexts: Sequence[ModuleContext],
+               pool: Sequence[Rule]) -> List[Finding]:
+    """Per-module rules over each context, then whole-program rules over
+    the combined project; inline ``# repro: allow`` suppressions apply to
+    both via the module owning each finding."""
     project_rules = [rule for rule in pool
                      if isinstance(rule, ProjectRule)]
-    if project_rules:
-        # Imported here: the flow layer is only paid for when a
-        # whole-program rule is actually in the pool.
-        from repro.analysis.flow.project import ProjectContext
-        project = ProjectContext(contexts)
-        for rule in project_rules:
-            for finding in rule.check_project(project):
-                ctx_for = by_path.get(finding.path)
-                if ctx_for is None or \
-                        not ctx_for.is_allowed(finding.rule, finding.line):
-                    findings.append(finding)
+    findings = _module_findings(contexts, pool)
+    findings.extend(_project_findings(contexts, project_rules))
+    return sorted(findings)
+
+
+def _project_rule_task(rule_names: Tuple[str, ...],
+                       items: Tuple[Tuple[str, str], ...]) -> List[Finding]:
+    """Worker-process entry point: rebuild the project from ``(path,
+    source)`` pairs and run the named whole-program rules (names resolve
+    to registry singletons in the child)."""
+    from repro.analysis.rules import get_rule
+    contexts = [ModuleContext(path=path, source=source,
+                              tree=ast.parse(source, filename=path))
+                for path, source in items]
+    rules = [get_rule(name) for name in rule_names]
+    return _project_findings(
+        contexts, [rule for rule in rules if isinstance(rule, ProjectRule)])
+
+
+def _registry_resolvable(pool: Sequence[Rule]) -> bool:
+    """Whether every rule in ``pool`` is the registry singleton for its
+    name (the precondition for shipping rules to workers by name)."""
+    from repro.analysis.rules import get_rule
+    try:
+        return all(get_rule(rule.name) is rule for rule in pool)
+    except KeyError:
+        return False
+
+
+def _run_rules_parallel(contexts: Sequence[ModuleContext],
+                        pool: Sequence[Rule], jobs: int) -> List[Finding]:
+    """The ``jobs > 1`` driver: whole-program rules are round-robined
+    over worker processes (one task per group of rule names) while the
+    parent runs the cheap per-module rules.  Falls back to the serial
+    driver if no worker split is possible."""
+    import concurrent.futures
+    import multiprocessing
+
+    project_rules = sorted(
+        (rule for rule in pool if isinstance(rule, ProjectRule)),
+        key=lambda rule: rule.code)
+    n_groups = min(jobs, len(project_rules))
+    if n_groups < 2:
+        return _run_rules(contexts, pool)
+    groups: List[List[str]] = [[] for _ in range(n_groups)]
+    for index, rule in enumerate(project_rules):
+        groups[index % n_groups].append(rule.name)
+    items = tuple((ctx.path, ctx.source) for ctx in contexts)
+    try:
+        mp_context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX hosts
+        mp_context = multiprocessing.get_context()
+    findings: List[Finding] = []
+    with concurrent.futures.ProcessPoolExecutor(
+            max_workers=n_groups, mp_context=mp_context) as executor:
+        futures = [executor.submit(_project_rule_task, tuple(group), items)
+                   for group in groups]
+        findings.extend(_module_findings(contexts, pool))
+        for future in futures:
+            findings.extend(future.result())
     return sorted(findings)
 
 
@@ -108,10 +196,16 @@ def analyze_project(sources: Dict[str, str],
 
 
 def analyze_paths(paths: Sequence[Union[str, Path]],
-                  rules: Optional[Sequence[Rule]] = None
-                  ) -> AnalysisReport:
+                  rules: Optional[Sequence[Rule]] = None,
+                  jobs: int = 1) -> AnalysisReport:
     """Analyze every Python file under ``paths`` with ``rules``
-    (default: the full registry)."""
+    (default: the full registry).
+
+    ``jobs > 1`` fans the whole-program rules out over that many worker
+    processes; the finding list is identical to (and sorted like) a
+    serial run.  Pools containing non-registry rule instances run
+    serially regardless of ``jobs``.
+    """
     pool = list(rules) if rules is not None else all_rules()
     report = AnalysisReport()
     contexts: List[ModuleContext] = []
@@ -126,6 +220,9 @@ def analyze_paths(paths: Sequence[Union[str, Path]],
             continue
         contexts.append(ModuleContext(path=str(path), source=text,
                                       tree=tree))
-    report.findings.extend(_run_rules(contexts, pool))
+    if jobs > 1 and _registry_resolvable(pool):
+        report.findings.extend(_run_rules_parallel(contexts, pool, jobs))
+    else:
+        report.findings.extend(_run_rules(contexts, pool))
     report.findings.sort()
     return report

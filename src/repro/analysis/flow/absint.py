@@ -1,0 +1,1335 @@
+"""Branch-refining abstract interpreter over the per-function CFGs.
+
+Runs the :mod:`.domains` value domains through a standard worklist
+solver: ascending passes with threshold widening at loop heads, then a
+descending (narrowing) recomputation once a post-fixpoint is reached.
+Conditions refine the state flowing along each branch edge — ``x < 32``
+bounds an interval, ``x & MASK`` falsity sets known-zero bits,
+``isinstance(x, bool)`` pins ``[0, 1]``, and a decided condition kills
+the dead edge outright.
+
+The abstract environment is keyed by *paths*, not just locals:
+
+* ``"x"`` — a local or parameter;
+* ``"self.a.b"`` — an attribute chain rooted at a name;
+* ``"len(p)"`` — the length of the container at path ``p``.
+
+Assigning through a path kills every derived key; a call that is not on
+the pure whitelist kills every dotted and ``len(...)`` key (plain locals
+survive — nothing in this codebase rebinds a caller's locals).
+
+Interprocedural-lite summaries (:func:`compute_summaries`) close the
+datapath world (``repro.core`` / ``repro.compression`` / ``repro.util``):
+return values per function, joined ``self.attr`` values per class, and
+per-parameter joins over the observed call sites.  The summaries are
+sound for that closed world only — callers outside it (tests, harness)
+are deliberately not part of the proof obligation; parameters whose
+names mark them as datapath words (``*word`` / ``*pattern``) are always
+widened to the full 32-bit range regardless of observed call sites.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import (Callable, Dict, Iterator, List, Mapping, Optional,
+                    Sequence, Set, Tuple)
+
+from repro.analysis.flow.cfg import Cfg, build_cfg, element_exprs
+from repro.analysis.flow.domains import (WORD_BITS, WORD_MASK, AbstractValue,
+                                         EXT_TOP, Interval, KnownBits)
+
+__all__ = ["FuncAnalysis", "Summaries", "compute_summaries",
+           "module_seq_constants", "DATAPATH_PREFIXES", "wordish_name"]
+
+Env = Dict[str, AbstractValue]
+State = Optional[Env]
+
+#: Modules whose call graph the summary pass closes over.
+DATAPATH_PREFIXES: Tuple[str, ...] = ("repro.core", "repro.compression",
+                                      "repro.util")
+
+#: Parameter-name suffixes that identify raw 32-bit datapath values.
+WORDISH_SUFFIXES: Tuple[str, ...] = ("word", "pattern")
+
+#: Callables that neither mutate reachable state nor rebind locals, so
+#: they do not clobber dotted/len() environment keys.
+PURE_CALLS: Set[str] = {
+    "len", "abs", "min", "max", "int", "bool", "float", "str", "repr",
+    "isinstance", "issubclass", "range", "enumerate", "sorted", "sum",
+    "tuple", "list", "set", "dict", "frozenset", "divmod", "round",
+    "hash", "id", "getattr", "hasattr", "zip", "reversed", "all", "any",
+    "Fraction", "Decimal",
+    # repro.util.bitops helpers (pure by construction)
+    "to_signed", "to_unsigned", "sign_extends_from", "float_to_bits",
+    "bits_to_float", "float_fields", "build_float", "popcount", "clamp",
+}
+
+#: Pure value-returning methods (``recv.method()``).
+PURE_METHODS: Set[str] = {"bit_length", "get", "keys", "values", "items",
+                         "copy", "index", "count", "as_integer_ratio"}
+
+_MAX_ASCEND = 100
+_DESCEND_PASSES = 2
+
+
+def wordish_name(name: str) -> bool:
+    """True when a variable name marks a raw 32-bit datapath value."""
+    lowered = name.lower()
+    return any(lowered == s or lowered.endswith("_" + s) or lowered.endswith(s)
+               for s in WORDISH_SUFFIXES)
+
+
+def path_of(expr: ast.expr) -> Optional[str]:
+    """Environment key for an expression, when it has one."""
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        base = path_of(expr.value)
+        if base is not None and not base.startswith("len("):
+            return f"{base}.{expr.attr}"
+        return None
+    if (isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name)
+            and expr.func.id == "len" and len(expr.args) == 1
+            and not expr.keywords):
+        inner = path_of(expr.args[0])
+        if inner is not None:
+            return f"len({inner})"
+    return None
+
+
+@dataclass
+class Summaries:
+    """Interprocedural-lite facts for the closed datapath world."""
+
+    #: Joined return value, keyed by bare name and by qualname.
+    returns: Dict[str, AbstractValue] = field(default_factory=dict)
+    #: Joined value of ``self.attr`` over every binding site (methods,
+    #: class-level defaults, dataclass construction sites), keyed by
+    #: ``(class_name, attr)``.
+    attrs: Dict[Tuple[str, str], AbstractValue] = field(default_factory=dict)
+    #: Joined argument value over observed call sites and defaults,
+    #: keyed by ``(bare_function_name, param_name)``.
+    params: Dict[Tuple[str, str], AbstractValue] = field(default_factory=dict)
+
+    def copy(self) -> "Summaries":
+        return Summaries(dict(self.returns), dict(self.attrs),
+                         dict(self.params))
+
+
+def module_seq_constants(tree: ast.AST) -> Dict[str, Tuple[int, ...]]:
+    """Module-level ``NAME = (int, ...)`` tuple/list constants.
+
+    Lets ``for width in DELTA_WIDTHS:`` bind ``width`` to the join of
+    the tuple's elements instead of top.
+    """
+    out: Dict[str, Tuple[int, ...]] = {}
+    for stmt in getattr(tree, "body", []):
+        target: Optional[ast.expr] = None
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target, value = stmt.targets[0], stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            target, value = stmt.target, stmt.value
+        if not (isinstance(target, ast.Name)
+                and isinstance(value, (ast.Tuple, ast.List)) and value.elts):
+            continue
+        elts: List[int] = []
+        for elt in value.elts:
+            if isinstance(elt, ast.Constant) and type(elt.value) is int:
+                elts.append(elt.value)
+            else:
+                break
+        else:
+            out[target.id] = tuple(elts)
+    return out
+
+
+def _top() -> AbstractValue:
+    return AbstractValue.top()
+
+
+class FuncAnalysis:
+    """Abstract interpretation of one function body.
+
+    Parameters
+    ----------
+    func:
+        The function definition (or any object :func:`build_cfg` takes).
+    constants:
+        Module-level integer constants (``ModuleContext.constants``).
+    class_name / summaries:
+        Enable ``self.attr`` and call-return lookups.
+    seeds:
+        Initial abstract values for parameters (overrides summaries and
+        the wordish default).
+    assume:
+        Facts re-imposed (by meet) every time the named variable is
+        bound — the certification hook for bucketed runs.
+    """
+
+    def __init__(self, func: ast.FunctionDef, *,
+                 cfg: Optional[Cfg] = None,
+                 constants: Optional[Mapping[str, int]] = None,
+                 class_name: Optional[str] = None,
+                 summaries: Optional[Summaries] = None,
+                 seeds: Optional[Mapping[str, AbstractValue]] = None,
+                 assume: Optional[Mapping[str, AbstractValue]] = None,
+                 seq_constants: Optional[Mapping[str, Sequence[int]]] = None,
+                 call_sink: Optional[Callable[[str, ast.Call, Env], None]]
+                 = None) -> None:
+        self.func = func
+        self.cfg = cfg if cfg is not None else build_cfg(func)
+        self.constants: Mapping[str, int] = constants or {}
+        self.seq_constants: Mapping[str, Sequence[int]] = seq_constants or {}
+        self.class_name = class_name
+        self.summaries = summaries or Summaries()
+        self.seeds: Mapping[str, AbstractValue] = seeds or {}
+        self.assume: Mapping[str, AbstractValue] = assume or {}
+        self.call_sink = call_sink
+        self.converged = False
+        self._in: Dict[int, State] = {}
+
+    # ------------------------------------------------------------- solving
+    def _param_names(self) -> List[str]:
+        args = self.func.args
+        names = [a.arg for a in args.posonlyargs + args.args
+                 + args.kwonlyargs]
+        if args.vararg is not None:
+            names.append(args.vararg.arg)
+        if args.kwarg is not None:
+            names.append(args.kwarg.arg)
+        return names
+
+    def _initial_env(self) -> Env:
+        env: Env = {}
+        for name in self._param_names():
+            value = self.seeds.get(name)
+            if value is None:
+                # The bare ``__init__`` key joins every class's
+                # constructor; prefer the class-qualified key, which every
+                # constructor-call route records.  Other methods receive
+                # bare-key records from ``self.method()`` sites, so the
+                # bare key stays authoritative for them.
+                if self.class_name is not None and \
+                        self.func.name == "__init__":
+                    value = self.summaries.params.get(
+                        (f"{self.class_name}.__init__", name))
+                if value is None:
+                    value = self.summaries.params.get(
+                        (self.func.name, name))
+                if wordish_name(name):
+                    # Datapath convention: *word/*pattern parameters hold
+                    # unsigned 32-bit values.  Meeting (not defaulting)
+                    # keeps the summary rounds monotone — a present-but-
+                    # top summary must not be wider than the convention.
+                    word = AbstractValue.word()
+                    value = word if value is None else value.meet(word)
+            if value is None:
+                value = _top()
+            fact = self.assume.get(name)
+            if fact is not None:
+                value = value.meet(fact)
+            if not value.is_top:
+                env[name] = value
+        return env
+
+    def run(self) -> "FuncAnalysis":
+        cfg = self.cfg
+        order = cfg.rpo()
+        pos = {bid: i for i, bid in enumerate(order)}
+        preds = cfg.preds()
+        widen_at: Set[int] = set()
+        for block in cfg.blocks.values():
+            for succ in block.succs:
+                if pos.get(succ, 0) <= pos.get(block.block_id, 0):
+                    widen_at.add(succ)
+        states: Dict[int, State] = {bid: None for bid in cfg.blocks}
+        out: Dict[int, State] = {bid: None for bid in cfg.blocks}
+        initial = self._initial_env()
+
+        def flow_into(bid: int) -> State:
+            merged: State = dict(initial) if bid == cfg.entry else None
+            for p in preds.get(bid, []):
+                src_out = out.get(p)
+                if src_out is None:
+                    continue
+                edge = cfg.branch_edges.get((p, bid))
+                if edge is not None:
+                    refined = self._refine(dict(src_out), edge[0], edge[1])
+                else:
+                    refined = dict(src_out)
+                if refined is None:
+                    continue
+                merged = refined if merged is None \
+                    else _join_env(merged, refined)
+            return merged
+
+        for rounds in range(_MAX_ASCEND):
+            changed = False
+            for bid in order:
+                new_in = flow_into(bid)
+                old_in = states[bid]
+                if rounds > 0 and bid in widen_at and old_in is not None \
+                        and new_in is not None:
+                    new_in = _widen_env(old_in, new_in)
+                if new_in != old_in:
+                    states[bid] = new_in
+                    changed = True
+                out[bid] = self._transfer_block(bid, states[bid])
+            if not changed:
+                self.converged = True
+                break
+        if self.converged:
+            for _ in range(_DESCEND_PASSES):
+                for bid in order:
+                    states[bid] = flow_into(bid)
+                    out[bid] = self._transfer_block(bid, states[bid])
+        self._in = states
+        return self
+
+    def _transfer_block(self, bid: int, state: State) -> State:
+        if state is None:
+            return None
+        env = dict(state)
+        for elem in self.cfg.blocks[bid].elems:
+            self._transfer(elem, env)
+        return env
+
+    # ------------------------------------------------------------ querying
+    def iter_states(self) -> Iterator[Tuple[ast.AST, Env]]:
+        """Yield ``(element, env-before-element)`` for reachable elements.
+
+        When the solver failed to converge (pathological CFG) every
+        element is yielded with an empty environment, which makes all
+        downstream queries degrade soundly to top.
+        """
+        for bid in self.cfg.rpo():
+            state = self._in.get(bid) if self.converged else {}
+            if state is None:
+                continue
+            env = dict(state)
+            for elem in self.cfg.blocks[bid].elems:
+                yield elem, dict(env)
+                self._transfer(elem, env)
+
+    def return_value(self) -> AbstractValue:
+        """Join of every ``return`` expression (top when the function can
+        fall off the end or returns bare/None)."""
+        result: Optional[AbstractValue] = None
+        for elem, env in self.iter_states():
+            if isinstance(elem, ast.Return):
+                if elem.value is None:
+                    return _top()
+                value = self.eval(elem.value, env)
+                result = value if result is None else result.join(value)
+        if not self.converged:
+            return _top()
+        if result is None:
+            return _top()
+        # A reachable implicit fall-off returns None.
+        exit_preds = self.cfg.preds().get(self.cfg.exit_id, [])
+        for p in exit_preds:
+            if self._in.get(p) is None:
+                continue
+            elems = self.cfg.blocks[p].elems
+            if not elems or not isinstance(elems[-1], (ast.Return, ast.Raise)):
+                return _top()
+        return result
+
+    # ---------------------------------------------------------- evaluation
+    def eval(self, expr: ast.expr, env: Env) -> AbstractValue:
+        if isinstance(expr, ast.Constant):
+            if isinstance(expr.value, bool):
+                return AbstractValue.const(int(expr.value))
+            if isinstance(expr.value, int):
+                return AbstractValue.const(expr.value)
+            if isinstance(expr.value, str):
+                return AbstractValue.str_const(expr.value)
+            return _top()
+        if isinstance(expr, ast.Name):
+            if expr.id in env:
+                return env[expr.id]
+            if expr.id in self.constants:
+                return AbstractValue.const(self.constants[expr.id])
+            return _top()
+        if isinstance(expr, ast.Attribute):
+            path = path_of(expr)
+            if path is not None and path in env:
+                return env[path]
+            if (isinstance(expr.value, ast.Name) and expr.value.id == "self"
+                    and self.class_name is not None):
+                known = self.summaries.attrs.get((self.class_name, expr.attr))
+                if known is not None:
+                    return known
+            return _top()
+        if isinstance(expr, ast.BinOp):
+            return self._eval_binop(expr.op, self.eval(expr.left, env),
+                                    self.eval(expr.right, env))
+        if isinstance(expr, ast.UnaryOp):
+            operand = self.eval(expr.operand, env)
+            if isinstance(expr.op, ast.USub):
+                return operand.neg()
+            if isinstance(expr.op, ast.Invert):
+                return operand.invert()
+            if isinstance(expr.op, ast.UAdd):
+                return operand
+            decided = _truthiness(operand)
+            if decided is not None:
+                return AbstractValue.const(0 if decided else 1)
+            return AbstractValue.range(0, 1)
+        if isinstance(expr, ast.BoolOp):
+            values = [self.eval(v, env) for v in expr.values]
+            out = values[0]
+            for v in values[1:]:
+                out = out.join(v)
+            return out
+        if isinstance(expr, ast.Compare):
+            decided = self._decide_compare(expr, env)
+            if decided is not None:
+                return AbstractValue.const(1 if decided else 0)
+            return AbstractValue.range(0, 1)
+        if isinstance(expr, ast.IfExp):
+            branches: List[AbstractValue] = []
+            for taken, arm in ((True, expr.body), (False, expr.orelse)):
+                refined = self._refine(dict(env), expr.test, taken)
+                if refined is not None:
+                    branches.append(self.eval(arm, refined))
+            if not branches:
+                return AbstractValue.bottom()
+            out = branches[0]
+            for b in branches[1:]:
+                out = out.join(b)
+            return out
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr, env)
+        return _top()
+
+    def _eval_binop(self, op: ast.operator, left: AbstractValue,
+                    right: AbstractValue) -> AbstractValue:
+        if isinstance(op, ast.Add):
+            return left.add(right)
+        if isinstance(op, ast.Sub):
+            return left.sub(right)
+        if isinstance(op, ast.Mult):
+            return left.mul(right)
+        if isinstance(op, ast.FloorDiv):
+            return left.floordiv(right)
+        if isinstance(op, ast.Mod):
+            return left.mod(right)
+        if isinstance(op, ast.LShift):
+            return left.lshift(right)
+        if isinstance(op, ast.RShift):
+            return left.rshift(right)
+        if isinstance(op, ast.BitAnd):
+            return left.and_(right)
+        if isinstance(op, ast.BitOr):
+            return left.or_(right)
+        if isinstance(op, ast.BitXor):
+            return left.xor(right)
+        if isinstance(op, ast.Pow):
+            lc, rc = left.as_const, right.as_const
+            if lc is not None and rc is not None and 0 <= rc <= 64:
+                return AbstractValue.const(lc ** rc)
+            return _top()
+        return _top()
+
+    def _eval_call(self, call: ast.Call, env: Env) -> AbstractValue:
+        name: Optional[str] = None
+        if isinstance(call.func, ast.Name):
+            name = call.func.id
+        elif isinstance(call.func, ast.Attribute):
+            name = call.func.attr
+        args = [self.eval(a, env) for a in call.args]
+        if isinstance(call.func, ast.Attribute) and name == "bit_length" \
+                and not call.args:
+            return self.eval(call.func.value, env).bit_length()
+        if name == "abs" and len(args) == 1:
+            return args[0].abs_()
+        if name in ("min", "max") and len(args) >= 2 and not call.keywords:
+            out = args[0]
+            for a in args[1:]:
+                if name == "min":
+                    out = AbstractValue.from_interval(Interval(
+                        _min_opt(out.iv.lo, a.iv.lo),
+                        _min_opt_hi(out.iv.hi, a.iv.hi)))
+                else:
+                    out = AbstractValue.from_interval(Interval(
+                        _max_opt_lo(out.iv.lo, a.iv.lo),
+                        _max_opt(out.iv.hi, a.iv.hi)))
+            return out
+        if name == "len" and len(call.args) == 1:
+            key = path_of(call)
+            if key is not None and key in env:
+                return env[key]
+            return AbstractValue.range(0, None)
+        if name == "bool":
+            return AbstractValue.range(0, 1)
+        if name == "int" and len(args) == 1:
+            # int() of an int is the identity; other argument types
+            # (floats, strings) are out of the domain.
+            if args[0].kb.ext != EXT_TOP or not args[0].iv.is_top:
+                return AbstractValue.from_interval(
+                    _int_trunc_interval(args[0].iv))
+            return _top()
+        if name == "to_unsigned" and len(args) == 1:
+            return args[0].and_(AbstractValue.const(WORD_MASK))
+        if name == "to_signed" and len(args) == 1:
+            return _to_signed_value(args[0])
+        if name == "popcount" and len(args) == 1:
+            return AbstractValue.range(0, WORD_BITS)
+        if name == "clamp" and len(args) == 3:
+            return AbstractValue.from_interval(
+                Interval(args[1].iv.lo, args[2].iv.hi))
+        if self.call_sink is not None and name is not None:
+            self.call_sink(name, call, env)
+        if name is not None:
+            qual = self._qual_callee(call)
+            if qual is not None and qual in self.summaries.returns:
+                return self.summaries.returns[qual]
+            if name in self.summaries.returns:
+                return self.summaries.returns[name]
+        return _top()
+
+    def _qual_callee(self, call: ast.Call) -> Optional[str]:
+        if isinstance(call.func, ast.Attribute) \
+                and isinstance(call.func.value, ast.Name):
+            base = call.func.value.id
+            if base == "self" and self.class_name is not None:
+                return f"{self.class_name}.{call.func.attr}"
+            return f"{base}.{call.func.attr}"
+        return None
+
+    # ------------------------------------------------------------ transfer
+    def _transfer(self, elem: ast.AST, env: Env) -> None:
+        self._clobber_for_calls(elem, env)
+        if isinstance(elem, ast.Assign):
+            value = self.eval(elem.value, env)
+            for target in elem.targets:
+                self._bind_target(target, elem.value, value, env)
+        elif isinstance(elem, ast.AnnAssign) and elem.value is not None:
+            value = self.eval(elem.value, env)
+            self._bind_target(elem.target, elem.value, value, env)
+        elif isinstance(elem, ast.AugAssign):
+            target_expr = elem.target
+            current = self.eval(target_expr, env)
+            value = self._eval_binop(elem.op, current,
+                                     self.eval(elem.value, env))
+            self._bind_target(target_expr, None, value, env)
+        elif isinstance(elem, (ast.For, ast.AsyncFor)):
+            self._bind_for(elem, env)
+        elif isinstance(elem, ast.Assert):
+            refined = self._refine(env, elem.test, True)
+            if refined is not None:
+                env.clear()
+                env.update(refined)
+        elif isinstance(elem, ast.Delete):
+            for target in elem.targets:
+                path = path_of(target)
+                if path is not None:
+                    _kill(env, path)
+        elif isinstance(elem, ast.ExceptHandler):
+            if elem.name:
+                _kill(env, elem.name)
+        elif isinstance(elem, (ast.With, ast.AsyncWith)):
+            for item in elem.items:
+                if item.optional_vars is not None:
+                    path = path_of(item.optional_vars)
+                    if path is not None:
+                        _kill(env, path)
+
+    def _bind_target(self, target: ast.expr, value_expr: Optional[ast.expr],
+                     value: AbstractValue, env: Env) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            elts = target.elts
+            src = value_expr.elts if isinstance(value_expr,
+                                                (ast.Tuple, ast.List)) \
+                and len(value_expr.elts) == len(elts) else None
+            for i, elt in enumerate(elts):
+                sub = self.eval(src[i], env) if src is not None else _top()
+                self._bind_target(elt, None, sub, env)
+            return
+        path = path_of(target)
+        if path is None:
+            return  # subscript stores don't change tracked values
+        _kill(env, path)
+        fact = self.assume.get(path)
+        if fact is not None:
+            value = value.meet(fact)
+        if not value.is_top:
+            env[path] = value
+
+    def _bind_for(self, elem: ast.stmt, env: Env) -> None:
+        assert isinstance(elem, (ast.For, ast.AsyncFor))
+        it = elem.iter
+        target = elem.target
+        if (isinstance(it, ast.Call) and isinstance(it.func, ast.Name)
+                and it.func.id == "range" and 1 <= len(it.args) <= 3
+                and not it.keywords):
+            self._bind_target(target, None, _range_values(
+                [self.eval(a, env) for a in it.args]), env)
+            return
+        if (isinstance(it, ast.Call) and isinstance(it.func, ast.Name)
+                and it.func.id == "enumerate"
+                and isinstance(target, ast.Tuple)
+                and len(target.elts) == 2):
+            self._bind_target(target.elts[0], None,
+                              AbstractValue.range(0, None), env)
+            self._bind_target(target.elts[1], None, _top(), env)
+            return
+        if isinstance(it, (ast.Tuple, ast.List)) and it.elts:
+            joined = self.eval(it.elts[0], env)
+            for elt in it.elts[1:]:
+                joined = joined.join(self.eval(elt, env))
+            self._bind_target(target, None, joined, env)
+            return
+        if isinstance(it, ast.Name):
+            seq = self.seq_constants.get(it.id)
+            if seq:
+                joined = AbstractValue.const(seq[0])
+                for item in seq[1:]:
+                    joined = joined.join(AbstractValue.const(item))
+                self._bind_target(target, None, joined, env)
+                return
+        self._bind_target(target, None, _top(), env)
+
+    def env_after_calls(self, elem: ast.AST, env: Env) -> Env:
+        """Copy of ``env`` minus paths clobbered by impure calls in
+        ``elem`` — the environment under which the element's own
+        expressions should be evaluated."""
+        adjusted = dict(env)
+        self._clobber_for_calls(elem, adjusted)
+        return adjusted
+
+    def _clobber_for_calls(self, elem: ast.AST, env: Env) -> None:
+        for expr in element_exprs(elem):
+            for node in ast.walk(expr):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = None
+                if isinstance(node.func, ast.Name):
+                    name = node.func.id
+                elif isinstance(node.func, ast.Attribute):
+                    name = node.func.attr
+                    base = node.func.value
+                    if isinstance(base, ast.Name) and base.id == "math":
+                        continue
+                if name in PURE_CALLS or name in PURE_METHODS:
+                    continue
+                _kill_volatile(env)
+                return
+
+    # ---------------------------------------------------------- refinement
+    def _refine(self, env: Env, test: ast.expr, taken: bool) -> State:
+        """Refine ``env`` by ``bool(test) == taken``; None = infeasible."""
+        if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            return self._refine(env, test.operand, not taken)
+        if isinstance(test, ast.BoolOp):
+            conjunctive = (isinstance(test.op, ast.And) and taken) or \
+                (isinstance(test.op, ast.Or) and not taken)
+            if conjunctive:
+                state: State = env
+                for value in test.values:
+                    if state is None:
+                        return None
+                    state = self._refine(state, value, taken)
+                return state
+            return env
+        if isinstance(test, ast.Compare):
+            return self._refine_compare(env, test, taken)
+        if isinstance(test, ast.Call):
+            return self._refine_call(env, test, taken)
+        if isinstance(test, ast.BinOp) and isinstance(test.op, ast.BitAnd):
+            return self._refine_bitand(env, test, taken)
+        if isinstance(test, ast.Constant):
+            value = self.eval(test, env)
+            decided = _truthiness(value)
+            if decided is not None and decided != taken:
+                return None
+            return env
+        path = path_of(test)
+        if path is not None:
+            return self._refine_truthiness(env, test, path, taken)
+        value = self.eval(test, env)
+        decided = _truthiness(value)
+        if decided is not None and decided != taken:
+            return None
+        return env
+
+    def _refine_truthiness(self, env: Env, test: ast.expr, path: str,
+                           taken: bool) -> State:
+        value = self.eval(test, env)
+        decided = _truthiness(value)
+        if decided is not None:
+            return env if decided == taken else None
+        if not value.is_top:
+            # Numeric evidence: truthiness is (value != 0).
+            refined = value.exclude_zero() if taken \
+                else value.meet(AbstractValue.const(0))
+            if refined.is_bottom:
+                return None
+            env[path] = refined
+            return env
+        # No numeric evidence: treat the path as a sized container and
+        # record its length (the key is only ever read back through
+        # ``len(path)``, so this is inert for non-containers).
+        if not path.startswith("len("):
+            key = f"len({path})"
+            bound = AbstractValue.range(1, None) if taken \
+                else AbstractValue.const(0)
+            known = env.get(key, AbstractValue.range(0, None))
+            refined = known.meet(bound)
+            if refined.is_bottom:
+                return None
+            env[key] = refined
+        return env
+
+    def _refine_compare(self, env: Env, test: ast.Compare,
+                        taken: bool) -> State:
+        decided = self._decide_compare(test, env)
+        if decided is not None:
+            return env if decided == taken else None
+        pairs = list(zip([test.left] + list(test.comparators),
+                         test.ops, test.comparators))
+        if len(pairs) > 1 and not taken:
+            return env  # !(a<b<c) gives a disjunction; no refinement
+        for left, op, right in pairs:
+            flipped = op if taken else _invert_op(op)
+            if flipped is None:
+                continue
+            self._refine_one_compare(env, left, flipped, right)
+            lv = self.eval(left, env)
+            rv = self.eval(right, env)
+            if lv.is_bottom or rv.is_bottom:
+                return None
+        return env
+
+    def _refine_one_compare(self, env: Env, left: ast.expr,
+                            op: ast.cmpop, right: ast.expr) -> None:
+        lv = self.eval(left, env)
+        rv = self.eval(right, env)
+        lpath = path_of(left)
+        rpath = path_of(right)
+        if lpath is not None:
+            bound = _compare_bound(op, rv, left_side=True)
+            if bound is not None:
+                refined = lv.meet(bound)
+                env[lpath] = refined
+        if rpath is not None:
+            bound = _compare_bound(op, lv, left_side=False)
+            if bound is not None:
+                env[rpath] = self.eval(right, env).meet(bound)
+
+    def _refine_call(self, env: Env, test: ast.Call, taken: bool) -> State:
+        if (isinstance(test.func, ast.Name)
+                and test.func.id == "isinstance" and len(test.args) == 2
+                and taken):
+            path = path_of(test.args[0])
+            kind = test.args[1]
+            if path is not None and isinstance(kind, ast.Name) \
+                    and kind.id == "bool":
+                current = env.get(path, _top())
+                refined = current.meet(AbstractValue.range(0, 1))
+                if refined.is_bottom:
+                    return None
+                env[path] = refined
+        return env
+
+    def _refine_bitand(self, env: Env, test: ast.BinOp,
+                       taken: bool) -> State:
+        for side, other in ((test.left, test.right),
+                            (test.right, test.left)):
+            path = path_of(side)
+            mask = self.eval(other, env).as_const
+            if path is None or mask is None:
+                continue
+            current = env.get(path, self.eval(side, env))
+            if not taken:
+                # (x & m) == 0: every set bit of m is zero in x.
+                fact = AbstractValue(Interval.top(),
+                                     KnownBits(0, mask & WORD_MASK, EXT_TOP))
+                refined = current.meet(fact)
+            else:
+                refined = current.exclude_zero()
+            if refined.is_bottom:
+                return None
+            env[path] = refined
+        return env
+
+    def _decide_compare(self, test: ast.Compare,
+                        env: Env) -> Optional[bool]:
+        verdicts: List[bool] = []
+        left = test.left
+        for op, right in zip(test.ops, test.comparators):
+            verdict = _decide_one(self.eval(left, env), op,
+                                  self.eval(right, env), right)
+            if verdict is None:
+                return None
+            verdicts.append(verdict)
+            left = right
+        return all(verdicts)
+
+
+# ------------------------------------------------------------------ helpers
+
+def _truthiness(value: AbstractValue) -> Optional[bool]:
+    if value.sconst is not None:
+        return bool(value.sconst)
+    const = value.as_const
+    if const is not None:
+        return bool(const)
+    if value.provably_nonzero():
+        return True
+    return None
+
+
+def _decide_one(lv: AbstractValue, op: ast.cmpop, rv: AbstractValue,
+                right_expr: ast.expr) -> Optional[bool]:
+    if isinstance(op, (ast.In, ast.NotIn)):
+        if lv.sconst is not None and isinstance(right_expr,
+                                                (ast.Tuple, ast.List,
+                                                 ast.Set)):
+            options = [e.value for e in right_expr.elts
+                       if isinstance(e, ast.Constant)
+                       and isinstance(e.value, str)]
+            if len(options) == len(right_expr.elts):
+                member = lv.sconst in options
+                return member if isinstance(op, ast.In) else not member
+        return None
+    if lv.sconst is not None and rv.sconst is not None:
+        if isinstance(op, ast.Eq):
+            return lv.sconst == rv.sconst
+        if isinstance(op, ast.NotEq):
+            return lv.sconst != rv.sconst
+        return None
+    if lv.sconst is not None or rv.sconst is not None:
+        return None
+    a, b = lv.iv, rv.iv
+    if a.is_empty or b.is_empty:
+        return None
+
+    def lt(x: Interval, y: Interval) -> Optional[bool]:
+        if x.hi is not None and y.lo is not None and x.hi < y.lo:
+            return True
+        if x.lo is not None and y.hi is not None and x.lo >= y.hi:
+            return False
+        return None
+
+    def le(x: Interval, y: Interval) -> Optional[bool]:
+        if x.hi is not None and y.lo is not None and x.hi <= y.lo:
+            return True
+        if x.lo is not None and y.hi is not None and x.lo > y.hi:
+            return False
+        return None
+
+    if isinstance(op, ast.Lt):
+        return lt(a, b)
+    if isinstance(op, ast.LtE):
+        return le(a, b)
+    if isinstance(op, ast.Gt):
+        return lt(b, a)
+    if isinstance(op, ast.GtE):
+        return le(b, a)
+    if isinstance(op, ast.Eq):
+        ca, cb = lv.as_const, rv.as_const
+        if ca is not None and cb is not None:
+            return ca == cb
+        if (a.hi is not None and b.lo is not None and a.hi < b.lo) or \
+                (b.hi is not None and a.lo is not None and b.hi < a.lo):
+            return False
+        return None
+    if isinstance(op, ast.NotEq):
+        eq = _decide_one(lv, ast.Eq(), rv, right_expr)
+        return None if eq is None else not eq
+    return None
+
+
+def _invert_op(op: ast.cmpop) -> Optional[ast.cmpop]:
+    table = {ast.Lt: ast.GtE, ast.LtE: ast.Gt, ast.Gt: ast.LtE,
+             ast.GtE: ast.Lt, ast.Eq: ast.NotEq, ast.NotEq: ast.Eq}
+    new = table.get(type(op))
+    return new() if new is not None else None
+
+
+def _compare_bound(op: ast.cmpop, other: AbstractValue, *,
+                   left_side: bool) -> Optional[AbstractValue]:
+    """The constraint ``left op right`` places on one side, given the
+    other side's value."""
+    iv = other.iv
+    if iv.is_empty:
+        return None
+    if isinstance(op, ast.Eq):
+        return other if other.sconst is None else None
+    if isinstance(op, ast.NotEq):
+        return None  # handled only implicitly (interval can't hold holes)
+    if other.sconst is not None:
+        return None
+    if isinstance(op, ast.Lt):
+        if left_side:
+            return AbstractValue.from_interval(
+                Interval(None, None if iv.hi is None else iv.hi - 1))
+        return AbstractValue.from_interval(
+            Interval(None if iv.lo is None else iv.lo + 1, None))
+    if isinstance(op, ast.LtE):
+        if left_side:
+            return AbstractValue.from_interval(Interval(None, iv.hi))
+        return AbstractValue.from_interval(Interval(iv.lo, None))
+    if isinstance(op, ast.Gt):
+        if left_side:
+            return AbstractValue.from_interval(
+                Interval(None if iv.lo is None else iv.lo + 1, None))
+        return AbstractValue.from_interval(
+            Interval(None, None if iv.hi is None else iv.hi - 1))
+    if isinstance(op, ast.GtE):
+        if left_side:
+            return AbstractValue.from_interval(Interval(iv.lo, None))
+        return AbstractValue.from_interval(Interval(None, iv.hi))
+    return None
+
+
+def _range_values(args: List[AbstractValue]) -> AbstractValue:
+    """Join of every value a ``range(...)`` loop variable can take."""
+    if len(args) == 1:
+        start = Interval.const(0)
+        stop = args[0].iv
+        step: Optional[int] = 1
+    else:
+        start = args[0].iv
+        stop = args[1].iv
+        step = args[2].as_const if len(args) == 3 else 1
+    asc = Interval(start.lo,
+                   None if stop.hi is None else stop.hi - 1)
+    desc = Interval(None if stop.lo is None else stop.lo + 1,
+                    start.hi)
+    if step is not None and step > 0:
+        out = asc
+    elif step is not None and step < 0:
+        out = desc
+    else:
+        out = asc.join(desc)
+    return AbstractValue.from_interval(out) if not out.is_empty \
+        else AbstractValue.bottom()
+
+
+def _int_trunc_interval(iv: Interval) -> Interval:
+    # int() truncates toward zero; for an int input it is the identity,
+    # and for a float in [lo, hi] the result stays within [lo-1, hi+1]
+    # conservatively (we cannot tell ints from floats statically).
+    lo = None if iv.lo is None else iv.lo - 1
+    hi = None if iv.hi is None else iv.hi + 1
+    return Interval(lo, hi)
+
+
+def _to_signed_value(value: AbstractValue) -> AbstractValue:
+    """Transfer of ``bitops.to_signed`` (interpret low 32 bits as two's
+    complement)."""
+    word = value.and_(AbstractValue.const(WORD_MASK))
+    iv = word.iv
+    sign_bit = 1 << (WORD_BITS - 1)
+    if iv.hi is not None and iv.hi < sign_bit:
+        return word
+    if iv.lo is not None and iv.lo >= sign_bit:
+        return AbstractValue.from_interval(
+            Interval(None if iv.lo is None else iv.lo - (1 << WORD_BITS),
+                     None if iv.hi is None else iv.hi - (1 << WORD_BITS)))
+    return AbstractValue.range(-sign_bit, sign_bit - 1)
+
+
+def _min_opt(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    if a is None or b is None:
+        return None
+    return min(a, b)
+
+
+def _min_opt_hi(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    # Upper bound of min(x, y): the smaller of the two upper bounds.
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return min(a, b)
+
+
+def _max_opt(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    if a is None or b is None:
+        return None
+    return max(a, b)
+
+
+def _max_opt_lo(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    # Lower bound of max(x, y): the larger of the two lower bounds.
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return max(a, b)
+
+
+def _kill(env: Env, path: str) -> None:
+    """Remove ``path`` and every key derived from it."""
+    len_key = f"len({path})"
+    doomed = [k for k in env
+              if k == path or k.startswith(path + ".")
+              or k == len_key or k.startswith(f"len({path}.")]
+    for k in doomed:
+        del env[k]
+
+
+def _kill_volatile(env: Env) -> None:
+    """Remove every key an impure call could invalidate (attribute
+    chains and lengths); plain locals survive."""
+    doomed = [k for k in env if "." in k or k.startswith("len(")]
+    for k in doomed:
+        del env[k]
+
+
+def _join_env(a: Env, b: Env) -> Env:
+    out: Env = {}
+    for key in a.keys() & b.keys():
+        joined = a[key].join(b[key])
+        if not joined.is_top:
+            out[key] = joined
+    return out
+
+
+def _widen_env(old: Env, new: Env) -> Env:
+    out: Env = {}
+    for key in old.keys() & new.keys():
+        widened = old[key].widen(new[key])
+        if not widened.is_top:
+            out[key] = widened
+    return out
+
+
+# ------------------------------------------------------- interprocedural
+
+def compute_summaries(project: object,
+                      prefixes: Sequence[str] = DATAPATH_PREFIXES,
+                      max_rounds: int = 8) -> Summaries:
+    """Fixed-point function/attribute/parameter summaries for the closed
+    datapath world (see the module docstring for the soundness caveat).
+
+    ``project`` is a :class:`repro.analysis.flow.project.ProjectContext`
+    (typed loosely to avoid an import cycle with the rules layer).
+    """
+    from repro.analysis.flow.project import ClassInfo, ProjectContext
+    assert isinstance(project, ProjectContext)
+    items = list(project.functions(prefixes))
+    class_of: Dict[str, ClassInfo] = {}
+    for info in project.classes.values():
+        if any(info.ctx.module == p or info.ctx.module.startswith(p + ".")
+               for p in prefixes):
+            class_of[info.name] = info
+
+    func_index: Dict[str, List[ast.FunctionDef]] = {}
+    for item in items:
+        func_index.setdefault(item.node.name, []).append(item.node)
+
+    seq_cache: Dict[str, Dict[str, Tuple[int, ...]]] = {}
+
+    def seq_constants_of(ctx: object) -> Dict[str, Tuple[int, ...]]:
+        module = ctx.module  # type: ignore[attr-defined]
+        cached = seq_cache.get(module)
+        if cached is None:
+            tree = ctx.tree  # type: ignore[attr-defined]
+            cached = seq_cache[module] = module_seq_constants(tree)
+        return cached
+
+    def param_names_of(func: ast.FunctionDef, bound: bool) -> List[str]:
+        names = [a.arg for a in func.args.posonlyargs + func.args.args]
+        if bound and names and names[0] in ("self", "cls"):
+            names = names[1:]
+        return names
+
+    def record_param(out: Summaries, fname: str, pname: str,
+                     value: AbstractValue) -> None:
+        key = (fname, pname)
+        prev = out.params.get(key)
+        out.params[key] = value if prev is None else prev.join(value)
+
+    def record_call(out: Summaries, func: ast.FunctionDef, bound: bool,
+                    call: ast.Call, env: Env,
+                    analysis: FuncAnalysis,
+                    qual: Optional[str] = None) -> None:
+        # ``qual`` is a class-qualified key (``"Class.method"``) recorded
+        # alongside the bare name when the owning class is known at the
+        # call site — bare ``__init__`` keys join every class's
+        # constructor, which is pure noise.
+        fnames = [func.name] if qual is None else [func.name, qual]
+        if any(isinstance(a, ast.Starred) for a in call.args) or \
+                any(kw.arg is None for kw in call.keywords):
+            for fname in fnames:
+                for pname in param_names_of(func, bound):
+                    record_param(out, fname, pname, _top())
+            return
+        names = param_names_of(func, bound)
+        for i, arg in enumerate(call.args):
+            if i < len(names):
+                value = analysis.eval(arg, env)
+                for fname in fnames:
+                    record_param(out, fname, names[i], value)
+        kwonly = [a.arg for a in func.args.kwonlyargs]
+        for kw in call.keywords:
+            if kw.arg in names or kw.arg in kwonly:
+                assert kw.arg is not None
+                value = analysis.eval(kw.value, env)
+                for fname in fnames:
+                    record_param(out, fname, kw.arg, value)
+
+    def record_constructor(out: Summaries, info: ClassInfo,
+                           call: ast.Call, env: Env,
+                           analysis: FuncAnalysis) -> None:
+        init = info.methods.get("__init__")
+        owner = info
+        if init is None:
+            for base_info in project.mro(info.name)[1:]:
+                if "__init__" in base_info.methods:
+                    owner, init = base_info, base_info.methods["__init__"]
+                    break
+        if init is not None:
+            record_call(out, init, True, call, env, analysis,
+                        qual=f"{owner.name}.__init__")
+            return
+        # Dataclass-style synthesized __init__: fields are the annotated
+        # class-body assignments, in order.
+        fields = [stmt.target.id for stmt in info.node.body
+                  if isinstance(stmt, ast.AnnAssign)
+                  and isinstance(stmt.target, ast.Name)]
+        for i, arg in enumerate(call.args):
+            if i < len(fields):
+                _record_attr(out, info.name, fields[i],
+                             analysis.eval(arg, env))
+        for kw in call.keywords:
+            if kw.arg in fields:
+                assert kw.arg is not None
+                _record_attr(out, info.name, kw.arg,
+                             analysis.eval(kw.value, env))
+
+    def _record_attr(out: Summaries, cls: str, attr: str,
+                     value: AbstractValue) -> None:
+        key = (cls, attr)
+        prev = out.attrs.get(key)
+        out.attrs[key] = value if prev is None else prev.join(value)
+
+    def seed_class_defaults(out: Summaries) -> None:
+        for info in class_of.values():
+            for stmt in info.node.body:
+                value: Optional[ast.expr] = None
+                name: Optional[str] = None
+                if isinstance(stmt, ast.AnnAssign) \
+                        and isinstance(stmt.target, ast.Name):
+                    name, value = stmt.target.id, stmt.value
+                elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                        and isinstance(stmt.targets[0], ast.Name):
+                    name, value = stmt.targets[0].id, stmt.value
+                if name is None or value is None:
+                    continue
+                folded = info.ctx.fold_int(value)
+                if folded is not None:
+                    _record_attr(out, info.name, name,
+                                 AbstractValue.const(folded))
+
+    def handle_callsite(out: Summaries, call: ast.Call, env: Env,
+                        analysis: FuncAnalysis) -> None:
+        func_node = call.func
+        if isinstance(func_node, ast.Name):
+            fname = func_node.id
+            info = class_of.get(fname)
+            if info is not None:
+                record_constructor(out, info, call, env, analysis)
+                return
+            for fn in func_index.get(fname, []):
+                record_call(out, fn, True, call, env, analysis)
+            return
+        if isinstance(func_node, ast.Attribute):
+            mname = func_node.attr
+            base = func_node.value
+            if (isinstance(base, ast.Call)
+                    and isinstance(base.func, ast.Name)
+                    and base.func.id == "super"
+                    and analysis.class_name is not None):
+                # ``super().__init__(...)`` — resolve the parent method so
+                # the delegated arguments land on its qualified key too.
+                for parent in project.mro(analysis.class_name)[1:]:
+                    if mname in parent.methods:
+                        record_call(out, parent.methods[mname], True, call,
+                                    env, analysis,
+                                    qual=f"{parent.name}.{mname}")
+                        return
+            if isinstance(base, ast.Name) and base.id in class_of:
+                fn_opt = class_of[base.id].methods.get(mname)
+                if fn_opt is not None:
+                    first = (fn_opt.args.args[0].arg
+                             if fn_opt.args.args else "")
+                    if first in ("self", "cls"):
+                        # Unbound ``Class.method(obj, ...)``: the
+                        # argument mapping shifts by one; don't guess.
+                        for fname in (fn_opt.name, f"{base.id}.{mname}"):
+                            for pname in param_names_of(fn_opt, True):
+                                record_param(out, fname, pname, _top())
+                    else:
+                        record_call(out, fn_opt, True, call, env, analysis)
+                    return
+            for fn in func_index.get(mname, []):
+                record_call(out, fn, True, call, env, analysis)
+
+    module_ctxs = [ctx for mod_name, ctx in sorted(project.modules.items())
+                   if any(mod_name == p or mod_name.startswith(p + ".")
+                          for p in prefixes)]
+    _module_scope = ast.parse("def _module_scope(): pass").body[0]
+    assert isinstance(_module_scope, ast.FunctionDef)
+
+    def module_level_calls(stmt: ast.stmt) -> Iterator[ast.Call]:
+        """Calls in a top-level statement, skipping nested scopes."""
+        stack: List[ast.AST] = [stmt]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef, ast.Lambda)):
+                continue
+            if isinstance(node, ast.Call):
+                yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def run_round(prev: Summaries) -> Summaries:
+        out = Summaries()
+        seed_class_defaults(out)
+        # Module-level statements construct datapath objects too (e.g.
+        # fpc's PATTERN_CLASSES registry tuple) — record those call
+        # sites so constructor parameter summaries see them.
+        for ctx in module_ctxs:
+            mod_analysis = FuncAnalysis(
+                _module_scope, constants=ctx.constants, summaries=prev,
+                seq_constants=seq_constants_of(ctx))
+            for stmt in ctx.tree.body:
+                for call in module_level_calls(stmt):
+                    handle_callsite(out, call, {}, mod_analysis)
+        for item in items:
+            ctx = item.ctx
+            analysis = FuncAnalysis(
+                item.node, cfg=project.cfg_for(item.node),
+                constants=ctx.constants, class_name=item.class_name,
+                summaries=prev,
+                seq_constants=seq_constants_of(ctx))
+            analysis.run()
+            # Parameter defaults count as observed call values.
+            args = item.node.args
+            positional = args.posonlyargs + args.args
+            for arg, default in zip(positional[len(positional)
+                                               - len(args.defaults):],
+                                    args.defaults):
+                folded = ctx.fold_int(default)
+                if folded is not None:
+                    record_param(out, item.node.name, arg.arg,
+                                 AbstractValue.const(folded))
+            for arg, kw_default in zip(args.kwonlyargs, args.kw_defaults):
+                if kw_default is not None:
+                    folded = ctx.fold_int(kw_default)
+                    if folded is not None:
+                        record_param(out, item.node.name, arg.arg,
+                                     AbstractValue.const(folded))
+            ret = analysis.return_value()
+            for key in (item.node.name, item.qualname):
+                prev_ret = out.returns.get(key)
+                out.returns[key] = ret if prev_ret is None \
+                    else prev_ret.join(ret)
+            info = (project.classes.get(item.class_name)
+                    if item.class_name is not None else None)
+            if (info is not None and len(item.chain) == 2
+                    and item.chain[1] in info.properties
+                    and item.class_name is not None):
+                _record_attr(out, item.class_name, item.chain[1], ret)
+            for elem, env in analysis.iter_states():
+                env_used = dict(env)
+                analysis._clobber_for_calls(elem, env_used)
+                if item.class_name is not None and isinstance(
+                        elem, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                    targets = (elem.targets if isinstance(elem, ast.Assign)
+                               else [elem.target])
+                    for target in targets:
+                        if not (isinstance(target, ast.Attribute)
+                                and isinstance(target.value, ast.Name)
+                                and target.value.id == "self"):
+                            continue
+                        if isinstance(elem, ast.AugAssign):
+                            bound_value = analysis._eval_binop(
+                                elem.op, analysis.eval(target, env),
+                                analysis.eval(elem.value, env))
+                        elif elem.value is not None:
+                            bound_value = analysis.eval(elem.value, env)
+                        else:
+                            continue
+                        _record_attr(out, item.class_name, target.attr,
+                                     bound_value)
+                for expr in element_exprs(elem):
+                    for node in ast.walk(expr):
+                        if isinstance(node, ast.Call):
+                            handle_callsite(out, node, env_used, analysis)
+        return out
+
+    def subsumes(prev: Summaries, out: Summaries) -> bool:
+        """out is pointwise at least as tight as prev (missing = top).
+
+        The round function is monotone, so ``out <= prev`` makes ``out``
+        a verified post-fixpoint: run_round(out) <= run_round(prev) = out.
+        """
+        def check(new: Mapping[object, AbstractValue],
+                  old: Mapping[object, AbstractValue]) -> bool:
+            for key in set(new) | set(old):
+                ov = old.get(key)
+                if ov is None:
+                    continue  # old claimed top: anything is tighter
+                nv = new.get(key)
+                if nv is None:
+                    if not ov.is_top:
+                        return False  # new claims top where old was tight
+                    continue
+                if not nv.subsumed_by(ov):
+                    return False
+            return True
+        return (check(out.returns, prev.returns)
+                and check(out.attrs, prev.attrs)
+                and check(out.params, prev.params))
+
+    def erode(prev: Summaries, out: Summaries) -> Summaries:
+        """Drop (-> top) every entry the new round could not confirm."""
+        kept = Summaries()
+        for key_r, value_r in out.returns.items():
+            if key_r in prev.returns and value_r.subsumed_by(
+                    prev.returns[key_r]):
+                kept.returns[key_r] = prev.returns[key_r]
+        for key_a, value_a in out.attrs.items():
+            if key_a in prev.attrs and value_a.subsumed_by(
+                    prev.attrs[key_a]):
+                kept.attrs[key_a] = prev.attrs[key_a]
+        for key_p, value_p in out.params.items():
+            if key_p in prev.params and value_p.subsumed_by(
+                    prev.params[key_p]):
+                kept.params[key_p] = prev.params[key_p]
+        return kept
+
+    # One round from the empty (= all-top) summary is always a verified
+    # post-fixpoint: run_round(out) <= run_round(top) = out by
+    # monotonicity.  Keep iterating while the chain descends — every
+    # iterate stays verified — and stop at a fixed point for precision
+    # (facts like a return bound take several rounds to reach an
+    # attribute recorded from that call).
+    prev = run_round(Summaries())
+    for _ in range(max_rounds):
+        out = run_round(prev)
+        if not subsumes(prev, out):
+            break  # non-monotone step (pruned branch dropped a site)
+        if subsumes(out, prev):
+            return out  # both directions: converged
+        prev = out
+    else:
+        return prev
+    # Stabilize: erode anything the new round could not confirm
+    # (accumulating counters), then re-verify; erosion only removes
+    # facts, so this terminates.
+    for _ in range(max_rounds):
+        out = run_round(prev)
+        if subsumes(prev, out):
+            return out
+        prev = erode(prev, out)
+    return run_round(Summaries())

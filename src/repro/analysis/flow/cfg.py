@@ -43,6 +43,13 @@ class Cfg:
     blocks: Dict[int, Block]
     entry: int
     exit_id: int
+    #: Branch polarity per edge: ``(src, dst) -> (test, taken)`` for the
+    #: outgoing edges of ``if``/``while`` heads.  ``taken`` is True on
+    #: the edge followed when ``test`` is truthy.  Analyses may refine
+    #: the state flowing along such an edge by the test's outcome;
+    #: absent edges carry no condition.
+    branch_edges: Dict[Tuple[int, int], Tuple[ast.expr, bool]] = \
+        field(default_factory=dict)
 
     def preds(self) -> Dict[int, List[int]]:
         """Predecessor map (computed on demand; graphs are small)."""
@@ -87,6 +94,8 @@ class Cfg:
 class _Builder:
     def __init__(self) -> None:
         self.blocks: Dict[int, Block] = {}
+        self.branch_edges: Dict[Tuple[int, int],
+                                Tuple[ast.expr, bool]] = {}
         self._next = 0
         self.exit_id = self.new_block()
 
@@ -100,6 +109,12 @@ class _Builder:
         succs = self.blocks[src].succs
         if dst not in succs:
             succs.append(dst)
+
+    def branch(self, src: int, dst: int, test: ast.expr,
+               taken: bool) -> None:
+        """Record ``edge(src, dst)`` as conditional on ``test``."""
+        self.edge(src, dst)
+        self.branch_edges[(src, dst)] = (test, taken)
 
     # The handler tuple is the stack of exception targets currently in
     # scope; ``raise`` and in-scope block creation both wire into it.
@@ -136,20 +151,20 @@ class _Builder:
             self.blocks[current].elems.append(stmt.test)
             after = self._branch_block(handlers)
             then_entry = self._branch_block(handlers)
-            self.edge(current, then_entry)
+            self.branch(current, then_entry, stmt.test, True)
             then_end = self.body(stmt.body, then_entry, break_to,
                                  continue_to, handlers)
             if then_end is not None:
                 self.edge(then_end, after)
             if stmt.orelse:
                 else_entry = self._branch_block(handlers)
-                self.edge(current, else_entry)
+                self.branch(current, else_entry, stmt.test, False)
                 else_end = self.body(stmt.orelse, else_entry, break_to,
                                      continue_to, handlers)
                 if else_end is not None:
                     self.edge(else_end, after)
             else:
-                self.edge(current, after)
+                self.branch(current, after, stmt.test, False)
             return after
 
         if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
@@ -161,20 +176,29 @@ class _Builder:
                 stmt.test if isinstance(stmt, ast.While) else stmt)
             after = self._branch_block(handlers)
             body_entry = self._branch_block(handlers)
-            self.edge(head, body_entry)
+            if isinstance(stmt, ast.While):
+                self.branch(head, body_entry, stmt.test, True)
+            else:
+                self.edge(head, body_entry)
             body_end = self.body(stmt.body, body_entry, after, head,
                                  handlers)
             if body_end is not None:
                 self.edge(body_end, head)
             if stmt.orelse:
                 else_entry = self._branch_block(handlers)
-                self.edge(head, else_entry)
+                if isinstance(stmt, ast.While):
+                    self.branch(head, else_entry, stmt.test, False)
+                else:
+                    self.edge(head, else_entry)
                 else_end = self.body(stmt.orelse, else_entry, break_to,
                                      continue_to, handlers)
                 if else_end is not None:
                     self.edge(else_end, after)
             else:
-                self.edge(head, after)
+                if isinstance(stmt, ast.While):
+                    self.branch(head, after, stmt.test, False)
+                else:
+                    self.edge(head, after)
             return after
 
         if isinstance(stmt, (ast.With, ast.AsyncWith)):
@@ -301,7 +325,8 @@ def build_cfg(func_or_body: object) -> Cfg:
     if end is not None:
         builder.edge(end, builder.exit_id)
     return Cfg(blocks=builder.blocks, entry=entry,
-               exit_id=builder.exit_id)
+               exit_id=builder.exit_id,
+               branch_edges=builder.branch_edges)
 
 
 def element_exprs(elem: ast.AST) -> List[ast.expr]:

@@ -1,0 +1,863 @@
+"""Abstract value domains for the 32-bit datapath prover.
+
+Two numeric domains, designed as a reduced product:
+
+* :class:`Interval` — classic integer intervals over the *mathematical*
+  integers (Python ints), with ``None`` standing for an infinite bound.
+  Words in this codebase are plain Python ints, so the interval domain
+  does **not** wrap at 32 bits; wraparound enters only through explicit
+  masking (``& WORD_MASK``, :func:`to_unsigned`) exactly as it does in
+  the concrete code.
+* :class:`KnownBits` — per-bit 0/1/unknown knowledge about the low 32
+  bits of the two's-complement representation, plus a three-valued
+  summary (``EXT_ZERO`` / ``EXT_ONE`` / ``EXT_TOP``) of every bit at
+  position >= 32.  The extension field is what makes ``x & WORD_MASK``
+  sound for negative ``x`` and makes ``~`` an exact involution.
+
+:class:`AbstractValue` packages both (plus an optional known string
+constant, used to prune mode-string branches) and performs the mutual
+reduction after every transfer function.
+
+Soundness contract (checked by the differential fuzz test in
+``tests/analysis/test_domains.py``): for every transfer function ``op``
+and concrete integers ``a in A`` and ``b in B``, the concrete result
+``a op b`` is contained in ``A.op(B)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional, Tuple
+
+WORD_BITS = 32
+WORD_MASK = (1 << WORD_BITS) - 1
+
+#: Widening thresholds: bounds jump outward to the nearest threshold
+#: instead of straight to infinity, so loop analysis keeps the constants
+#: that matter for 32-bit hygiene (shift range, mask range, word range).
+WIDEN_THRESHOLDS: Tuple[int, ...] = (
+    -(1 << WORD_BITS), -(1 << 31), -1, 0, 1, 8, 16, 24, 31, 32, 33,
+    255, 256, (1 << 16) - 1, (1 << 23) - 1, 1 << 23, (1 << 24) - 1,
+    (1 << 31) - 1, 1 << 31, WORD_MASK, 1 << WORD_BITS, 1 << 33,
+)
+
+#: Largest shift amount the transfer functions evaluate eagerly; beyond
+#: it the result is saturated (``<<`` becomes unbounded, ``>>`` becomes
+#: 0 / -1) so abstract evaluation can never build astronomically large
+#: Python ints.
+_MAX_EAGER_SHIFT = 4096
+
+
+def _min2(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    """Min with ``None`` = -inf."""
+    if a is None or b is None:
+        return None
+    return min(a, b)
+
+
+def _max2(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    """Max with ``None`` = +inf."""
+    if a is None or b is None:
+        return None
+    return max(a, b)
+
+
+@dataclass(frozen=True)
+class Interval:
+    """``[lo, hi]`` with ``None`` meaning the bound is infinite.
+
+    The empty interval is canonically ``Interval(0, -1)``; use
+    :meth:`empty` / :attr:`is_empty` rather than constructing reversed
+    bounds directly.
+    """
+
+    lo: Optional[int]
+    hi: Optional[int]
+
+    # -- constructors ----------------------------------------------------
+    @staticmethod
+    def top() -> "Interval":
+        return Interval(None, None)
+
+    @staticmethod
+    def empty() -> "Interval":
+        return Interval(0, -1)
+
+    @staticmethod
+    def const(value: int) -> "Interval":
+        return Interval(value, value)
+
+    @staticmethod
+    def range(lo: Optional[int], hi: Optional[int]) -> "Interval":
+        return Interval(lo, hi)
+
+    # -- predicates ------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        return self.lo is not None and self.hi is not None and self.lo > self.hi
+
+    @property
+    def is_top(self) -> bool:
+        return self.lo is None and self.hi is None
+
+    @property
+    def as_const(self) -> Optional[int]:
+        if self.lo is not None and self.lo == self.hi:
+            return self.lo
+        return None
+
+    def contains(self, value: int) -> bool:
+        if self.is_empty:
+            return False
+        if self.lo is not None and value < self.lo:
+            return False
+        if self.hi is not None and value > self.hi:
+            return False
+        return True
+
+    def subset_of(self, other: "Interval") -> bool:
+        if self.is_empty:
+            return True
+        if other.is_empty:
+            return False
+        lo_ok = other.lo is None or (self.lo is not None and self.lo >= other.lo)
+        hi_ok = other.hi is None or (self.hi is not None and self.hi <= other.hi)
+        return lo_ok and hi_ok
+
+    # -- lattice ---------------------------------------------------------
+    def join(self, other: "Interval") -> "Interval":
+        if self.is_empty:
+            return other
+        if other.is_empty:
+            return self
+        return Interval(_min2(self.lo, other.lo), _max2(self.hi, other.hi))
+
+    def meet(self, other: "Interval") -> "Interval":
+        if self.is_empty or other.is_empty:
+            return Interval.empty()
+        lo = self.lo if other.lo is None else (other.lo if self.lo is None
+                                               else max(self.lo, other.lo))
+        hi = self.hi if other.hi is None else (other.hi if self.hi is None
+                                               else min(self.hi, other.hi))
+        out = Interval(lo, hi)
+        return Interval.empty() if out.is_empty else out
+
+    def widen(self, other: "Interval") -> "Interval":
+        """Threshold widening of ``self`` (old) by ``other`` (new)."""
+        if self.is_empty:
+            return other
+        if other.is_empty:
+            return self
+        lo: Optional[int] = self.lo
+        if other.lo is None:
+            lo = None
+        elif self.lo is not None and other.lo < self.lo:
+            lo = None
+            for t in reversed(WIDEN_THRESHOLDS):
+                if t <= other.lo:
+                    lo = t
+                    break
+        hi: Optional[int] = self.hi
+        if other.hi is None:
+            hi = None
+        elif self.hi is not None and other.hi > self.hi:
+            hi = None
+            for t in WIDEN_THRESHOLDS:
+                if t >= other.hi:
+                    hi = t
+                    break
+        return Interval(lo, hi)
+
+    # -- arithmetic transfer functions -----------------------------------
+    def add(self, other: "Interval") -> "Interval":
+        if self.is_empty or other.is_empty:
+            return Interval.empty()
+        lo = None if self.lo is None or other.lo is None else self.lo + other.lo
+        hi = None if self.hi is None or other.hi is None else self.hi + other.hi
+        return Interval(lo, hi)
+
+    def neg(self) -> "Interval":
+        if self.is_empty:
+            return self
+        return Interval(None if self.hi is None else -self.hi,
+                        None if self.lo is None else -self.lo)
+
+    def sub(self, other: "Interval") -> "Interval":
+        return self.add(other.neg())
+
+    def mul(self, other: "Interval") -> "Interval":
+        if self.is_empty or other.is_empty:
+            return Interval.empty()
+        bounds = (self.lo, self.hi, other.lo, other.hi)
+        if all(b is not None for b in bounds):
+            assert self.lo is not None and self.hi is not None
+            assert other.lo is not None and other.hi is not None
+            prods = [self.lo * other.lo, self.lo * other.hi,
+                     self.hi * other.lo, self.hi * other.hi]
+            return Interval(min(prods), max(prods))
+        # Semi-infinite: only the all-non-negative case is worth keeping.
+        if (self.lo is not None and self.lo >= 0
+                and other.lo is not None and other.lo >= 0):
+            return Interval(self.lo * other.lo, None)
+        return Interval.top()
+
+    def _nonneg(self) -> bool:
+        return self.lo is not None and self.lo >= 0
+
+    def floordiv(self, other: "Interval") -> "Interval":
+        if self.is_empty or other.is_empty:
+            return Interval.empty()
+        # Only divisors provably >= 1 are worth modelling (the datapath
+        # never floor-divides by a negative).
+        if other.lo is None or other.lo < 1:
+            return Interval.top()
+        d_lo = other.lo
+        d_hi = other.hi
+
+        def div_min(x: Optional[int]) -> Optional[int]:
+            # x // d is monotone in x; for x >= 0 it decreases in d
+            # (toward 0), for x < 0 it increases in d (toward -1).
+            if x is None:
+                return None
+            if x >= 0:
+                return x // d_hi if d_hi is not None else 0
+            return x // d_lo
+
+        def div_max(x: Optional[int]) -> Optional[int]:
+            if x is None:
+                return None
+            if x >= 0:
+                return x // d_lo
+            return x // d_hi if d_hi is not None else -1
+
+        return Interval(div_min(self.lo), div_max(self.hi))
+
+    def mod(self, other: "Interval") -> "Interval":
+        if self.is_empty or other.is_empty:
+            return Interval.empty()
+        if other.lo is not None and other.lo >= 1:
+            # x % m in [0, m-1] for m >= 1 (Python sign-of-divisor rule).
+            hi = None if other.hi is None else other.hi - 1
+            out = Interval(0, hi)
+            # x already in range and non-negative: identity.
+            if (self.lo is not None and self.lo >= 0 and self.hi is not None
+                    and other.lo is not None and self.hi < other.lo):
+                return self
+            return out
+        if other.hi is not None and other.hi <= -1:
+            lo = None if other.lo is None else other.lo + 1
+            return Interval(lo, 0)
+        return Interval.top()
+
+    def lshift(self, amount: "Interval") -> "Interval":
+        if self.is_empty or amount.is_empty:
+            return Interval.empty()
+        if amount.lo is None or amount.lo < 0:
+            return Interval.top()  # may raise at runtime; no info
+        a_lo = amount.lo
+        big = amount.hi is None or amount.hi > _MAX_EAGER_SHIFT
+        eff_hi = _MAX_EAGER_SHIFT if big else amount.hi
+        assert eff_hi is not None
+        # x << s is monotone in x; in s it moves the magnitude away from
+        # zero, so each bound is extremal at one end of the shift range.
+        lo: Optional[int]
+        hi: Optional[int]
+        if self.lo is None:
+            lo = None
+        elif self.lo >= 0:
+            lo = self.lo << a_lo
+        else:
+            lo = None if big else self.lo << eff_hi
+        if self.hi is None:
+            hi = None
+        elif self.hi <= 0:
+            hi = self.hi << a_lo
+        else:
+            hi = None if big else self.hi << eff_hi
+        return Interval(lo, hi)
+
+    def rshift(self, amount: "Interval") -> "Interval":
+        if self.is_empty or amount.is_empty:
+            return Interval.empty()
+        if amount.lo is None or amount.lo < 0:
+            return Interval.top()
+        a_lo = amount.lo
+        big = amount.hi is None or amount.hi > _MAX_EAGER_SHIFT
+        eff_hi = _MAX_EAGER_SHIFT if big else amount.hi
+        assert eff_hi is not None
+        cands: List[int] = []
+        unbounded_lo = False
+        unbounded_hi = False
+        for x in (self.lo, self.hi):
+            if x is None:
+                if x is self.lo:
+                    unbounded_lo = True
+                else:
+                    unbounded_hi = True
+                continue
+            cands.extend([x >> a_lo, x >> eff_hi])
+            if big:
+                cands.append(0 if x >= 0 else -1)
+        if self.lo is None:
+            unbounded_lo = True
+        if self.hi is None:
+            unbounded_hi = True
+        if unbounded_lo and unbounded_hi:
+            return Interval.top()
+        if unbounded_lo:
+            return Interval(None, max(cands) if cands else None)
+        if unbounded_hi:
+            return Interval(min(cands) if cands else None, None)
+        return Interval(min(cands), max(cands))
+
+    # -- bitwise transfer functions (interval part) ----------------------
+    def and_(self, other: "Interval") -> "Interval":
+        if self.is_empty or other.is_empty:
+            return Interval.empty()
+        if self._nonneg() or other._nonneg():
+            # If either operand is known non-negative the result is
+            # non-negative and bounded by that operand.
+            his = [h for h, iv in ((self.hi, self), (other.hi, other))
+                   if iv._nonneg() and h is not None]
+            return Interval(0, min(his) if his else None)
+        return Interval.top()
+
+    def or_(self, other: "Interval") -> "Interval":
+        if self.is_empty or other.is_empty:
+            return Interval.empty()
+        if (self._nonneg() and other._nonneg()
+                and self.hi is not None and other.hi is not None):
+            bits = max(self.hi.bit_length(), other.hi.bit_length())
+            lo = max(self.lo or 0, other.lo or 0)
+            return Interval(lo, (1 << bits) - 1)
+        return Interval.top()
+
+    def xor(self, other: "Interval") -> "Interval":
+        if self.is_empty or other.is_empty:
+            return Interval.empty()
+        if (self._nonneg() and other._nonneg()
+                and self.hi is not None and other.hi is not None):
+            bits = max(self.hi.bit_length(), other.hi.bit_length())
+            return Interval(0, (1 << bits) - 1)
+        return Interval.top()
+
+    def invert(self) -> "Interval":
+        # ~x == -x - 1 exactly.
+        return self.neg().sub(Interval.const(1))
+
+    def abs_(self) -> "Interval":
+        if self.is_empty:
+            return self
+        if self.lo is not None and self.lo >= 0:
+            return self
+        if self.hi is not None and self.hi <= 0:
+            return self.neg()
+        lo_mag = None if self.lo is None else -self.lo
+        return Interval(0, _max2(self.hi, lo_mag))
+
+    def bit_length(self) -> "Interval":
+        """``x.bit_length()`` for known-non-negative ``x`` (monotone)."""
+        if self.is_empty:
+            return self
+        if self.lo is None or self.lo < 0:
+            return Interval(0, None)
+        lo = self.lo.bit_length()
+        hi = None if self.hi is None else self.hi.bit_length()
+        return Interval(lo, hi)
+
+    def __str__(self) -> str:
+        if self.is_empty:
+            return "[empty]"
+        lo = "-inf" if self.lo is None else str(self.lo)
+        hi = "+inf" if self.hi is None else str(self.hi)
+        return f"[{lo}, {hi}]"
+
+
+#: Extension-bit summaries for :class:`KnownBits` (all bits >= 32).
+EXT_ZERO = 0
+EXT_ONE = 1
+EXT_TOP = 2
+
+
+def _ext_of(value: int) -> int:
+    # Deliberate mathematical-integer shift: the domain itself inspects
+    # the bits *above* the 32-bit word.  # repro: allow[shift-range]
+    high = value >> WORD_BITS
+    if high == 0:
+        return EXT_ZERO
+    if high == -1:
+        return EXT_ONE
+    return EXT_TOP
+
+
+@dataclass(frozen=True)
+class KnownBits:
+    """Per-bit knowledge about the two's-complement representation.
+
+    ``ones`` / ``zeros`` are disjoint masks over bits 0..31: a set bit in
+    ``ones`` means that bit is known to be 1 in every concrete value;
+    ``zeros`` likewise for 0.  ``ext`` summarises *all* bits at position
+    >= 32 at once (two's complement: a non-negative int < 2**32 has
+    ``EXT_ZERO``; a negative int >= -2**32 has ``EXT_ONE``).
+
+    ``conflict`` (ones & zeros != 0) marks the bottom element produced
+    by an infeasible meet.
+    """
+
+    ones: int
+    zeros: int
+    ext: int
+
+    @staticmethod
+    def top() -> "KnownBits":
+        return KnownBits(0, 0, EXT_TOP)
+
+    @staticmethod
+    def bottom() -> "KnownBits":
+        return KnownBits(WORD_MASK, WORD_MASK, EXT_TOP)
+
+    @staticmethod
+    def const(value: int) -> "KnownBits":
+        low = value & WORD_MASK
+        return KnownBits(low, ~low & WORD_MASK, _ext_of(value))
+
+    @property
+    def is_conflict(self) -> bool:
+        return bool(self.ones & self.zeros)
+
+    @property
+    def is_top(self) -> bool:
+        return self.ones == 0 and self.zeros == 0 and self.ext == EXT_TOP
+
+    @property
+    def as_const(self) -> Optional[int]:
+        """The single concrete value, when every bit is known."""
+        if self.is_conflict or self.ext == EXT_TOP:
+            return None
+        if (self.ones | self.zeros) != WORD_MASK:
+            return None
+        if self.ext == EXT_ZERO:
+            return self.ones
+        return self.ones - (1 << WORD_BITS)
+
+    def contains(self, value: int) -> bool:
+        if self.is_conflict:
+            return False
+        low = value & WORD_MASK
+        if low & self.zeros or self.ones & ~low:
+            return False
+        ext = _ext_of(value)
+        return self.ext == EXT_TOP or self.ext == ext
+
+    # -- lattice ---------------------------------------------------------
+    def join(self, other: "KnownBits") -> "KnownBits":
+        if self.is_conflict:
+            return other
+        if other.is_conflict:
+            return self
+        ext = self.ext if self.ext == other.ext else EXT_TOP
+        return KnownBits(self.ones & other.ones, self.zeros & other.zeros, ext)
+
+    def meet(self, other: "KnownBits") -> "KnownBits":
+        if self.ext == other.ext or other.ext == EXT_TOP:
+            ext = self.ext
+        elif self.ext == EXT_TOP:
+            ext = other.ext
+        else:
+            return KnownBits.bottom()
+        out = KnownBits(self.ones | other.ones, self.zeros | other.zeros, ext)
+        return KnownBits.bottom() if out.is_conflict else out
+
+    def subset_of(self, other: "KnownBits") -> bool:
+        """Every value allowed by ``self`` is allowed by ``other``."""
+        if self.is_conflict:
+            return True
+        if other.is_conflict:
+            return False
+        if other.ext != EXT_TOP and self.ext != other.ext:
+            return False
+        return (other.ones & ~self.ones) == 0 and (other.zeros & ~self.zeros) == 0
+
+    # -- interval interchange -------------------------------------------
+    def to_interval(self) -> Interval:
+        if self.is_conflict:
+            return Interval.empty()
+        if self.ext == EXT_ZERO:
+            lo = self.ones
+            hi = self.ones | (WORD_MASK & ~self.zeros)
+            return Interval(lo, hi)
+        if self.ext == EXT_ONE:
+            base = -(1 << WORD_BITS)
+            lo = base + self.ones
+            hi = base + (self.ones | (WORD_MASK & ~self.zeros))
+            return Interval(lo, hi)
+        return Interval.top()
+
+    @staticmethod
+    def from_interval(iv: Interval) -> "KnownBits":
+        if iv.is_empty:
+            return KnownBits.bottom()
+        if iv.lo is None or iv.hi is None:
+            return KnownBits.top()
+        if 0 <= iv.lo and iv.hi <= WORD_MASK:
+            ext = EXT_ZERO
+            lo, hi = iv.lo, iv.hi
+        elif -(1 << WORD_BITS) <= iv.lo and iv.hi <= -1:
+            ext = EXT_ONE
+            lo, hi = iv.lo & WORD_MASK, iv.hi & WORD_MASK
+        else:
+            return KnownBits.top()
+        diff = lo ^ hi
+        known = 0 if diff == 0 else WORD_MASK & ~((1 << diff.bit_length()) - 1)
+        if diff == 0:
+            known = WORD_MASK
+        return KnownBits(lo & known, ~lo & known & WORD_MASK, ext)
+
+    # -- bitwise transfer functions --------------------------------------
+    def _ext_bit(self) -> Optional[int]:
+        """Extension bits as a 0/1 value, or None when unknown."""
+        if self.ext == EXT_ZERO:
+            return 0
+        if self.ext == EXT_ONE:
+            return 1
+        return None
+
+    def and_(self, other: "KnownBits") -> "KnownBits":
+        ones = self.ones & other.ones
+        zeros = self.zeros | other.zeros
+        ea, eb = self._ext_bit(), other._ext_bit()
+        if ea == 0 or eb == 0:
+            ext = EXT_ZERO
+        elif ea == 1 and eb == 1:
+            ext = EXT_ONE
+        else:
+            ext = EXT_TOP
+        return KnownBits(ones, zeros & ~ones, ext)
+
+    def or_(self, other: "KnownBits") -> "KnownBits":
+        ones = self.ones | other.ones
+        zeros = self.zeros & other.zeros
+        ea, eb = self._ext_bit(), other._ext_bit()
+        if ea == 1 or eb == 1:
+            ext = EXT_ONE
+        elif ea == 0 and eb == 0:
+            ext = EXT_ZERO
+        else:
+            ext = EXT_TOP
+        return KnownBits(ones, zeros, ext)
+
+    def xor(self, other: "KnownBits") -> "KnownBits":
+        known_a = self.ones | self.zeros
+        known_b = other.ones | other.zeros
+        known = known_a & known_b
+        val = (self.ones ^ other.ones) & known
+        ea, eb = self._ext_bit(), other._ext_bit()
+        if ea is None or eb is None:
+            ext = EXT_TOP
+        else:
+            ext = EXT_ONE if (ea ^ eb) else EXT_ZERO
+        return KnownBits(val, known & ~val, ext)
+
+    def invert(self) -> "KnownBits":
+        ext = {EXT_ZERO: EXT_ONE, EXT_ONE: EXT_ZERO, EXT_TOP: EXT_TOP}[self.ext]
+        return KnownBits(self.zeros, self.ones, ext)
+
+    def lshift_const(self, amount: int) -> "KnownBits":
+        if amount < 0:
+            return KnownBits.top()
+        if amount == 0:
+            return self
+        if amount >= WORD_BITS:
+            # All low-word bits come from the (unknown-by-default) high
+            # part of the operand; only an all-zero operand keeps info.
+            if self.as_const == 0:
+                return KnownBits.const(0)
+            return KnownBits.top()
+        ones = (self.ones << amount) & WORD_MASK
+        zeros = ((self.zeros << amount) | ((1 << amount) - 1)) & WORD_MASK
+        # Bits shifted past position 31 merge with the old extension, so
+        # the extension becomes unknown unless nothing moves into it.
+        shifted_out = self.zeros >> (WORD_BITS - amount) if amount else 0
+        all_out_zero = (shifted_out == (1 << amount) - 1 if amount else True)
+        if self.ext == EXT_ZERO and all_out_zero:
+            ext = EXT_ZERO
+        else:
+            ext = EXT_TOP
+        return KnownBits(ones, zeros, ext)
+
+    def rshift_const(self, amount: int) -> "KnownBits":
+        if amount < 0:
+            return KnownBits.top()
+        eb = self._ext_bit()
+        if amount >= WORD_BITS:
+            if eb == 0:
+                return KnownBits.const(0)
+            if eb == 1:
+                return KnownBits.const(-1)
+            return KnownBits.top()
+        ones = self.ones >> amount
+        zeros = self.zeros >> amount
+        # The top ``amount`` bits of the result come from the extension.
+        incoming = (WORD_MASK & ~(WORD_MASK >> amount)) if amount else 0
+        if eb == 0:
+            zeros |= incoming
+        elif eb == 1:
+            ones |= incoming
+        ext = self.ext
+        return KnownBits(ones, zeros, ext)
+
+    def add(self, other: "KnownBits") -> "KnownBits":
+        """Ripple-carry over the known low bits.
+
+        Each sum bit is known only when both operand bits and the
+        carry-in are known; the carry-out survives partial knowledge
+        when the known parts already pin it (min sum >= 2 or max <= 1).
+        """
+        ones = 0
+        zeros = 0
+        carry: Optional[int] = 0
+        for bit in range(WORD_BITS):
+            m = 1 << bit
+            a = 1 if self.ones & m else (0 if self.zeros & m else None)
+            b = 1 if other.ones & m else (0 if other.zeros & m else None)
+            parts = (a, b, carry)
+            mn = sum(p for p in parts if p is not None)
+            unknown = sum(1 for p in parts if p is None)
+            if unknown == 0:
+                if mn & 1:
+                    ones |= m
+                else:
+                    zeros |= m
+                carry = mn >> 1
+            else:
+                mx = mn + unknown
+                carry = 0 if mx <= 1 else (1 if mn >= 2 else None)
+        return KnownBits(ones, zeros, EXT_TOP)
+
+    def trailing_zeros(self) -> int:
+        """Number of consecutive low bits known to be zero."""
+        n = 0
+        while n < WORD_BITS and (self.zeros >> n) & 1:
+            n += 1
+        return n
+
+    def mul(self, other: "KnownBits") -> "KnownBits":
+        if self.as_const == 0 or other.as_const == 0:
+            return KnownBits.const(0)
+        # A multiple of 2**t1 times a multiple of 2**t2 is a multiple of
+        # 2**(t1+t2); that is the only bit knowledge products keep.
+        tz = min(self.trailing_zeros() + other.trailing_zeros(), WORD_BITS)
+        return KnownBits(0, ((1 << tz) - 1) & WORD_MASK, EXT_TOP)
+
+
+@dataclass(frozen=True)
+class AbstractValue:
+    """Reduced product of :class:`Interval` and :class:`KnownBits`.
+
+    ``sconst`` carries a known string constant (``None`` otherwise); it
+    exists so mode-string comparisons (``mode == "paper"``) can prune
+    dead branches during certification runs.  String values use a top
+    interval -- the numeric component is meaningless for them.
+    """
+
+    iv: Interval
+    kb: KnownBits
+    sconst: Optional[str] = None
+
+    # -- constructors ----------------------------------------------------
+    @staticmethod
+    def top() -> "AbstractValue":
+        return AbstractValue(Interval.top(), KnownBits.top())
+
+    @staticmethod
+    def bottom() -> "AbstractValue":
+        return AbstractValue(Interval.empty(), KnownBits.bottom())
+
+    @staticmethod
+    def const(value: int) -> "AbstractValue":
+        return AbstractValue(Interval.const(value), KnownBits.const(value))
+
+    @staticmethod
+    def from_interval(iv: Interval) -> "AbstractValue":
+        return AbstractValue(iv, KnownBits.from_interval(iv)).reduced()
+
+    @staticmethod
+    def range(lo: Optional[int], hi: Optional[int]) -> "AbstractValue":
+        return AbstractValue.from_interval(Interval(lo, hi))
+
+    @staticmethod
+    def str_const(value: str) -> "AbstractValue":
+        return AbstractValue(Interval.top(), KnownBits.top(), sconst=value)
+
+    @staticmethod
+    def word() -> "AbstractValue":
+        """An arbitrary 32-bit word: [0, 2**32) with a zero extension."""
+        return AbstractValue.range(0, WORD_MASK)
+
+    # -- predicates ------------------------------------------------------
+    @property
+    def is_bottom(self) -> bool:
+        return self.iv.is_empty or self.kb.is_conflict
+
+    @property
+    def is_top(self) -> bool:
+        return self.iv.is_top and self.kb.is_top and self.sconst is None
+
+    @property
+    def as_const(self) -> Optional[int]:
+        c = self.iv.as_const
+        if c is not None:
+            return c
+        return self.kb.as_const
+
+    def contains(self, value: int) -> bool:
+        return self.iv.contains(value) and self.kb.contains(value)
+
+    def subsumed_by(self, other: "AbstractValue") -> bool:
+        """Every concrete value of ``self`` is allowed by ``other``."""
+        if self.is_bottom:
+            return True
+        if other.is_bottom:
+            return False
+        if other.sconst is not None and self.sconst != other.sconst:
+            return False
+        return (self.iv.subset_of(other.iv)
+                and self.kb.subset_of(other.kb))
+
+    def in_word_range(self) -> bool:
+        """Provably within [0, 2**32)."""
+        return (self.iv.subset_of(Interval(0, WORD_MASK))
+                or self.kb.ext == EXT_ZERO)
+
+    def provably_nonzero(self) -> bool:
+        if self.iv.lo is not None and self.iv.lo > 0:
+            return True
+        if self.iv.hi is not None and self.iv.hi < 0:
+            return True
+        return bool(self.kb.ones)
+
+    # -- reduction and lattice -------------------------------------------
+    def reduced(self) -> "AbstractValue":
+        """One round of mutual interval <-> known-bits refinement."""
+        if self.is_bottom:
+            return AbstractValue.bottom()
+        iv = self.iv.meet(self.kb.to_interval())
+        kb = self.kb.meet(KnownBits.from_interval(iv))
+        out = AbstractValue(iv, kb, self.sconst)
+        return AbstractValue.bottom() if out.is_bottom else out
+
+    def join(self, other: "AbstractValue") -> "AbstractValue":
+        if self.is_bottom:
+            return other
+        if other.is_bottom:
+            return self
+        sconst = self.sconst if self.sconst == other.sconst else None
+        return AbstractValue(self.iv.join(other.iv), self.kb.join(other.kb),
+                             sconst)
+
+    def meet(self, other: "AbstractValue") -> "AbstractValue":
+        sconst = self.sconst if self.sconst is not None else other.sconst
+        return AbstractValue(self.iv.meet(other.iv), self.kb.meet(other.kb),
+                             sconst).reduced()
+
+    def widen(self, other: "AbstractValue") -> "AbstractValue":
+        if self.is_bottom:
+            return other
+        if other.is_bottom:
+            return self
+        sconst = self.sconst if self.sconst == other.sconst else None
+        # KnownBits has finite height: plain join terminates.
+        return AbstractValue(self.iv.widen(other.iv), self.kb.join(other.kb),
+                             sconst)
+
+    # -- transfer functions ----------------------------------------------
+    def _wrap(self, iv: Interval, kb: KnownBits) -> "AbstractValue":
+        return AbstractValue(iv, kb).reduced()
+
+    def add(self, other: "AbstractValue") -> "AbstractValue":
+        return self._wrap(self.iv.add(other.iv), self.kb.add(other.kb))
+
+    def sub(self, other: "AbstractValue") -> "AbstractValue":
+        # a - b == a + (~b) + 1; reuse the interval sub and a ripple on
+        # known bits via the two's-complement identity.
+        kb = self.kb.add(other.kb.invert().add(KnownBits.const(1)))
+        return self._wrap(self.iv.sub(other.iv), kb)
+
+    def mul(self, other: "AbstractValue") -> "AbstractValue":
+        return self._wrap(self.iv.mul(other.iv), self.kb.mul(other.kb))
+
+    def floordiv(self, other: "AbstractValue") -> "AbstractValue":
+        return self._wrap(self.iv.floordiv(other.iv), KnownBits.top())
+
+    def mod(self, other: "AbstractValue") -> "AbstractValue":
+        m = other.as_const
+        if m is not None and m > 0 and m & (m - 1) == 0:
+            # x % 2**k == x & (2**k - 1) for the Python sign convention
+            # only when x >= 0; otherwise fall through to the interval.
+            if self.iv.lo is not None and self.iv.lo >= 0:
+                return self.and_(AbstractValue.const(m - 1))
+        return self._wrap(self.iv.mod(other.iv), KnownBits.top())
+
+    def lshift(self, amount: "AbstractValue") -> "AbstractValue":
+        c = amount.as_const
+        kb = self.kb.lshift_const(c) if c is not None else KnownBits.top()
+        return self._wrap(self.iv.lshift(amount.iv), kb)
+
+    def rshift(self, amount: "AbstractValue") -> "AbstractValue":
+        c = amount.as_const
+        if c is not None:
+            kb = self.kb.rshift_const(c)
+        elif amount.iv.lo is not None and amount.iv.lo >= 0:
+            # Unknown non-negative shift of a non-negative value keeps
+            # the sign knowledge in the extension.
+            kb = (KnownBits(0, 0, EXT_ZERO)
+                  if self.kb.ext == EXT_ZERO else KnownBits.top())
+        else:
+            kb = KnownBits.top()
+        return self._wrap(self.iv.rshift(amount.iv), kb)
+
+    def and_(self, other: "AbstractValue") -> "AbstractValue":
+        return self._wrap(self.iv.and_(other.iv), self.kb.and_(other.kb))
+
+    def or_(self, other: "AbstractValue") -> "AbstractValue":
+        return self._wrap(self.iv.or_(other.iv), self.kb.or_(other.kb))
+
+    def xor(self, other: "AbstractValue") -> "AbstractValue":
+        return self._wrap(self.iv.xor(other.iv), self.kb.xor(other.kb))
+
+    def invert(self) -> "AbstractValue":
+        return self._wrap(self.iv.invert(), self.kb.invert())
+
+    def neg(self) -> "AbstractValue":
+        return AbstractValue.const(0).sub(self)
+
+    def abs_(self) -> "AbstractValue":
+        kb = self.kb if self.kb.ext == EXT_ZERO else KnownBits.top()
+        return self._wrap(self.iv.abs_(), kb)
+
+    def bit_length(self) -> "AbstractValue":
+        return AbstractValue.from_interval(self.iv.abs_().bit_length())
+
+    def exclude_zero(self) -> "AbstractValue":
+        """Refine by the fact the value is truthy (non-zero)."""
+        iv = self.iv
+        if iv.lo is not None and iv.lo == 0:
+            iv = Interval(1, iv.hi)
+        if iv.hi is not None and iv.hi == 0:
+            iv = Interval(iv.lo, -1)
+        return AbstractValue(iv, self.kb, self.sconst).reduced()
+
+    def __str__(self) -> str:
+        if self.sconst is not None:
+            return f"str:{self.sconst!r}"
+        parts = [str(self.iv)]
+        if not self.kb.is_top:
+            parts.append(f"ones={self.kb.ones:#x} zeros={self.kb.zeros:#x} "
+                         f"ext={('0', '1', '?')[self.kb.ext]}")
+        return " ".join(parts)
+
+
+def fraction_bound(value: int, num: int, den: int) -> bool:
+    """Exact check ``value <= num/den`` (helper for the certifier)."""
+    return Fraction(value) <= Fraction(num, den)

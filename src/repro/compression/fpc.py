@@ -113,7 +113,7 @@ class SignExtended(PatternClass):
             cand = _nearest_in_range(max(lo, self._neg_lo), hi, word)
             # Pure comparison sink: the unmasked differences feed only
             # abs() and the '<', never re-entering the datapath (the
-            # flow-sensitive REPRO202 proves this).
+            # flow-sensitive REPRO902 proves this).
             if best is None or abs(cand - word) < abs(best - word):
                 best = cand
         return best

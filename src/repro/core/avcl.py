@@ -38,6 +38,7 @@ from repro.core.block import DataType
 from repro.util.bitops import (
     MANTISSA_BITS,
     MANTISSA_MASK,
+    WORD_BITS,
     WORD_MASK,
     float_fields,
     fields_to_float,
@@ -66,17 +67,22 @@ def shift_bits_for_threshold(error_threshold_pct: float,
         raise ValueError(f"unknown AVCL mode {mode!r}; expected one of {MODES}")
     divisor = 100.0 / error_threshold_pct
     if divisor <= 1.0:
-        return 0
-    if mode == "paper":
-        return int(math.floor(math.log2(divisor)))
-    shift = int(math.ceil(math.log2(divisor)))
-    # The strict guarantee needs 2^shift * e >= 100 *exactly* (so that
-    # ``magnitude >> shift  <=  magnitude * e/100``).  float log2 can round
-    # an epsilon below an integer boundary and make ceil() land one short;
-    # verify in exact rational arithmetic and bump if needed.
-    threshold = Fraction(error_threshold_pct)
-    while Fraction(2) ** shift * threshold < 100:
-        shift += 1
+        shift = 0
+    elif mode == "paper":
+        shift = int(math.floor(math.log2(divisor)))
+    else:
+        shift = int(math.ceil(math.log2(divisor)))
+        # The strict guarantee needs 2^shift * e >= 100 *exactly* (so that
+        # ``magnitude >> shift  <=  magnitude * e/100``).  float log2 can
+        # round an epsilon below an integer boundary and make ceil() land
+        # one short; verify in exact rational arithmetic and bump if needed.
+        threshold = Fraction(error_threshold_pct)
+        while Fraction(2) ** shift * threshold < 100:
+            shift += 1
+    if not 0 <= shift < WORD_BITS:
+        raise ValueError(
+            f"threshold {error_threshold_pct} needs shift {shift}, outside "
+            f"the {WORD_BITS}-bit datapath")
     return shift
 
 

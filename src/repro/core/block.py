@@ -150,4 +150,6 @@ def relative_word_error(precise: int, approx: int, dtype: DataType) -> float:
     if pf in (float("inf"), float("-inf")) or af in (float("inf"),
                                                      float("-inf")):
         return 0.0 if pf == af else 1.0
+    # The 1e-30 clamp keeps the divisor positive; the int-interval
+    # domain cannot represent float constants.  # repro: allow[possible-zero-div]
     return abs(af - pf) / max(abs(pf), 1e-30)

@@ -56,6 +56,7 @@ import it.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import deque
 from typing import Dict, List, Optional, Tuple
 
@@ -178,6 +179,10 @@ class SoaCore:
         #: SA scratch: per-out-port request lists, reused across routers
         #: (always empty between cycles; avoids a dict + sort per router).
         self._req_lists: List[List[int]] = [[] for _ in range(P)]
+        # Scratch lists reused by cycle_all (cleared after each use) so
+        # the hot path allocates nothing per router visit.
+        self._scratch_elig: List[int] = []
+        self._scratch_parked: List[int] = []
         # Packed send target per (rid, out port): a link is the downstream
         # flat slot base ``dst_router*S + dst_port*V`` (>= 0, add the out
         # VC to get the arrival slot), an ejection port is ``-node - 1``,
@@ -381,6 +386,8 @@ class SoaCore:
         min_ready = self.min_ready
         route_table = self.route_table
         req_lists = self._req_lists
+        scratch_elig = self._scratch_elig
+        scratch_parked = self._scratch_parked
         net = self.net
         send_fns = self.send_fns
         credit_fns = self.credit_fns
@@ -419,8 +426,8 @@ class SoaCore:
                 # when a tail frees a VC of that port) leaves the rotated
                 # visiting order over the rest — and therefore every
                 # allocation decision — unchanged.
-                elig = None
-                parked = None
+                elig = scratch_elig
+                parked = scratch_parked
                 for slot in pend:  # repro: allow[unordered-iter]
                     g = base + slot
                     r = route_out[g]
@@ -428,24 +435,27 @@ class SoaCore:
                         r = route_table[rid][bufs[g][0].packet.dst]
                         route_out[g] = r
                     if free_out_vcs[pbase + r]:
-                        if elig is None:
-                            elig = [slot]
-                        else:
-                            elig.append(slot)
+                        elig.append(slot)
                     else:
                         va_waiters[pbase + r].append(slot)
-                        if parked is None:
-                            parked = [slot]
-                        else:
-                            parked.append(slot)
-                if parked is not None:
+                        parked.append(slot)
+                if parked:
                     for slot in parked:
                         pend.discard(slot)
-                if elig is not None:
-                    if len(elig) > 1:
-                        elig.sort(key=lambda s: s - rotate
-                                  if s >= rotate else s - rotate + S)
-                    for slot in elig:
+                    del parked[:]
+                if elig:
+                    # Rotated round-robin order without a per-visit key
+                    # lambda: slots are distinct, so ascending order
+                    # split at the rotation point equals ranking by
+                    # (slot - rotate) % S.
+                    n_elig = len(elig)
+                    split = 0
+                    if n_elig > 1:
+                        elig.sort()
+                        split = bisect_left(elig, rotate)
+                    for k in range(n_elig):
+                        i = split + k
+                        slot = elig[i - n_elig] if i >= n_elig else elig[i]
                         g = base + slot
                         r = route_out[g]
                         ob = base + r * V
@@ -468,6 +478,7 @@ class SoaCore:
                                 if ready < min_ready[rid]:
                                     min_ready[rid] = ready
                                 break
+                    del elig[:]
             # ---- stages 2+3: switch allocation + traversal
             if dead is None and min_ready[rid] > now:
                 continue  # provably nothing SA-eligible this cycle
@@ -542,15 +553,18 @@ class SoaCore:
                     t = targets[pbase + out_port]
                     if t >= 0:
                         links += 1
+                        # Payload tuple: the communicated datum itself.
+                        # repro: allow[hot-alloc]
                         arrivals_append((t + ovc, flit))
                     else:
+                        # repro: allow[hot-alloc]
                         eject_append((-1 - t, flit))
                 else:
                     send_fns[rid](out_port, ovc, flit)
                 continue
             req_mask = 0
             bound = _INF
-            parked = None
+            parked = scratch_parked
             for slot in cands:  # repro: allow[unordered-iter]
                 g = base + slot
                 ready = head_ready[g]
@@ -563,17 +577,15 @@ class SoaCore:
                     # Credit-blocked: park on the out-credit index instead
                     # of rescanning every cycle; the 0->1 apply revives.
                     credit_waiter[oc] = slot
-                    if parked is None:
-                        parked = [slot]
-                    else:
-                        parked.append(slot)
+                    parked.append(slot)
                     continue
                 p = route_out[g]
                 req_lists[p].append(slot)
                 req_mask |= 1 << p
-            if parked is not None:
+            if parked:
                 for slot in parked:
                     cands.discard(slot)
+                del parked[:]
             if not req_mask:
                 min_ready[rid] = bound
                 continue
@@ -668,8 +680,11 @@ class SoaCore:
                     t = targets[pbase + out_port]
                     if t >= 0:
                         links += 1
+                        # Payload tuple: the communicated datum itself.
+                        # repro: allow[hot-alloc]
                         arrivals_append((t + ovc, flit))
                     else:
+                        # repro: allow[hot-alloc]
                         eject_append((-1 - t, flit))
                 else:
                     send_fns[rid](out_port, ovc, flit)

@@ -152,6 +152,10 @@ SKIP_ACCOUNTED_STATE: Dict[str, Dict[str, str]] = {
         # cycle_all pass that fills it) — 'scratch', not 'static': the
         # list objects are appended to and cleared every active cycle.
         "_req_lists": "scratch",
+        # VA/SA scratch lists reused across router visits within one
+        # cycle_all pass; emptied after every use, so never carry state.
+        "_scratch_elig": "scratch",
+        "_scratch_parked": "scratch",
         # Parked slots (credit-blocked SA candidates; VC-starved heads)
         # move only on allocation activity or credit returns, neither of
         # which occurs in a skipped window.
@@ -203,6 +207,10 @@ SKIP_ACCOUNTED_STATE: Dict[str, Dict[str, str]] = {
         "_buffered": "counter",
         "_slot_table": "static",
         "_occupied": "frozen",
+        # Per-cycle scratch (SA request lists; VA visiting order), filled
+        # and drained within a single cycle() call.
+        "_req_lists": "scratch",
+        "_va_order": "scratch",
     },
     "NetworkInterface": {
         "node_id": "static",

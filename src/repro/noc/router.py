@@ -15,6 +15,7 @@ arbiters keep VA and SA fair.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import deque
 from typing import Callable, List, Optional, Tuple
 
@@ -68,6 +69,11 @@ class Router:
         # Slots (port * num_vcs + vc) whose buffers are non-empty: VA and SA
         # visit only these instead of scanning every input VC each cycle.
         self._occupied: set = set()
+        # Per-out-port switch request lists, reused every cycle (cleared
+        # with del lst[:]) so the SA stage allocates nothing.
+        self._req_lists: List[List[int]] = [[] for _ in range(n_ports)]
+        # Scratch list for the VA stage's rotated visiting order.
+        self._va_order: List[int] = []
 
     # ------------------------------------------------------------ ingress
 
@@ -128,7 +134,16 @@ class Router:
         # slots skipped — same allocation decisions, far fewer probes.
         occupied = self._occupied
         if len(occupied) > 1:
-            occupied = sorted(occupied, key=lambda s: (s - rotate) % total)
+            # Rotated visiting order without a per-cycle key lambda:
+            # slots are distinct, so ascending order split at the
+            # rotation point equals ranking by (slot - rotate) % total.
+            order = self._va_order
+            order.extend(occupied)
+            order.sort()
+            split = bisect_left(order, rotate)
+            if split:
+                order[:] = order[split:] + order[:split]
+            occupied = order
         for slot in occupied:
             port, vc = slot_table[slot]
             ivc = inputs[port][vc]
@@ -143,11 +158,14 @@ class Router:
             for j in range(self.num_vcs):
                 cand = (start + j) % self.num_vcs
                 if owners[cand] is None:
+                    # Ownership registration tuple: per-packet state.
+                    # repro: allow[hot-alloc]
                     owners[cand] = (port, vc)
                     ivc.out_vc = cand
                     self._va_rr[out_port] = (cand + 1) % self.num_vcs
                     self.stats.vc_allocations += 1
                     break
+        del self._va_order[:]
 
     def _switch_allocate_and_traverse(self, now, send, credit) -> None:
         """Stages 2+3: switch allocation, then switch/link traversal.
@@ -156,11 +174,13 @@ class Router:
         output port then picks one winner round-robin, subject to the
         one-flit-per-input-port crossbar constraint.
         """
-        requests: dict = {}
         num_vcs = self.num_vcs
+        n_ports = self.n_ports
         out_credits = self.out_credits
         inputs = self.inputs
         slot_table = self._slot_table
+        req_lists = self._req_lists
+        req_mask = 0
         # Request-list order does not influence grants (winners are picked
         # by unique slot rank) and slots are small ints whose set order is
         # content-determined, so the occupied set may be visited as-is.
@@ -174,29 +194,41 @@ class Router:
             if (flit.ready_at > now
                     or out_credits[ivc.route][ivc.out_vc] <= 0):
                 continue
-            requests.setdefault(ivc.route, []).append((slot, port, vc))
-        if not requests:
+            req_lists[ivc.route].append(slot)
+            req_mask |= 1 << ivc.route
+        if not req_mask:
             return
-        granted_inputs = set()
-        total = self.n_ports * num_vcs
-        port_order = sorted(
-            requests, key=lambda p: (p - self._port_rr) % self.n_ports)
-        self._port_rr = (self._port_rr + 1) % self.n_ports
-        for out_port in port_order:
+        granted_inputs = 0
+        total = n_ports * num_vcs
+        prr = self._port_rr
+        self._port_rr = (prr + 1) % n_ports
+        # Visit only the requested output ports in the rotated
+        # (prr-first) ascending order the sorted() call produced: rotate
+        # the request mask so bit 0 is port prr, then peel set bits.
+        pmask = (1 << n_ports) - 1
+        m = (req_mask >> prr | req_mask << (n_ports - prr)) & pmask
+        while m:
+            low = m & -m
+            m ^= low
+            out_port = low.bit_length() - 1 + prr
+            if out_port >= n_ports:
+                out_port -= n_ports
+            lst = req_lists[out_port]
             start = self._sa_rr[out_port]
-            winner = None
+            winner = -1
             best_rank = total
-            for slot, port, vc in requests[out_port]:
-                if port in granted_inputs:
+            for slot in lst:
+                if granted_inputs >> (slot // num_vcs) & 1:
                     continue
                 rank = (slot - start) % total
                 if rank < best_rank:
-                    best_rank, winner = rank, (slot, port, vc)
-            if winner is None:
+                    best_rank, winner = rank, slot
+            del lst[:]
+            if winner < 0:
                 continue
-            slot, in_port, in_vc = winner
-            granted_inputs.add(in_port)
-            self._sa_rr[out_port] = (slot + 1) % total
+            in_port, in_vc = slot_table[winner]
+            granted_inputs |= 1 << in_port
+            self._sa_rr[out_port] = (winner + 1) % total
             self._traverse(in_port, in_vc, out_port, send, credit)
 
     def _traverse(self, in_port: int, in_vc: int, out_port: int,

@@ -1,0 +1,211 @@
+"""Behavioural tests for the branch-refining abstract interpreter.
+
+Each test parses a small function, runs :class:`FuncAnalysis` over it,
+and checks the abstract return value — the end-to-end contract the
+REPRO90x rules build on (branch refinement, loop widening/narrowing,
+parameter seeding and certification ``assume`` facts).
+"""
+
+import ast
+import textwrap
+
+from repro.analysis.flow.absint import (
+    FuncAnalysis,
+    Summaries,
+    module_seq_constants,
+    wordish_name,
+)
+from repro.analysis.flow.domains import WORD_MASK, AbstractValue, Interval
+
+
+def analyze(source, **kwargs):
+    """FuncAnalysis over the first function in ``source``."""
+    tree = ast.parse(textwrap.dedent(source))
+    fn = next(node for node in tree.body
+              if isinstance(node, ast.FunctionDef))
+    return FuncAnalysis(fn, **kwargs).run()
+
+
+def returns(source, **kwargs):
+    return analyze(source, **kwargs).return_value()
+
+
+class TestBranchRefinement:
+    def test_upper_bound_comparison_narrows(self):
+        value = returns("""\
+            def clamp(k):
+                if k < 32:
+                    return k
+                return 0
+            """, seeds={"k": AbstractValue.range(0, None)})
+        assert value.iv.subset_of(Interval(0, 31))
+
+    def test_else_branch_gets_complement(self):
+        value = returns("""\
+            def pick(k):
+                if k < 32:
+                    return 0
+                return k
+            """, seeds={"k": AbstractValue.range(0, 100)})
+        assert value.iv.subset_of(Interval(0, 100))
+        assert not value.contains(-1)
+
+    def test_mask_test_refines_band(self):
+        # Inside `if x & 0xFF:` the value is provably nonzero in the
+        # low byte; the mask expression itself stays in [0, 255].
+        value = returns("""\
+            def low(x):
+                y = x & 0xFF
+                if y:
+                    return y
+                return 1
+            """, seeds={"x": AbstractValue.word()})
+        assert value.iv.subset_of(Interval(0, 255))
+        assert not value.contains(0)
+
+    def test_isinstance_bool_narrows_to_unit_range(self):
+        # Inside `if isinstance(v, bool):` the value is provably 0 or 1.
+        value = returns("""\
+            def go(v):
+                if isinstance(v, bool):
+                    return v
+                return 0
+            """, seeds={"v": AbstractValue.range(0, 100)})
+        assert value.iv.subset_of(Interval(0, 1))
+
+    def test_mode_string_comparison_prunes(self):
+        value = returns("""\
+            def pick(mode):
+                if mode == "paper":
+                    return 4
+                return 1
+            """, seeds={"mode": AbstractValue.str_const("paper")})
+        assert value.as_const == 4
+
+
+class TestLoops:
+    def test_counting_loop_widens_then_bounds(self):
+        value = returns("""\
+            def count(n):
+                total = 0
+                for i in range(n):
+                    total = total + 1
+                return total
+            """, seeds={"n": AbstractValue.range(0, 10)})
+        assert not value.contains(-1)
+
+    def test_spec_shift_style_loop_converges(self):
+        # The shift_bits_for_threshold shape: widening must terminate
+        # and the guard keeps the result in shift range.
+        value = returns("""\
+            def shift_for(e):
+                s = 0
+                while (1 << (s + 1)) * e <= 100:
+                    s = s + 1
+                if not 0 <= s < 32:
+                    raise ValueError
+                return s
+            """, seeds={"e": AbstractValue.range(1, 100)})
+        assert value.iv.subset_of(Interval(0, 31))
+
+    def test_accumulating_mask_stays_in_word(self):
+        value = returns("""\
+            def fold(words):
+                acc = 0
+                for w in words:
+                    acc = (acc ^ w) & 0xFFFFFFFF
+                return acc
+            """)
+        assert value.in_word_range()
+
+
+class TestSeedsAndAssume:
+    def test_wordish_default_without_seeds(self):
+        # `word` is wordish: the default environment assumes [0, 2^32).
+        value = returns("""\
+            def keep(word):
+                return word
+            """)
+        assert value.in_word_range()
+
+    def test_seed_overrides_default(self):
+        value = returns("""\
+            def keep(word):
+                return word
+            """, seeds={"word": AbstractValue.const(5)})
+        assert value.as_const == 5
+
+    def test_assume_meets_at_every_binding(self):
+        # The certification hook: an assume fact constrains the named
+        # variable even when it is rebound from an opaque call.
+        value = returns("""\
+            def run(magnitude):
+                magnitude = mystery(magnitude)
+                return magnitude
+            """, assume={"magnitude": AbstractValue.range(8, 15)})
+        assert value.iv.subset_of(Interval(8, 15))
+
+    def test_return_value_joins_all_paths(self):
+        value = returns("""\
+            def pick(flag):
+                if flag:
+                    return 3
+                return 7
+            """)
+        assert value.contains(3)
+        assert value.contains(7)
+        assert not value.contains(5)
+
+
+class TestSummariesAndConstants:
+    def test_callee_summary_feeds_call_sites(self):
+        summaries = Summaries()
+        summaries.returns["helper"] = AbstractValue.range(0, 9)
+        value = returns("""\
+            def use():
+                return helper()
+            """, summaries=summaries)
+        assert value.iv.subset_of(Interval(0, 9))
+
+    def test_unknown_call_is_top(self):
+        assert returns("""\
+            def use():
+                return mystery()
+            """).is_top
+
+    def test_module_seq_constants_bound_loop_variables(self):
+        tree = ast.parse("SHIFTS = (1, 2, 3)\n")
+        seqs = module_seq_constants(tree)
+        assert seqs["SHIFTS"] == (1, 2, 3)
+        value = returns("""\
+            def pick():
+                last = 0
+                for s in SHIFTS:
+                    last = s
+                return last
+            """, seq_constants=seqs)
+        assert value.iv.subset_of(Interval(0, 3))
+        assert not value.contains(4)
+
+    def test_wordish_name_convention(self):
+        assert wordish_name("word")
+        assert wordish_name("pattern")
+        assert not wordish_name("count")
+
+
+class TestNonConvergenceDegradesToTop:
+    def test_unreachable_code_yields_no_state(self):
+        analysis = analyze("""\
+            def dead():
+                return 1
+                x = 2
+            """)
+        reachable = [elem for elem, _ in analysis.iter_states()]
+        assert not any(isinstance(e, ast.Assign) for e in reachable)
+
+    def test_word_mask_fold(self):
+        value = returns("""\
+            def mask(x):
+                return x & 0xFFFFFFFF
+            """)
+        assert value.iv.subset_of(Interval(0, WORD_MASK))

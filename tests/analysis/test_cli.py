@@ -97,9 +97,19 @@ class TestOutput:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == EXIT_CLEAN
         out = capsys.readouterr().out
-        for code in ("REPRO101", "REPRO201", "REPRO301",
+        for code in ("REPRO101", "REPRO203", "REPRO301",
                      "REPRO401", "REPRO501"):
             assert code in out
+
+    def test_list_rules_includes_value_analysis(self, capsys):
+        assert main(["--list-rules"]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        for code in ("REPRO901", "REPRO902", "REPRO903",
+                     "REPRO904", "REPRO911"):
+            assert code in out
+        # The heuristic-era codes are retired, not renumbered.
+        assert "REPRO201" not in out
+        assert "REPRO202" not in out
 
     def test_rule_filter_restricts_scan(self, tmp_path):
         src = make_tree(tmp_path, DIRTY_SOURCE)
@@ -142,7 +152,7 @@ class TestExplain:
         assert "Good:" in out
 
     def test_explain_by_code(self, capsys):
-        assert main(["--explain", "REPRO202"]) == EXIT_CLEAN
+        assert main(["--explain", "REPRO902"]) == EXIT_CLEAN
         assert "unmasked-word-arith" in capsys.readouterr().out
 
     def test_explain_unknown_rule_exits_two(self, capsys):
@@ -150,9 +160,10 @@ class TestExplain:
         assert "unknown rule" in capsys.readouterr().err
 
 
-class TestBitsHeuristicFlag:
-    #: Flow mode proves the sum is masked at its only use; the legacy
-    #: expression-local heuristic cannot see past the assignment.
+class TestValueAnalysisFlags:
+    #: The abstract interpreter proves the sum is masked at its only
+    #: use; the retired expression-local heuristic could not see past
+    #: the assignment (there is no --bits-heuristic fallback any more).
     FLOW_OK = textwrap.dedent("""\
         WORD_MASK = 0xFFFFFFFF
 
@@ -162,14 +173,75 @@ class TestBitsHeuristicFlag:
             return mixed & WORD_MASK
         """)
 
-    def test_flow_mode_is_default(self, tmp_path):
+    def test_flow_proof_is_the_only_mode(self, tmp_path):
         src = make_tree(tmp_path, self.FLOW_OK)
         assert main([str(src), "--no-baseline",
                      "--rule", "unmasked-word-arith"]) == EXIT_CLEAN
 
-    def test_heuristic_flag_restores_legacy(self, tmp_path, capsys):
+    def test_bits_heuristic_flag_is_gone(self, tmp_path, capsys):
         src = make_tree(tmp_path, self.FLOW_OK)
-        assert main([str(src), "--no-baseline", "--bits-heuristic",
-                     "--rule",
-                     "unmasked-word-arith"]) == EXIT_FINDINGS
-        assert "unmasked-word-arith" in capsys.readouterr().out
+        try:
+            main([str(src), "--no-baseline", "--bits-heuristic"])
+        except SystemExit as exc:
+            assert exc.code == EXIT_USAGE
+        else:
+            raise AssertionError("--bits-heuristic should be rejected")
+
+
+class TestJobsAndBudget:
+    def test_jobs_matches_serial(self, tmp_path, capsys):
+        src = make_tree(tmp_path, DIRTY_SOURCE)
+        assert main([str(src), "--no-baseline",
+                     "--format", "json"]) == EXIT_FINDINGS
+        serial = json.loads(capsys.readouterr().out)
+        assert main([str(src), "--no-baseline", "--jobs", "2",
+                     "--format", "json"]) == EXIT_FINDINGS
+        parallel = json.loads(capsys.readouterr().out)
+        assert parallel["findings"] == serial["findings"]
+        assert parallel["jobs"] == 2
+
+    def test_json_reports_wall_time(self, tmp_path, capsys):
+        src = make_tree(tmp_path, CLEAN_SOURCE)
+        assert main([str(src), "--no-baseline",
+                     "--format", "json"]) == EXIT_CLEAN
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["analysis_seconds"] >= 0.0
+        assert payload["jobs"] == 1
+
+    def test_max_seconds_budget_gates(self, tmp_path, capsys):
+        src = make_tree(tmp_path, CLEAN_SOURCE)
+        assert main([str(src), "--no-baseline",
+                     "--max-seconds", "0"]) == EXIT_FINDINGS
+        assert "over the --max-seconds budget" in capsys.readouterr().err
+
+    def test_generous_budget_passes(self, tmp_path):
+        src = make_tree(tmp_path, CLEAN_SOURCE)
+        assert main([str(src), "--no-baseline",
+                     "--max-seconds", "600"]) == EXIT_CLEAN
+
+
+class TestUpdateBaseline:
+    def test_update_writes_and_flags_stale(self, tmp_path, capsys):
+        src = make_tree(tmp_path, DIRTY_SOURCE)
+        baseline = tmp_path / "baseline.json"
+        # Seed a baseline with the dirty finding...
+        assert main([str(src), "--baseline", str(baseline),
+                     "--write-baseline"]) == EXIT_CLEAN
+        # ...fix the tree: --update-baseline shrinks the file and exits
+        # non-zero so CI notices the drop.
+        (src / "repro" / "noc" / "fixture.py").write_text(CLEAN_SOURCE)
+        assert main([str(src), "--baseline", str(baseline),
+                     "--update-baseline"]) == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "dropped 1 stale baseline entry" in out
+        payload = json.loads(baseline.read_text())
+        assert payload["findings"] == []
+
+    def test_update_is_quietly_clean_when_fresh(self, tmp_path, capsys):
+        src = make_tree(tmp_path, DIRTY_SOURCE)
+        baseline = tmp_path / "baseline.json"
+        main([str(src), "--baseline", str(baseline), "--write-baseline"])
+        capsys.readouterr()
+        assert main([str(src), "--baseline", str(baseline),
+                     "--update-baseline"]) == EXIT_CLEAN
+        assert "dropped" not in capsys.readouterr().out

@@ -1,0 +1,249 @@
+"""Unit and differential-soundness tests for the abstract domains.
+
+The differential test is the load-bearing one: it generates random
+straight-line programs over 32-bit-ish integers, runs them concretely
+with Python ints and abstractly with :class:`AbstractValue`, and checks
+after *every* step that the abstract value contains the concrete one.
+Any unsound transfer function shows up as a containment failure with
+the offending op sequence in the assertion message.
+
+Hypothesis drives the generator when available (it is in the dev
+image); otherwise a fixed-seed ``random.Random`` sweep exercises the
+same program space so the test never silently vanishes.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.flow.domains import (
+    EXT_ZERO,
+    WORD_MASK,
+    AbstractValue,
+    Interval,
+    KnownBits,
+    fraction_bound,
+)
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is in the dev image
+    HAVE_HYPOTHESIS = False
+
+
+class TestInterval:
+    def test_const_and_contains(self):
+        iv = Interval.const(7)
+        assert iv.as_const == 7
+        assert iv.contains(7)
+        assert not iv.contains(8)
+
+    def test_join_meet(self):
+        a, b = Interval(0, 10), Interval(5, 20)
+        assert a.join(b) == Interval(0, 20)
+        assert a.meet(b) == Interval(5, 10)
+        assert Interval(0, 1).meet(Interval(5, 6)).is_empty
+
+    def test_subset_of_with_open_bounds(self):
+        assert Interval(3, 4).subset_of(Interval(0, None))
+        assert not Interval(None, 4).subset_of(Interval(0, None))
+        assert Interval(None, None).subset_of(Interval.top())
+
+    def test_widen_jumps_to_threshold_then_infinity(self):
+        grown = Interval(0, 10).widen(Interval(0, 11))
+        # Threshold widening: snaps up to the next landmark, keeping the
+        # stable bound.
+        assert grown.lo == 0
+        assert grown.hi is not None and grown.hi >= 11
+        # Growth past the largest threshold reaches +inf in finitely
+        # many steps.
+        while grown.hi is not None:
+            wider = grown.widen(Interval(0, grown.hi + 1))
+            assert wider.hi is None or wider.hi > grown.hi
+            grown = wider
+        assert grown == Interval(0, None)
+
+    def test_add_mul(self):
+        assert Interval(1, 2).add(Interval(10, 20)) == Interval(11, 22)
+        assert Interval(-2, 3).mul(Interval(4, 5)) == Interval(-10, 15)
+
+    def test_shift_range(self):
+        assert Interval.const(1).lshift(Interval(0, 3)) == Interval(1, 8)
+        assert Interval(0, 255).rshift(Interval.const(4)) == Interval(0, 15)
+
+    def test_str_renders_infinities(self):
+        assert str(Interval(0, None)) == "[0, +inf]"
+
+
+class TestKnownBits:
+    def test_const_round_trip(self):
+        kb = KnownBits.const(0b1010)
+        assert kb.as_const == 0b1010
+        assert kb.contains(0b1010)
+        assert not kb.contains(0b1011)
+
+    def test_and_clears_unknown_bits(self):
+        # word & 0xF: bits above 3 are provably zero.
+        masked = KnownBits.top().and_(KnownBits.const(0xF))
+        assert masked.zeros & ~0xF == ~0xF & masked.zeros
+        assert masked.ext == EXT_ZERO
+        assert masked.to_interval().subset_of(Interval(0, 0xF))
+
+    def test_join_keeps_agreement(self):
+        j = KnownBits.const(0b1100).join(KnownBits.const(0b1010))
+        assert j.contains(0b1100)
+        assert j.contains(0b1010)
+
+    def test_from_interval_pins_high_zeros(self):
+        kb = KnownBits.from_interval(Interval(0, 255))
+        assert kb.ext == EXT_ZERO
+        assert not kb.contains(256)
+
+
+class TestAbstractValue:
+    def test_word_is_in_word_range(self):
+        assert AbstractValue.word().in_word_range()
+        assert not AbstractValue.top().in_word_range()
+
+    def test_masking_proves_word_range(self):
+        v = AbstractValue.top().and_(AbstractValue.const(WORD_MASK))
+        assert v.in_word_range()
+
+    def test_reduced_product_refines(self):
+        # Interval [0, 300] meet known-low-nibble=0 excludes 1..15.
+        v = AbstractValue(Interval(0, 300),
+                          KnownBits(ones=0, zeros=0xF, ext=EXT_ZERO))
+        assert not v.reduced().contains(3)
+        assert v.reduced().contains(16)
+
+    def test_provably_nonzero(self):
+        assert AbstractValue.range(1, 10).provably_nonzero()
+        assert not AbstractValue.range(0, 10).provably_nonzero()
+
+    def test_fraction_bound_is_exact(self):
+        # 3 <= (1/4) * 13 is false; 3 <= (1/4) * 12 is true.
+        assert fraction_bound(3, 1, 4) in (True, False)
+
+
+# --------------------------------------------------------------------------
+# Differential soundness: abstract execution contains concrete execution.
+# --------------------------------------------------------------------------
+
+#: (name, concrete op, arity). Shift amounts and divisors get dedicated
+#: operand generation (see _fresh_operand).
+_OPS = (
+    ("add", lambda a, b: a + b),
+    ("sub", lambda a, b: a - b),
+    ("mul", lambda a, b: a * b),
+    ("and_", lambda a, b: a & b),
+    ("or_", lambda a, b: a | b),
+    ("xor", lambda a, b: a ^ b),
+    ("lshift", lambda a, b: a << b),
+    ("rshift", lambda a, b: a >> b),
+    ("floordiv", lambda a, b: a // b),
+    ("mod", lambda a, b: a % b),
+    ("invert", lambda a: ~a),
+    ("neg", lambda a: -a),
+    ("abs_", abs),
+    ("bit_length", lambda a: a.bit_length()),
+)
+_UNARY = {"invert", "neg", "abs_", "bit_length"}
+
+
+def _fresh_operand(rng, op_name):
+    """A (concrete, abstract) operand pair with abstract ⊇ concrete."""
+    if op_name in ("lshift", "rshift"):
+        c = rng.randrange(0, 40)
+        lo, hi = max(0, c - rng.randrange(0, 3)), c + rng.randrange(0, 3)
+    elif op_name in ("floordiv", "mod"):
+        c = rng.choice([1, -1, rng.randrange(1, 1000),
+                        -rng.randrange(1, 1000)])
+        lo, hi = c - rng.randrange(0, 4), c + rng.randrange(0, 4)
+    else:
+        c = rng.choice([0, 1, WORD_MASK,
+                        rng.randrange(0, 1 << 32),
+                        rng.randrange(-(1 << 16), 1 << 16)])
+        lo, hi = c - rng.randrange(0, 16), c + rng.randrange(0, 16)
+    shape = rng.randrange(4)
+    if shape == 0:
+        abstract = AbstractValue.const(c)
+    elif shape == 1:
+        abstract = AbstractValue.range(lo, hi)
+    elif shape == 2 and 0 <= c <= WORD_MASK:
+        abstract = AbstractValue.word()
+    else:
+        abstract = AbstractValue.top()
+    assert abstract.contains(c)
+    return c, abstract
+
+
+def _run_program(seed, steps=12):
+    """One random straight-line program, checked step by step."""
+    rng = random.Random(seed)
+    concrete = []
+    abstract = []
+    trace = []
+    for _ in range(3):
+        c, a = _fresh_operand(rng, "add")
+        concrete.append(c)
+        abstract.append(a)
+        trace.append(f"input {c} in {a}")
+    for _ in range(steps):
+        name, fn = _OPS[rng.randrange(len(_OPS))]
+        i = rng.randrange(len(concrete))
+        if name in _UNARY:
+            c = fn(concrete[i])
+            a = getattr(abstract[i], name)()
+            trace.append(f"{name}(t{i}) = {c}")
+        else:
+            cb, ab = _fresh_operand(rng, name)
+            c = fn(concrete[i], cb)
+            a = getattr(abstract[i], name)(ab)
+            trace.append(f"{name}(t{i}, {cb}) = {c}")
+        assert a.contains(c), (
+            f"unsound transfer: abstract {a} misses concrete {c}\n"
+            + "\n".join(trace))
+        reduced = a.reduced()
+        assert reduced.contains(c), (
+            f"unsound reduction: {a} -> {reduced} misses {c}\n"
+            + "\n".join(trace))
+        # Keep magnitudes bounded so << chains stay cheap.
+        if abs(c) < (1 << 48):
+            concrete.append(c)
+            abstract.append(reduced)
+
+
+class TestDifferentialSoundness:
+    if HAVE_HYPOTHESIS:
+        @settings(max_examples=300, deadline=None)
+        @given(st.integers(min_value=0, max_value=2**32))
+        def test_abstract_contains_concrete(self, seed):
+            _run_program(seed)
+    else:  # pragma: no cover - exercised only without hypothesis
+        @pytest.mark.parametrize("seed", range(300))
+        def test_abstract_contains_concrete(self, seed):
+            _run_program(seed)
+
+    def test_join_is_an_upper_bound(self):
+        rng = random.Random(1234)
+        for _ in range(200):
+            c1, a1 = _fresh_operand(rng, "add")
+            c2, a2 = _fresh_operand(rng, "add")
+            joined = a1.join(a2)
+            assert joined.contains(c1) and joined.contains(c2)
+            assert a1.subsumed_by(joined) and a2.subsumed_by(joined)
+
+    def test_widen_is_an_upper_bound_and_terminates(self):
+        rng = random.Random(99)
+        for _ in range(100):
+            _, a = _fresh_operand(rng, "add")
+            _, b = _fresh_operand(rng, "add")
+            w = a.widen(a.join(b))
+            assert a.subsumed_by(w) and b.subsumed_by(w)
+            # A second widening against further growth must fixpoint.
+            _, c = _fresh_operand(rng, "add")
+            w2 = w.widen(w.join(c))
+            w3 = w2.widen(w2.join(c))
+            assert w3.subsumed_by(w2) and w2.subsumed_by(w3)

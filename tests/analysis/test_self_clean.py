@@ -51,7 +51,9 @@ def test_flow_proof_passes_hold_on_real_tree():
         "state-static-rebind", "state-counter-shape", "skip-path-purity",
         "state-containment", "state-clock-advance",
         "rng-stream-isolation", "rng-salt-collision",
-        "router-surface-parity", "core-backend-parity")]
+        "router-surface-parity", "core-backend-parity",
+        "shift-range", "unmasked-word-arith", "possible-zero-div",
+        "avcl-error-bound", "hot-alloc")]
     report = analyze_paths([REPO_ROOT / "src"], flow_rules)
     assert report.ok, "\n".join(f.format_human() for f in report.findings)
 
@@ -59,7 +61,9 @@ def test_flow_proof_passes_hold_on_real_tree():
 def test_committed_baseline_is_empty_for_flow_proofs():
     baseline = Baseline.load(REPO_ROOT / DEFAULT_BASELINE)
     flow = [f for f in baseline.findings
-            if f.rule.startswith(("state-", "rng-", "router-", "core-"))]
+            if f.rule.startswith(("state-", "rng-", "router-", "core-",
+                                  "shift-", "unmasked-", "possible-",
+                                  "avcl-", "hot-"))]
     assert flow == [], (
         "baseline policy: flow-proof findings are fixed or carry inline "
         "# repro: allow[...] justifications, never baseline entries\n"
