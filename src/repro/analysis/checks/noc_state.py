@@ -181,7 +181,7 @@ class SkipSafetyAccounting(Rule):
                  "bit-identical to stepping, so the quiescence proof "
                  "silently stops covering the simulator.")
     includes = ("repro.noc.network", "repro.noc.router", "repro.noc.ni",
-                "repro.noc.core_soa")
+                "repro.noc.core_soa", "repro.traffic.tracefile")
 
     def check(self, ctx: ModuleContext) -> Iterable[Finding]:
         # Imported lazily: the analysis engine must not pull the simulator

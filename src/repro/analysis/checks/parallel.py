@@ -22,6 +22,12 @@ PARALLEL_ENTRY_POINTS = {"parallel_map", "run_suite_parallel", "RunSpec"}
 #: Attribute calls on executors that do the same.
 EXECUTOR_METHODS = {"map", "submit"}
 
+#: Constructors whose result wraps an OS resource (file descriptor,
+#: memory mapping).  Handles do not survive pickling into a worker —
+#: file-backed work items must carry the *path* (plus record offsets)
+#: and let the worker open it, as ``RunSpec.trace_path`` does.
+HANDLE_CONSTRUCTORS = {"open", "TraceFile", "mmap"}
+
 #: Constructors of module-level mutable containers.
 MUTABLE_CONSTRUCTORS = {"list", "dict", "set", "deque", "defaultdict",
                         "Counter", "OrderedDict", "bytearray"}
@@ -34,8 +40,11 @@ class NonPicklablePayload(Rule):
     name = "parallel-payload"
     code = "REPRO301"
     invariant = ("Arguments flowing into parallel_map/RunSpec/executor "
-                 "map+submit are pickled into worker processes; lambdas and "
-                 "nested functions fail at runtime, on some sweeps only.")
+                 "map+submit are pickled into worker processes; lambdas, "
+                 "nested functions and open OS handles (files, mmaps, "
+                 "TraceFile views) fail at runtime, on some sweeps only — "
+                 "file-backed specs carry a path plus record offsets "
+                 "instead.")
     includes = ("repro", "tests")
 
     def check(self, ctx: ModuleContext) -> Iterable[Finding]:
@@ -95,6 +104,23 @@ class NonPicklablePayload(Rule):
             return f"nested function {value.id!r}"
         if isinstance(value, ast.GeneratorExp):
             return "generator expression"
+        handle = self._handle_constructor(value)
+        if handle is not None:
+            return (f"open handle ({handle}(...)) — pass the path and "
+                    f"record offsets, the worker opens the file")
+        return None
+
+    def _handle_constructor(self, value: ast.expr) -> Optional[str]:
+        """Name of an OS-handle constructor called in ``value``, if any
+        (``open(...)``, ``TraceFile(...)``, ``mmap.mmap(...)``)."""
+        if not isinstance(value, ast.Call):
+            return None
+        func = value.func
+        if isinstance(func, ast.Name) and func.id in HANDLE_CONSTRUCTORS:
+            return func.id
+        if isinstance(func, ast.Attribute) and \
+                func.attr in HANDLE_CONSTRUCTORS:
+            return func.attr
         return None
 
 

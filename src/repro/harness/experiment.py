@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import asdict, dataclass, field, replace
-from typing import Callable, Dict, Optional, Tuple
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple, Union
 
 from repro.compression import BaselineScheme, DiCompScheme, FpCompScheme
 from repro.compression.base import CompressionScheme
@@ -22,10 +23,19 @@ from repro.noc import Network, NocConfig
 from repro.power.energy import PowerReport, dynamic_power
 from repro.traffic import (
     BenchmarkTraffic,
+    StreamingTraceTraffic,
+    TraceFile,
     TraceTraffic,
     get_benchmark,
+    load_trace,
     record_trace,
 )
+from repro.traffic.tracefile import is_binary_trace
+
+#: Anything :func:`run_trace` accepts as the trace argument: an in-memory
+#: record list, an open :class:`TraceFile`, or a path to a binary (.rpt)
+#: or JSON-lines trace on disk.
+TraceLike = Union[list, str, Path, TraceFile]
 
 #: The five mechanisms of every figure, in plot order.
 MECHANISM_ORDER: Tuple[str, ...] = (
@@ -194,15 +204,49 @@ def benchmark_trace(config: NocConfig, benchmark: str, cycles: int,
     return trace
 
 
-def run_trace(config: NocConfig, mechanism: str, trace: list,
+def trace_source(trace: TraceLike, loop: bool = True,
+                 approx_override: Optional[float] = None,
+                 trace_start: int = 0,
+                 trace_stop: Optional[int] = None):
+    """Build the replay source for anything :data:`TraceLike`.
+
+    Binary paths and :class:`TraceFile` objects stream (O(chunk) memory);
+    JSONL paths are loaded eagerly; record lists are used as-is.  The
+    ``trace_start``/``trace_stop`` record window applies uniformly, which
+    is how parallel campaigns shard one trace file across workers.
+    """
+    if isinstance(trace, TraceFile):
+        return StreamingTraceTraffic(trace, loop=loop,
+                                     approx_override=approx_override,
+                                     start=trace_start, stop=trace_stop)
+    if isinstance(trace, (str, Path)):
+        if is_binary_trace(trace):
+            return StreamingTraceTraffic(trace, loop=loop,
+                                         approx_override=approx_override,
+                                         start=trace_start, stop=trace_stop)
+        trace = load_trace(trace)
+    if trace_start != 0 or trace_stop is not None:
+        trace = sorted(trace, key=lambda r: r.cycle)[trace_start:trace_stop]
+    return TraceTraffic(trace, loop=loop, approx_override=approx_override)
+
+
+def run_trace(config: NocConfig, mechanism: str, trace: TraceLike,
               warmup: int, measure: int,
               error_threshold_pct: float = 10.0,
               approx_override: Optional[float] = None,
               drain_budget: int = 200_000,
               sanitize: Optional[bool] = None,
               event_horizon: Optional[bool] = None,
-              core: Optional[str] = None) -> RunResult:
+              core: Optional[str] = None,
+              trace_start: int = 0,
+              trace_stop: Optional[int] = None) -> RunResult:
     """Replay a trace under one mechanism with warmup + measurement.
+
+    ``trace`` may be a record list, a path to a JSONL or binary trace, or
+    an open :class:`TraceFile` — file-backed binary traces replay through
+    :class:`StreamingTraceTraffic` without ever materializing the record
+    list (see :func:`trace_source`).  ``trace_start``/``trace_stop``
+    select a record window (used to shard big traces across workers).
 
     ``sanitize`` overrides ``config.sanitize`` (None keeps the config's
     setting; the ``REPRO_SANITIZE`` environment variable still applies).
@@ -221,8 +265,10 @@ def run_trace(config: NocConfig, mechanism: str, trace: list,
         config = replace(config, core=core)
     scheme = make_scheme(mechanism, config.n_nodes, error_threshold_pct)
     network = Network(config, scheme)
-    network.set_traffic(TraceTraffic(trace, loop=True,
-                                     approx_override=approx_override))
+    network.set_traffic(trace_source(trace, loop=True,
+                                     approx_override=approx_override,
+                                     trace_start=trace_start,
+                                     trace_stop=trace_stop))
     network.run(warmup)
     network.stats.reset()
     scheme.stats.reset()

@@ -77,7 +77,10 @@ from repro.noc import NocConfig, PAPER_CONFIG
 #: counters, and cache entries gained a content checksum.
 #: v5: NocConfig gained the ``core`` backend field (all backends are
 #: bit-identical; the canonical form changed).
-CACHE_SCHEMA_VERSION = 5
+#: v6: RunSpec gained file-backed traces (``trace_path`` + record window);
+#: the canonical form replaces the path with a content digest so cache
+#: identity follows the trace bytes, not their location.
+CACHE_SCHEMA_VERSION = 6
 
 WORKERS_ENV = "REPRO_WORKERS"
 NO_CACHE_ENV = "REPRO_NO_CACHE"
@@ -91,10 +94,46 @@ _log = logging.getLogger("repro.harness.parallel")
 # Work items
 # --------------------------------------------------------------------------
 
+# Per-process memo of trace-file content digests, keyed by
+# (realpath, size, mtime_ns) so an overwritten file re-hashes but a sweep
+# over one big trace hashes it once.
+# repro: allow[mutable-global]
+_DIGEST_CACHE: Dict[tuple, str] = {}
+
+
+def trace_file_digest(path: str) -> str:
+    """Streamed sha256 of a trace file's bytes — the cache identity of a
+    file-backed spec (two paths to identical bytes share cached results;
+    editing the file invalidates them)."""
+    real = os.path.realpath(path)
+    stat = os.stat(real)
+    key = (real, stat.st_size, stat.st_mtime_ns)
+    digest = _DIGEST_CACHE.get(key)
+    if digest is None:
+        hasher = hashlib.sha256()
+        with open(real, "rb") as handle:
+            while True:
+                block = handle.read(1 << 20)
+                if not block:
+                    break
+                hasher.update(block)
+        digest = hasher.hexdigest()
+        _DIGEST_CACHE[key] = digest
+    return digest
+
+
 @dataclass(frozen=True)
 class RunSpec:
     """One self-contained (trace, mechanism) simulation, picklable and
-    hashable — the unit of parallel scheduling and of cache addressing."""
+    hashable — the unit of parallel scheduling and of cache addressing.
+
+    Traffic comes from one of two places: the default regenerates the
+    ``benchmark`` trace from ``(config, benchmark, trace_cycles, seed)``;
+    setting ``trace_path`` instead replays a trace file (binary ``.rpt``
+    streams, JSONL loads), optionally windowed to records
+    ``[trace_start, trace_stop)`` so campaigns shard one file across
+    workers.  The spec carries the *path*, never an open handle — workers
+    open the file themselves (REPRO301 enforces this)."""
 
     config: NocConfig
     mechanism: str
@@ -107,13 +146,23 @@ class RunSpec:
     error_threshold_pct: float = 10.0
     approx_override: Optional[float] = None
     drain_budget: int = 200_000
+    trace_path: Optional[str] = None
+    trace_start: int = 0
+    trace_stop: Optional[int] = None
 
     def canonical(self) -> dict:
         """Stable, JSON-safe description of everything that determines the
-        run's outcome (including the cache schema version)."""
+        run's outcome (including the cache schema version).
+
+        A file-backed spec is canonicalized by the file's *content
+        digest*, not its path: moving a trace keeps its cached results,
+        rewriting it invalidates them."""
         payload = asdict(self)
         payload["config"] = asdict(self.config)
         payload["cache_schema"] = CACHE_SCHEMA_VERSION
+        if self.trace_path is not None:
+            payload.pop("trace_path")
+            payload["trace_digest"] = trace_file_digest(self.trace_path)
         return payload
 
     def cache_key(self) -> str:
@@ -125,8 +174,17 @@ class RunSpec:
 
 def execute_spec(spec: RunSpec) -> RunResult:
     """Run one spec from scratch (no cache).  Safe to call in any process:
-    the benchmark trace is regenerated deterministically from the spec and
-    memoized per process by :func:`benchmark_trace`."""
+    the benchmark trace is regenerated deterministically from the spec
+    (memoized per process by :func:`benchmark_trace`), or — for a
+    file-backed spec — streamed straight from ``trace_path``."""
+    if spec.trace_path is not None:
+        return run_trace(spec.config, spec.mechanism, spec.trace_path,
+                         spec.warmup, spec.measure,
+                         error_threshold_pct=spec.error_threshold_pct,
+                         approx_override=spec.approx_override,
+                         drain_budget=spec.drain_budget,
+                         trace_start=spec.trace_start,
+                         trace_stop=spec.trace_stop)
     trace = benchmark_trace(spec.config, spec.benchmark, spec.trace_cycles,
                             seed=spec.seed,
                             approx_packet_ratio=spec.approx_packet_ratio)
@@ -258,9 +316,11 @@ _Batch = Tuple[List[Tuple[int, RunSpec]], int]
 
 def _trace_key(spec: RunSpec) -> tuple:
     """Specs sharing this key replay the same recorded trace, so keeping
-    them on one worker reuses its per-process trace memo."""
+    them on one worker reuses its per-process trace memo (file-backed
+    specs group by path + window: they share the OS page cache)."""
     return (spec.config, spec.benchmark, spec.trace_cycles, spec.seed,
-            spec.approx_packet_ratio)
+            spec.approx_packet_ratio, spec.trace_path, spec.trace_start,
+            spec.trace_stop)
 
 
 def _make_batches(items: List[Tuple[int, RunSpec]],

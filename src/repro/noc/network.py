@@ -231,6 +231,42 @@ SKIP_ACCOUNTED_STATE: Dict[str, Dict[str, str]] = {
         "_outbound_notifications": "wakeup",
         "_fault_layer": "static",
     },
+    # Streaming trace replay (repro.traffic.tracefile; DESIGN.md §17).
+    # The replay cursor mirrors TraceTraffic's and moves only inside
+    # generate(), i.e. only on cycles with actual injections — which end
+    # any skip window — so every cursor field is 'frozen'.  next_arrival
+    # is pure: it reads the due cycle from the cached chunk or via an O(1)
+    # peek of the mapping, and never touches the chunk cache.
+    "StreamingTraceTraffic": {
+        "_file": "static",
+        "_path": "static",
+        "loop": "static",
+        "approx_override": "static",
+        "_start": "static",
+        "_stop": "static",
+        "_index": "frozen",
+        "_offset": "frozen",
+        "_ordinal": "frozen",
+        "_chunk": "frozen",
+        "_chunk_lo": "frozen",
+        "_chunk_hi": "frozen",
+    },
+    # Read-only mmap view: everything is fixed at open.  The mapping and
+    # file handle are rebound (to None) only by close(), which never runs
+    # while a network is simulating — 'frozen', not 'static'.
+    "TraceFile": {
+        "path": "static",
+        "_fh": "frozen",
+        "_mm": "frozen",
+        "record_count": "static",
+        "n_nodes": "static",
+        "chunk_records": "static",
+        "_records_off": "static",
+        "_heap_off": "static",
+        "_heap_words": "static",
+        "_index_off": "static",
+        "_n_chunks": "static",
+    },
 }
 
 

@@ -17,11 +17,25 @@ from repro.traffic.profiles import (
     get_benchmark,
 )
 from repro.traffic.trace import (
+    TraceFormatError,
     TraceRecord,
     TraceTraffic,
+    iter_recorded,
+    iter_trace,
     load_trace,
     record_trace,
     save_trace,
+    validate_record,
+)
+from repro.traffic.tracefile import (
+    StreamingTraceTraffic,
+    TraceFile,
+    TraceFileWriter,
+    binary_to_jsonl,
+    import_gem5_trace,
+    jsonl_to_binary,
+    record_trace_to,
+    write_trace,
 )
 
 __all__ = [
@@ -36,9 +50,21 @@ __all__ = [
     "BenchmarkProfile",
     "BurstModel",
     "get_benchmark",
+    "TraceFormatError",
     "TraceRecord",
     "TraceTraffic",
+    "iter_recorded",
+    "iter_trace",
     "load_trace",
     "record_trace",
     "save_trace",
+    "validate_record",
+    "StreamingTraceTraffic",
+    "TraceFile",
+    "TraceFileWriter",
+    "binary_to_jsonl",
+    "import_gem5_trace",
+    "jsonl_to_binary",
+    "record_trace_to",
+    "write_trace",
 ]

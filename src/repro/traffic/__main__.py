@@ -1,0 +1,219 @@
+"""``python -m repro.traffic`` — the trace-pipeline CLI.
+
+Four subcommands cover the big-trace workflow end to end (DESIGN.md §17):
+
+* ``record``  — run a synthetic or benchmark traffic source for N cycles
+  and stream the injections straight to a binary (or JSONL) trace;
+* ``convert`` — JSONL ↔ binary, plus ``--gem5`` import of external
+  gem5-style text traces (direction chosen by inspecting the input);
+* ``info``    — header summary of any trace (record count, mesh, cycles);
+* ``head``    — print the first records as JSON lines for eyeballing.
+
+Everything streams: recording a ten-million-packet trace or converting it
+holds one chunk in memory, never the trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import sys
+from typing import List, Optional
+
+from repro.noc.config import NocConfig
+from repro.traffic.generator import BenchmarkTraffic, SyntheticTraffic
+from repro.traffic.patterns import PATTERNS
+from repro.traffic.profiles import BENCHMARK_ORDER, get_benchmark
+from repro.traffic.trace import (
+    TraceFormatError,
+    iter_recorded,
+    iter_trace,
+    save_trace,
+)
+from repro.traffic.tracefile import (
+    DEFAULT_CHUNK_RECORDS,
+    TraceFile,
+    binary_to_jsonl,
+    import_gem5_trace,
+    is_binary_trace,
+    jsonl_to_binary,
+    write_trace,
+)
+
+
+def _parse_mesh(text: str) -> tuple:
+    try:
+        width, height = text.lower().split("x")
+        return int(width), int(height)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"mesh must look like 8x8, got {text!r}") from None
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    width, height = args.mesh
+    config = NocConfig(mesh_width=width, mesh_height=height,
+                      concentration=args.concentration)
+    if args.benchmark:
+        source = BenchmarkTraffic(config, get_benchmark(args.benchmark),
+                                  approx_packet_ratio=args.approx_ratio,
+                                  seed=args.seed)
+    else:
+        source = SyntheticTraffic(config, pattern=args.pattern,
+                                  injection_rate=args.rate,
+                                  data_ratio=args.data_ratio,
+                                  approx_packet_ratio=args.approx_ratio,
+                                  seed=args.seed)
+    records = iter_recorded(source, args.cycles)
+    if args.jsonl:
+        count = 0
+
+        def counted():
+            nonlocal count
+            for record in records:
+                count += 1
+                yield record
+
+        save_trace(counted(), args.out)
+    else:
+        count = write_trace(records, args.out, config.n_nodes,
+                            chunk_records=args.chunk_records)
+    print(f"{args.out}: {count} records over {args.cycles} cycles "
+          f"({width}x{height} mesh, {config.n_nodes} nodes)")
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    if args.gem5:
+        count, n_nodes = import_gem5_trace(args.src, args.dst,
+                                           n_nodes=args.nodes,
+                                           chunk_records=args.chunk_records)
+        print(f"{args.dst}: imported {count} gem5 records "
+              f"({n_nodes} nodes)")
+        return 0
+    if is_binary_trace(args.src):
+        count = binary_to_jsonl(args.src, args.dst)
+        print(f"{args.dst}: {count} records (binary -> JSONL)")
+    else:
+        count = jsonl_to_binary(args.src, args.dst, n_nodes=args.nodes,
+                                chunk_records=args.chunk_records)
+        print(f"{args.dst}: {count} records (JSONL -> binary)")
+    return 0
+
+
+def _jsonl_info(path: str) -> dict:
+    count = 0
+    n_nodes = 0
+    first_cycle = -1
+    last_cycle = -1
+    for record in iter_trace(path):
+        if count == 0:
+            first_cycle = record.cycle
+        last_cycle = record.cycle
+        n_nodes = max(n_nodes, record.src + 1, record.dst + 1)
+        count += 1
+    return {"path": path, "format": "jsonl", "records": count,
+            "n_nodes_min": n_nodes, "first_cycle": first_cycle,
+            "last_cycle": last_cycle}
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    if is_binary_trace(args.path):
+        with TraceFile(args.path) as trace:
+            payload = trace.info()
+    else:
+        payload = _jsonl_info(args.path)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        for key, value in payload.items():
+            print(f"{key}: {value}")
+    return 0
+
+
+def _cmd_head(args: argparse.Namespace) -> int:
+    if is_binary_trace(args.path):
+        with TraceFile(args.path) as trace:
+            for record in trace.iter_records(stop=args.count):
+                print(record.to_json())
+    else:
+        for record in itertools.islice(iter_trace(args.path), args.count):
+            print(record.to_json())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.traffic",
+        description="Record, convert and inspect NoC packet traces.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    record = sub.add_parser(
+        "record", help="record a traffic source to a trace file")
+    record.add_argument("out", help="output trace path")
+    record.add_argument("--cycles", type=int, required=True,
+                        help="cycles of traffic to record")
+    which = record.add_mutually_exclusive_group()
+    which.add_argument("--benchmark", choices=list(BENCHMARK_ORDER),
+                       help="record a benchmark workload model")
+    which.add_argument("--pattern", choices=sorted(PATTERNS),
+                       default="uniform_random",
+                       help="synthetic destination pattern")
+    record.add_argument("--rate", type=float, default=0.1,
+                        help="synthetic injection rate (flits/node/cycle)")
+    record.add_argument("--data-ratio", type=float, default=0.25,
+                        help="synthetic data-packet fraction")
+    record.add_argument("--approx-ratio", type=float, default=0.75,
+                        help="approximable fraction of data packets")
+    record.add_argument("--mesh", type=_parse_mesh, default=(4, 4),
+                        help="mesh as WxH (default 4x4)")
+    record.add_argument("--concentration", type=int, default=2,
+                        help="nodes per router (default 2)")
+    record.add_argument("--seed", type=int, default=11)
+    record.add_argument("--chunk-records", type=int,
+                        default=DEFAULT_CHUNK_RECORDS,
+                        help="records per index chunk (binary only)")
+    record.add_argument("--jsonl", action="store_true",
+                        help="write JSON lines instead of binary")
+    record.set_defaults(func=_cmd_record)
+
+    convert = sub.add_parser(
+        "convert", help="convert JSONL <-> binary, or import gem5 traces")
+    convert.add_argument("src")
+    convert.add_argument("dst")
+    convert.add_argument("--nodes", type=int, default=None,
+                         help="node count (inferred from the trace when "
+                              "omitted)")
+    convert.add_argument("--gem5", action="store_true",
+                         help="treat src as a gem5-style text trace")
+    convert.add_argument("--chunk-records", type=int,
+                         default=DEFAULT_CHUNK_RECORDS)
+    convert.set_defaults(func=_cmd_convert)
+
+    info = sub.add_parser("info", help="summarize a trace file")
+    info.add_argument("path")
+    info.add_argument("--json", action="store_true")
+    info.set_defaults(func=_cmd_info)
+
+    head = sub.add_parser("head", help="print the first records as JSON")
+    head.add_argument("path")
+    head.add_argument("-n", "--count", type=int, default=10)
+    head.set_defaults(func=_cmd_head)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except TraceFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

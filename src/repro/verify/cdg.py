@@ -124,6 +124,158 @@ def trace_route(topology: MeshTopology, route_fn: RoutingFn,
 CdgGraph = Dict[Channel, List[Channel]]
 
 
+@dataclass(slots=True)
+class RouteEnumeration:
+    """Outcome of exhaustively enumerating a deterministic routing
+    function, memoized per destination (see :func:`enumerate_routes`).
+
+    ``hops[dst_node][router]`` is the inter-router hop count of the walk
+    from ``router`` to ``dst_node`` when it delivers, else ``-1`` with
+    the failure described by ``errors[dst_node][router]`` — the same
+    message :func:`trace_route` would produce for any source node on
+    that router.  ``graph`` is the channel-dependency graph over every
+    walk (failed walks contribute their partial channel prefix)."""
+
+    graph: CdgGraph
+    hops: List[List[int]]
+    errors: List[List[Optional[str]]]
+
+
+def _resolve_destination(topology: MeshTopology, route_fn: RoutingFn,
+                         dst_node: int
+                         ) -> Tuple[List[int], List[int],
+                                    List[Optional[str]]]:
+    """Walk every router's deterministic chain toward one destination.
+
+    Because the routing function sees only ``(topology, router,
+    dst_node)``, all walks toward ``dst_node`` follow one next-hop
+    function over routers; resolving it with memoized chain-walking costs
+    O(routers) instead of O(routers x hops).  Returns ``(ports, hops,
+    errors)`` per router; failure messages match :func:`trace_route`
+    exactly — an upstream router inherits its successor's failure (the
+    walk from it fails at the same place), and every member of a
+    next-hop cycle names itself (it is the first router its own walk
+    revisits).
+    """
+    n_routers = topology.n_routers
+    dst_router = topology.router_of(dst_node)
+    ports = [route_fn(topology, router, dst_node)
+             for router in range(n_routers)]
+    nexts = [-1] * n_routers
+    hops = [-1] * n_routers
+    errors: List[Optional[str]] = [None] * n_routers
+    for router in range(n_routers):
+        port = ports[router]
+        if not isinstance(port, int) or isinstance(port, bool) or \
+                not 0 <= port < topology.ports_per_router:
+            errors[router] = (f"router {router}: routing function returned "
+                              f"invalid port {port!r}")
+        elif port >= NUM_DIRECTIONS:
+            if router != dst_router:
+                errors[router] = (
+                    f"router {router}: ejects at local port {port} but "
+                    f"destination node {dst_node} attaches to router "
+                    f"{dst_router}")
+            elif port != topology.local_port_of(dst_node):
+                errors[router] = (
+                    f"router {router}: ejects at local port {port} but "
+                    f"node {dst_node} attaches to port "
+                    f"{topology.local_port_of(dst_node)}")
+            else:
+                hops[router] = 0
+        else:
+            nxt = topology.neighbor(router, port)
+            if nxt is None:
+                name = DIRECTION_NAMES[port]
+                errors[router] = (f"router {router}: routes {name} off "
+                                  f"the mesh edge")
+            else:
+                nexts[router] = nxt
+    for start in range(n_routers):
+        if hops[start] >= 0 or errors[start] is not None:
+            continue
+        path: List[int] = []
+        on_path: Dict[int, int] = {}
+        router = start
+        while hops[router] < 0 and errors[router] is None and \
+                router not in on_path:
+            on_path[router] = len(path)
+            path.append(router)
+            router = nexts[router]
+        if router in on_path:
+            # Next-hop cycle: each member's own walk revisits the member
+            # itself first; chains feeding the cycle first revisit the
+            # router where they enter it.
+            for member in path[on_path[router]:]:
+                errors[member] = (
+                    f"route revisits router {member} — a deterministic "
+                    f"routing function can never deliver (livelock)")
+        for position in range(len(path) - 1, -1, -1):
+            node = path[position]
+            if errors[node] is not None or hops[node] >= 0:
+                continue
+            succ = nexts[node]
+            if errors[succ] is not None:
+                errors[node] = errors[succ]
+            else:
+                hops[node] = hops[succ] + 1
+    return ports, hops, errors
+
+
+def enumerate_routes(config: NocConfig,
+                     route_fn: RoutingFn) -> RouteEnumeration:
+    """Exhaustively enumerate ``route_fn`` with per-destination
+    memoization — the shared engine of routability checking
+    (:func:`repro.verify.static.verify_config`) and CDG construction.
+
+    Coverage is identical to walking every ordered node pair through
+    :func:`trace_route` (the differential tests assert so): every walk's
+    delivery status, hop count and failure are reproduced, and the CDG
+    collects exactly the consecutive channel pairs those walks traverse
+    — but the cost is O(destinations x routers), not
+    O(pairs x hops), which is what makes verifying 16x16/32x32 meshes
+    tractable (DESIGN.md §17 workflows replay traces on exactly those).
+    """
+    topology = MeshTopology(config)
+    graph: CdgGraph = {}
+    for router in range(topology.n_routers):
+        for direction in range(NUM_DIRECTIONS):
+            if topology.link(router, direction) is not None:
+                graph[Channel(router, direction)] = []
+    edge_seen: Set[Tuple[Channel, Channel]] = set()
+    all_hops: List[List[int]] = []
+    all_errors: List[List[Optional[str]]] = []
+    for dst_node in range(topology.n_nodes):
+        ports, hops, errors = _resolve_destination(topology, route_fn,
+                                                   dst_node)
+        all_hops.append(hops)
+        all_errors.append(errors)
+        # A consecutive channel pair (r -> n2) appears on the walk
+        # starting at router r whenever both hops are real inter-router
+        # traversals — including walks that fail further downstream (a
+        # misrouted packet holds buffers too).
+        for router in range(topology.n_routers):
+            port = ports[router]
+            if not isinstance(port, int) or isinstance(port, bool) or \
+                    not 0 <= port < NUM_DIRECTIONS:
+                continue
+            nxt = topology.neighbor(router, port)
+            if nxt is None:
+                continue
+            next_port = ports[nxt]
+            if not isinstance(next_port, int) or \
+                    isinstance(next_port, bool) or \
+                    not 0 <= next_port < NUM_DIRECTIONS:
+                continue
+            if topology.neighbor(nxt, next_port) is None:
+                continue
+            edge = (Channel(router, port), Channel(nxt, next_port))
+            if edge not in edge_seen:
+                edge_seen.add(edge)
+                graph.setdefault(edge[0], []).append(edge[1])
+    return RouteEnumeration(graph=graph, hops=all_hops, errors=all_errors)
+
+
 def build_cdg(config: NocConfig, route_fn: RoutingFn
               ) -> Tuple[CdgGraph, List[RouteTrace]]:
     """Channel-dependency graph of ``route_fn`` on ``config``'s mesh.
@@ -133,28 +285,21 @@ def build_cdg(config: NocConfig, route_fn: RoutingFn
     observed consecutive channel pair; ``failed_traces`` collects the node
     pairs whose walk did not terminate correctly (their partial channel
     prefix still contributes dependencies — a misrouted packet holds
-    buffers too).
+    buffers too).  Built on :func:`enumerate_routes`; only the failing
+    pairs are re-walked through :func:`trace_route` for their full
+    diagnostic traces.
     """
     topology = MeshTopology(config)
-    graph: CdgGraph = {}
-    for router in range(topology.n_routers):
-        for direction in range(NUM_DIRECTIONS):
-            if topology.link(router, direction) is not None:
-                graph[Channel(router, direction)] = []
-    edge_seen: Set[Tuple[Channel, Channel]] = set()
+    enumeration = enumerate_routes(config, route_fn)
     failures: List[RouteTrace] = []
     for src in range(topology.n_nodes):
+        src_router = topology.router_of(src)
         for dst in range(topology.n_nodes):
             if src == dst:
                 continue
-            trace = trace_route(topology, route_fn, src, dst)
-            if not trace.ok:
-                failures.append(trace)
-            for prev, nxt in zip(trace.channels, trace.channels[1:]):
-                if (prev, nxt) not in edge_seen:
-                    edge_seen.add((prev, nxt))
-                    graph.setdefault(prev, []).append(nxt)
-    return graph, failures
+            if enumeration.errors[dst][src_router] is not None:
+                failures.append(trace_route(topology, route_fn, src, dst))
+    return enumeration.graph, failures
 
 
 def find_cycle(graph: CdgGraph) -> Optional[List[Channel]]:

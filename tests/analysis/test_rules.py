@@ -273,6 +273,37 @@ class TestNonPicklablePayload:
                 return parallel_map(lambda s: s, specs)
             """)
 
+    def test_open_handle_into_runspec_flags(self):
+        findings = run_rule("parallel-payload", HARNESS, """\
+            def shard(path):
+                return RunSpec(trace=TraceFile(path))
+            """)
+        assert len(findings) == 1
+        assert "open handle" in findings[0].message
+        assert "path" in findings[0].message
+
+    def test_open_call_into_executor_submit_flags(self):
+        assert run_rule("parallel-payload", HARNESS, """\
+            def sweep(executor, path):
+                return executor.submit(run_one, open(path))
+            """)
+
+    def test_mmap_attribute_call_flags(self):
+        assert run_rule("parallel-payload", HARNESS, """\
+            import mmap
+
+            def sweep(path, fh):
+                return parallel_map(run_one,
+                                    mmap.mmap(fh.fileno(), 0))
+            """)
+
+    def test_path_and_offsets_pass(self):
+        assert run_rule("parallel-payload", HARNESS, """\
+            def shard(path):
+                return RunSpec(trace_path=str(path), trace_start=0,
+                               trace_stop=1000)
+            """) == []
+
 
 class TestMutableModuleState:
     def test_empty_dict_flags_as_warning(self):

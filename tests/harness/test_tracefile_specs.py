@@ -1,0 +1,136 @@
+"""File-backed :class:`RunSpec` traces: content-addressed caching and
+record-window sharding (DESIGN.md §17).
+
+The contract: a spec carrying ``trace_path`` is cache-addressed by the
+file's *content digest* (moving a trace keeps its cached results,
+rewriting it invalidates them), workers open the file themselves (the
+spec ships a path plus offsets, never a handle), and windowed shards of
+one file compose to the unsharded replay.
+"""
+
+import shutil
+
+import pytest
+
+from repro.harness import parallel as parallel_mod
+from repro.harness.experiment import benchmark_trace, run_trace
+from repro.harness.parallel import (
+    RunSpec,
+    execute_spec,
+    load_cached,
+    parallel_map,
+    store_cached,
+    trace_file_digest,
+)
+from repro.noc import NocConfig
+from repro.traffic import save_trace, write_trace
+
+SMALL = NocConfig(mesh_width=2, mesh_height=2, concentration=2)
+
+
+@pytest.fixture(scope="module")
+def binary_trace(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("spec_traces")
+    records = benchmark_trace(SMALL, "ssca2", 900, seed=11)
+    path = tmp / "trace.rpt"
+    write_trace(records, path, n_nodes=SMALL.n_nodes, chunk_records=64)
+    return records, path
+
+
+def file_spec(path, **overrides) -> RunSpec:
+    kw = dict(config=SMALL, mechanism="FP-VAXX", benchmark="ssca2",
+              trace_cycles=900, warmup=350, measure=350,
+              trace_path=str(path))
+    kw.update(overrides)
+    return RunSpec(**kw)
+
+
+class TestContentAddressedKeys:
+    def test_key_follows_content_not_path(self, binary_trace, tmp_path):
+        _records, path = binary_trace
+        moved = tmp_path / "renamed.rpt"
+        shutil.copy(path, moved)
+        assert (file_spec(path).cache_key()
+                == file_spec(moved).cache_key())
+
+    def test_rewriting_the_file_changes_the_key(self, binary_trace,
+                                                tmp_path):
+        records, path = binary_trace
+        rewritten = tmp_path / "rewritten.rpt"
+        write_trace(records[:-1], rewritten, n_nodes=SMALL.n_nodes,
+                    chunk_records=64)
+        assert (file_spec(path).cache_key()
+                != file_spec(rewritten).cache_key())
+
+    def test_window_offsets_are_part_of_the_key(self, binary_trace):
+        _records, path = binary_trace
+        base = file_spec(path)
+        assert base.cache_key() != file_spec(path, trace_start=5).cache_key()
+        assert base.cache_key() != file_spec(path, trace_stop=50).cache_key()
+
+    def test_digest_is_memoized_per_content(self, binary_trace, tmp_path):
+        _records, path = binary_trace
+        first = trace_file_digest(path)
+        assert trace_file_digest(path) == first
+        copy = tmp_path / "copy.rpt"
+        shutil.copy(path, copy)
+        assert trace_file_digest(copy) == first
+
+    def test_canonical_carries_digest_not_path(self, binary_trace):
+        _records, path = binary_trace
+        canonical = file_spec(path).canonical()
+        assert "trace_path" not in canonical
+        assert canonical["trace_digest"] == trace_file_digest(path)
+
+
+class TestFileBackedExecution:
+    def test_execute_matches_run_trace(self, binary_trace):
+        _records, path = binary_trace
+        spec = file_spec(path)
+        direct = run_trace(SMALL, spec.mechanism, str(path), spec.warmup,
+                           spec.measure)
+        assert (execute_spec(spec).simulation_outputs()
+                == direct.simulation_outputs())
+
+    def test_jsonl_path_also_accepted(self, binary_trace, tmp_path):
+        records, path = binary_trace
+        jsonl = tmp_path / "trace.jsonl"
+        save_trace(records, jsonl)
+        binary_run = execute_spec(file_spec(path))
+        jsonl_run = execute_spec(file_spec(jsonl))
+        assert (binary_run.simulation_outputs()
+                == jsonl_run.simulation_outputs())
+
+    def test_windowed_shard_replays_the_slice(self, binary_trace):
+        records, path = binary_trace
+        ordered = sorted(records, key=lambda r: r.cycle)
+        sliced = run_trace(SMALL, "Baseline", ordered[100:300],
+                           warmup=200, measure=300)
+        shard = execute_spec(file_spec(path, mechanism="Baseline",
+                                       warmup=200, measure=300,
+                                       trace_start=100, trace_stop=300))
+        assert shard.simulation_outputs() == sliced.simulation_outputs()
+
+    def test_cache_roundtrip(self, binary_trace, tmp_path, monkeypatch):
+        monkeypatch.setenv(parallel_mod.CACHE_DIR_ENV, str(tmp_path))
+        _records, path = binary_trace
+        spec = file_spec(path)
+        assert load_cached(spec) is None
+        result = execute_spec(spec)
+        store_cached(spec, result)
+        restored = load_cached(spec)
+        assert restored.simulation_outputs() == result.simulation_outputs()
+
+    def test_parallel_workers_open_the_file(self, binary_trace, tmp_path,
+                                            monkeypatch):
+        """Two worker processes each open the path themselves and agree
+        with the serial run — the spec never pickles a handle."""
+        monkeypatch.setenv(parallel_mod.CACHE_DIR_ENV, str(tmp_path))
+        _records, path = binary_trace
+        specs = [file_spec(path, mechanism=m)
+                 for m in ("Baseline", "FP-VAXX")]
+        serial = [execute_spec(s) for s in specs]
+        pooled = parallel_map(specs, workers=2)
+        for reference, pooled_result in zip(serial, pooled):
+            assert (pooled_result.simulation_outputs()
+                    == reference.simulation_outputs())

@@ -1,0 +1,72 @@
+"""Big-trace streaming smoke (CI leg; set ``REPRO_BIGTRACE=1`` to run).
+
+Records a ~100k-record 16x16 trace through the real CLI, then checks the
+two claims DESIGN.md §17 makes at scale: streamed binary replay is
+stats-identical to the JSONL path, and its peak traced memory stays far
+below the trace size (O(chunk), not O(trace)).
+"""
+
+import os
+import tracemalloc
+
+import pytest
+
+from repro.harness.experiment import make_scheme
+from repro.noc import Network, NocConfig
+from repro.traffic import StreamingTraceTraffic, TraceFile, TraceTraffic, load_trace
+from repro.traffic.__main__ import main
+
+pytestmark = pytest.mark.skipif(
+    not os.environ.get("REPRO_BIGTRACE"),
+    reason="big-trace smoke: set REPRO_BIGTRACE=1 (CI perf leg)")
+
+CONFIG = NocConfig(mesh_width=16, mesh_height=16, concentration=1)
+MIN_RECORDS = 100_000
+REPLAY_CYCLES = 1_000
+PEAK_CEILING_MB = 32.0
+
+
+@pytest.fixture(scope="module")
+def big_trace(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("bigtrace")
+    binary = tmp / "big.rpt"
+    # rate 0.43 flits/node/cycle ≈ 37 records/cycle on 256 nodes, so
+    # 3600 cycles lands ≈ 130k records.
+    assert main(["record", str(binary), "--cycles", "3600",
+                 "--pattern", "uniform_random", "--rate", "0.43",
+                 "--mesh", "16x16", "--concentration", "1",
+                 "--seed", "23"]) == 0
+    jsonl = tmp / "big.jsonl"
+    assert main(["convert", str(binary), str(jsonl)]) == 0
+    with TraceFile(binary) as trace:
+        assert len(trace) >= MIN_RECORDS
+    return str(binary), str(jsonl)
+
+
+def _replay(source):
+    network = Network(CONFIG, make_scheme("DI-VAXX", CONFIG.n_nodes))
+    network.set_traffic(source)
+    network.run(REPLAY_CYCLES)
+    return network.stats.simulation_outputs()
+
+
+def test_streamed_replay_matches_jsonl(big_trace):
+    binary, jsonl = big_trace
+    assert (_replay(StreamingTraceTraffic(binary, loop=True))
+            == _replay(TraceTraffic(load_trace(jsonl), loop=True)))
+
+
+def test_streamed_peak_memory_is_o_chunk(big_trace):
+    binary, _jsonl = big_trace
+    trace_bytes = os.path.getsize(binary)
+    network = Network(CONFIG, make_scheme("DI-VAXX", CONFIG.n_nodes))
+    tracemalloc.start()
+    source = StreamingTraceTraffic(binary, loop=True)
+    network.set_traffic(source)
+    network.run(REPLAY_CYCLES)
+    _current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert peak < PEAK_CEILING_MB * 1024 * 1024
+    # The replay (simulator included) must cost less than materializing
+    # the trace would: the file alone is multiple MiB of records+heap.
+    assert trace_bytes > 3 * 1024 * 1024

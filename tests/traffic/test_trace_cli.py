@@ -1,0 +1,111 @@
+"""``python -m repro.traffic`` CLI: record / convert / info / head.
+
+Exercised through ``main(argv)`` so the tests cover argument wiring and
+exit codes without spawning subprocesses.
+"""
+
+import json
+
+import pytest
+
+from repro.noc import NocConfig
+from repro.noc.packet import PacketKind
+from repro.traffic import TraceFile, load_trace, save_trace
+from repro.traffic.tracefile import is_binary_trace
+from repro.traffic.__main__ import main
+from repro.traffic.trace import TraceRecord
+
+
+@pytest.fixture()
+def recorded(tmp_path):
+    path = tmp_path / "trace.rpt"
+    code = main(["record", str(path), "--cycles", "120",
+                 "--pattern", "uniform_random", "--rate", "0.2",
+                 "--mesh", "2x2", "--seed", "5"])
+    assert code == 0
+    return path
+
+
+class TestRecord:
+    def test_binary_record_replays(self, recorded):
+        with TraceFile(recorded) as trace:
+            assert len(trace) > 0
+            assert trace.info()["n_nodes"] == NocConfig(
+                mesh_width=2, mesh_height=2).n_nodes
+
+    def test_jsonl_record_matches_binary(self, tmp_path, recorded):
+        jsonl = tmp_path / "trace.jsonl"
+        code = main(["record", str(jsonl), "--cycles", "120",
+                     "--pattern", "uniform_random", "--rate", "0.2",
+                     "--mesh", "2x2", "--seed", "5", "--jsonl"])
+        assert code == 0
+        with TraceFile(recorded) as trace:
+            assert load_trace(str(jsonl)) == list(trace.iter_records())
+
+    def test_benchmark_source(self, tmp_path):
+        path = tmp_path / "bench.rpt"
+        assert main(["record", str(path), "--cycles", "80",
+                     "--benchmark", "ssca2", "--mesh", "2x2"]) == 0
+        with TraceFile(path) as trace:
+            assert len(trace) > 0
+
+    def test_bad_mesh_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["record", str(tmp_path / "t.rpt"), "--cycles", "10",
+                  "--pattern", "uniform_random", "--mesh", "notamesh"])
+
+
+class TestConvert:
+    def test_roundtrip_via_cli(self, tmp_path, recorded):
+        jsonl = tmp_path / "out.jsonl"
+        back = tmp_path / "back.rpt"
+        assert main(["convert", str(recorded), str(jsonl)]) == 0
+        assert not is_binary_trace(str(jsonl))
+        assert main(["convert", str(jsonl), str(back)]) == 0
+        assert back.read_bytes() == recorded.read_bytes()
+
+    def test_gem5_import(self, tmp_path):
+        src = tmp_path / "gem5.txt"
+        src.write_text("# comment\n5 0 3 data 1,2\n"
+                       "9 1 2 control\n")
+        dst = tmp_path / "gem5.rpt"
+        assert main(["convert", str(src), str(dst), "--gem5",
+                     "--nodes", "4"]) == 0
+        with TraceFile(dst) as trace:
+            assert len(trace) == 2
+
+    def test_corrupt_input_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"cycle": 0}\n')
+        assert main(["convert", str(bad), str(tmp_path / "o.rpt"),
+                     "--nodes", "4"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_input_exits_one(self, tmp_path, capsys):
+        assert main(["convert", str(tmp_path / "absent.rpt"),
+                     str(tmp_path / "o.jsonl")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestInfoAndHead:
+    def test_info_json_binary(self, recorded, capsys):
+        assert main(["info", str(recorded), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        with TraceFile(recorded) as trace:
+            assert payload["records"] == len(trace)
+        assert payload["format_version"] == 1
+
+    def test_info_jsonl(self, tmp_path, capsys):
+        jsonl = tmp_path / "t.jsonl"
+        save_trace([TraceRecord(cycle=3, src=0, dst=1,
+                                kind=PacketKind.CONTROL)], jsonl)
+        assert main(["info", str(jsonl)]) == 0
+        assert "jsonl" in capsys.readouterr().out
+
+    def test_head_prints_first_records(self, recorded, capsys):
+        assert main(["head", str(recorded), "-n", "3"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+        with TraceFile(recorded) as trace:
+            expected = [r.to_json() for r in trace.iter_records(stop=3)]
+        assert lines == expected

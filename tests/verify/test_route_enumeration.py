@@ -1,0 +1,128 @@
+"""Differential tests for the memoized route enumeration.
+
+``enumerate_routes`` resolves every walk with per-destination next-hop
+memoization (O(destinations x routers)); its contract is *observational
+equivalence* with walking every ordered node pair through
+``trace_route`` (O(pairs x hops)).  These tests pin that equivalence —
+delivery status, hop counts, failure messages, failure ordering and the
+CDG edge set — against a reference implementation that does the
+exhaustive walk, across healthy and deliberately broken routing
+functions.
+"""
+
+import pytest
+
+from repro.noc.config import NocConfig
+from repro.noc.routing import ROUTING_FUNCTIONS, get_routing_fn
+from repro.noc.topology import MeshTopology, NORTH, NUM_DIRECTIONS
+from repro.verify.cdg import (
+    Channel,
+    build_cdg,
+    cyclic_demo_route,
+    enumerate_routes,
+    trace_route,
+)
+
+CONFIGS = [
+    NocConfig(mesh_width=2, mesh_height=2),
+    NocConfig(mesh_width=3, mesh_height=3),
+    NocConfig(mesh_width=4, mesh_height=2, concentration=2),
+]
+
+
+def north_forever(topology, router, dst):
+    return NORTH  # off the top edge for most pairs
+
+
+def invalid_everywhere(topology, router, dst):
+    return "nope"
+
+
+def eject_everywhere(topology, router, dst):
+    return NUM_DIRECTIONS  # wrong-router ejection for remote pairs
+
+
+BROKEN = [north_forever, invalid_everywhere, eject_everywhere,
+          cyclic_demo_route]
+
+
+def reference_walks(config, route_fn):
+    """The exhaustive per-pair walk the enumeration must reproduce."""
+    topology = MeshTopology(config)
+    graph_edges = set()
+    traces = {}
+    for src in range(topology.n_nodes):
+        for dst in range(topology.n_nodes):
+            if src == dst:
+                continue
+            trace = trace_route(topology, route_fn, src, dst)
+            traces[(src, dst)] = trace
+            graph_edges.update(zip(trace.channels, trace.channels[1:]))
+    return traces, graph_edges
+
+
+def all_route_fns():
+    fns = [(name, get_routing_fn(name)) for name in sorted(ROUTING_FUNCTIONS)]
+    fns += [(fn.__name__, fn) for fn in BROKEN]
+    return fns
+
+
+@pytest.mark.parametrize("config", CONFIGS,
+                         ids=lambda c: f"{c.mesh_width}x{c.mesh_height}"
+                                       f"c{c.concentration}")
+@pytest.mark.parametrize("name,route_fn", all_route_fns(),
+                         ids=lambda v: v if isinstance(v, str) else "")
+class TestEnumerationMatchesTraceRoute:
+    def test_status_hops_and_errors_match(self, config, name, route_fn):
+        topology = MeshTopology(config)
+        enumeration = enumerate_routes(config, route_fn)
+        traces, _edges = reference_walks(config, route_fn)
+        for (src, dst), trace in traces.items():
+            src_router = topology.router_of(src)
+            error = enumeration.errors[dst][src_router]
+            if trace.ok:
+                assert error is None, (src, dst, error)
+                assert enumeration.hops[dst][src_router] == trace.hops
+            else:
+                assert error == trace.error, (src, dst)
+
+    def test_cdg_edge_set_matches(self, config, name, route_fn):
+        enumeration = enumerate_routes(config, route_fn)
+        _traces, reference_edges = reference_walks(config, route_fn)
+        enumerated = {(a, b) for a, succ in enumeration.graph.items()
+                      for b in succ}
+        assert enumerated == reference_edges
+
+    def test_build_cdg_failures_match_walk_order(self, config, name,
+                                                 route_fn):
+        _graph, failures = build_cdg(config, route_fn)
+        traces, _edges = reference_walks(config, route_fn)
+        expected = [trace for (_src, _dst), trace in sorted(traces.items())
+                    if not trace.ok]
+        assert failures == expected
+
+
+class TestEnumerationStructure:
+    def test_graph_nodes_are_all_linked_channels(self):
+        config = NocConfig(mesh_width=3, mesh_height=3)
+        topology = MeshTopology(config)
+        enumeration = enumerate_routes(config, get_routing_fn("xy"))
+        expected = {Channel(r, d) for r in range(topology.n_routers)
+                    for d in range(NUM_DIRECTIONS)
+                    if topology.link(r, d) is not None}
+        assert set(enumeration.graph) == expected
+
+    def test_cycle_members_name_themselves(self):
+        """Every router on a next-hop cycle reports revisiting *itself*
+        (its own walk returns to it first) — matching trace_route."""
+        config = NocConfig(mesh_width=3, mesh_height=3)
+        topology = MeshTopology(config)
+        enumeration = enumerate_routes(config, cyclic_demo_route)
+        for dst in range(topology.n_nodes):
+            for router in range(topology.n_routers):
+                error = enumeration.errors[dst][router]
+                if error is not None and "revisits" in error:
+                    reference = trace_route(
+                        topology, cyclic_demo_route,
+                        topology.node_at(router, NUM_DIRECTIONS), dst)
+                    assert error == reference.error
