@@ -7,6 +7,8 @@ Importing this package registers every rule (the modules self-register via
 * :mod:`.bits`         — 2xx: word arithmetic must respect 32-bit hardware;
 * :mod:`.parallel`     — 3xx: work shipped to worker processes must pickle
   and share no mutable module state;
+* :mod:`.service`      — 31x: no blocking calls on the campaign service's
+  event loop (its coroutines drive lease heartbeats and backpressure);
 * :mod:`.hygiene`      — 4xx/5xx: API hygiene and typing completeness;
 * :mod:`.noc_state`    — 6xx/7xx: NoC protocol state stays behind the
   Router/NI methods the NoCSan sanitizer audits, and every NocConfig
@@ -33,10 +35,11 @@ from repro.analysis.checks import (
     noc_state,
     parallel,
     rng_streams,
+    service,
     state_proofs,
     value_ranges,
 )
 
 __all__ = ["api_parity", "bits", "determinism", "hot_alloc", "hygiene",
-           "noc_state", "parallel", "rng_streams", "state_proofs",
-           "value_ranges"]
+           "noc_state", "parallel", "rng_streams", "service",
+           "state_proofs", "value_ranges"]

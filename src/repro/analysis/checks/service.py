@@ -1,0 +1,120 @@
+"""Async-discipline rules for the campaign service (31x).
+
+The campaign service (:mod:`repro.service`) multiplexes journal writes,
+lease heartbeats, HTTP clients and progress streams on one asyncio event
+loop.  A single synchronous call inside a coroutine — ``time.sleep``, a
+blocking ``open``/``read``, a ``.result()`` on a pool future — stalls
+*every* lease heartbeat and HTTP client at once: hung-worker detection
+stops detecting, token buckets stop refilling, and the crash-safety
+machinery is itself what wedges.  Blocking work belongs in
+``await loop.run_in_executor(...)`` (or a sync helper dispatched there).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional, Set
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, register
+
+#: ``time`` functions that block the calling thread.
+_BLOCKING_TIME_FUNCS = {"sleep"}
+
+
+@register
+class AsyncBlockingCall(Rule):
+    """No blocking calls inside the service's coroutines."""
+
+    name = "async-blocking"
+    code = "REPRO313"
+    invariant = ("Code inside an async def under repro.service runs on "
+                 "the event loop that drives every lease heartbeat and "
+                 "HTTP client; time.sleep, synchronous open()/read(), and "
+                 "Future.result() on an executor submission block them "
+                 "all.  Use await asyncio.sleep(...), await "
+                 "loop.run_in_executor(None, sync_helper, ...), or await "
+                 "the executor future instead.")
+    includes = ("repro.service",)
+    example_bad = """
+        async def _seal(self):
+            time.sleep(0.1)                      # stalls the whole loop
+            with open(path) as fh:               # blocking file IO
+                payload = fh.read()
+            digest = pool.submit(run, spec).result()   # sync wait
+    """
+    example_good = """
+        async def _seal(self):
+            await asyncio.sleep(0.1)
+            loop = asyncio.get_running_loop()
+            payload = await loop.run_in_executor(None, _read_file, path)
+            digest = await loop.run_in_executor(pool, run, spec)
+    """
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        time_names = self._blocking_time_imports(ctx)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not self._in_async_scope(ctx, node):
+                continue
+            message = self._blocking_reason(node, time_names)
+            if message is not None:
+                yield self.finding(ctx, node, message)
+
+    # ----------------------------------------------------------- scoping
+
+    def _in_async_scope(self, ctx: ModuleContext, node: ast.AST) -> bool:
+        """True when the nearest enclosing function is an ``async def``
+        (a nested synchronous helper is its own blocking context — it is
+        the executor's problem, not the event loop's)."""
+        scope = ctx.enclosing_function(node)
+        return isinstance(scope, ast.AsyncFunctionDef)
+
+    def _blocking_time_imports(self, ctx: ModuleContext) -> Set[str]:
+        """Local names bound to blocking ``time`` functions via
+        ``from time import sleep [as s]``."""
+        names: Set[str] = set()
+        for stmt in ast.walk(ctx.tree):
+            if isinstance(stmt, ast.ImportFrom) and stmt.module == "time":
+                for alias in stmt.names:
+                    if alias.name in _BLOCKING_TIME_FUNCS:
+                        names.add(alias.asname or alias.name)
+        return names
+
+    # --------------------------------------------------------- detection
+
+    def _blocking_reason(self, node: ast.Call,
+                         time_names: Set[str]) -> Optional[str]:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr in _BLOCKING_TIME_FUNCS and \
+                    isinstance(func.value, ast.Name) and \
+                    func.value.id == "time":
+                return ("time.sleep inside async def blocks the event "
+                        "loop (heartbeats, HTTP, backpressure); use "
+                        "await asyncio.sleep(...)")
+            if func.attr == "result" and self._is_submit_chain(func.value):
+                return ("submit(...).result() inside async def blocks "
+                        "the event loop until the worker finishes; use "
+                        "await loop.run_in_executor(pool, fn, ...) so the "
+                        "lease heartbeat keeps running")
+            return None
+        if isinstance(func, ast.Name):
+            if func.id in time_names:
+                return ("time.sleep inside async def blocks the event "
+                        "loop (heartbeats, HTTP, backpressure); use "
+                        "await asyncio.sleep(...)")
+            if func.id == "open":
+                return ("synchronous open() inside async def blocks the "
+                        "event loop on file IO; do the IO in a sync "
+                        "helper via await loop.run_in_executor(None, ...)")
+        return None
+
+    def _is_submit_chain(self, value: ast.expr) -> bool:
+        """True for ``<anything>.submit(...)`` as the receiver of
+        ``.result()`` — the executor fire-then-wait idiom."""
+        return (isinstance(value, ast.Call) and
+                isinstance(value.func, ast.Attribute) and
+                value.func.attr == "submit")

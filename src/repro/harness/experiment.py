@@ -9,6 +9,8 @@ measured packet completes.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import time
 from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
@@ -167,6 +169,18 @@ class RunResult:
         for name in PERF_FIELDS:
             payload.pop(name, None)
         return payload
+
+    def identity_digest(self) -> str:
+        """sha256 over the canonical JSON form of
+        :meth:`simulation_outputs` — the bit-identity fingerprint of this
+        run.  Two runs of the same spec agree on this digest whatever the
+        execution mode (serial, parallel, cached, resumed after a crash);
+        the campaign service journals it per spec and its validation gate
+        re-derives it from an independent re-execution before sealing a
+        job (DESIGN.md §18)."""
+        blob = json.dumps(self.simulation_outputs(), sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
 
     # ------------------------------------------------------ serialization
 

@@ -48,11 +48,14 @@ Environment knobs:
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import logging
 import os
+import signal
 import tempfile
+import threading
 import time
 import traceback
 from collections import deque
@@ -61,7 +64,7 @@ from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.harness.experiment import RunResult, benchmark_trace, run_trace
 from repro.noc import NocConfig, PAPER_CONFIG
@@ -275,8 +278,17 @@ def load_cached(spec: RunSpec) -> Optional[RunResult]:
 
 
 def store_cached(spec: RunSpec, result: RunResult) -> None:
-    """Persist one result (atomic write; concurrent writers race benignly
-    because identical specs produce identical content)."""
+    """Persist one result, safely under concurrent multi-process writers.
+
+    Publication is a private temp file (``mkstemp`` names are unique per
+    writer) followed by an atomic ``os.replace``: a concurrent reader of
+    the same key sees either the old complete entry or the new complete
+    entry, never a torn write, and two writers racing the same key both
+    publish *identical* content (the spec fully determines the result),
+    so last-writer-wins is benign.  The service's worker pool shares one
+    cache directory across processes on the strength of this contract
+    (exercised by ``tests/harness/test_cache_collision.py``).
+    """
     directory = cache_dir()
     directory.mkdir(parents=True, exist_ok=True)
     result_payload = result.to_json_dict()
@@ -294,6 +306,29 @@ def store_cached(spec: RunSpec, result: RunResult) -> None:
         except OSError:
             pass
         raise
+
+
+def sweep_cache_tmp(max_age_s: float = 3600.0) -> int:
+    """Remove stale ``*.tmp`` droppings left by writers that were killed
+    between ``mkstemp`` and ``os.replace`` (SIGKILL leaves no chance to
+    clean up).  Only files older than ``max_age_s`` go — a young temp file
+    may belong to a live writer about to publish it.  Returns the number
+    of files removed; the campaign service calls this on startup."""
+    directory = cache_dir()
+    removed = 0
+    try:
+        entries = list(directory.glob("*.tmp"))
+    except OSError:
+        return 0
+    now = time.time()
+    for entry in entries:
+        try:
+            if now - entry.stat().st_mtime >= max_age_s:
+                entry.unlink()
+                removed += 1
+        except OSError:
+            continue  # raced with another sweeper or a publisher
+    return removed
 
 
 # --------------------------------------------------------------------------
@@ -392,11 +427,60 @@ def _requeue_or_fail(queue: Deque[_Batch],
 def _teardown(executor: ProcessPoolExecutor) -> None:
     """Abandon a pool whose workers can no longer be trusted (hung or
     crashed): cancel what never started and terminate the processes —
-    a worker stuck in a runaway simulation will not exit on its own."""
-    executor.shutdown(wait=False, cancel_futures=True)
+    a worker stuck in a runaway simulation will not exit on its own.
+
+    Idempotent: the campaign service stops its supervisor from both a
+    drain path and a signal handler, so the same executor may be torn
+    down twice (or torn down after the pool already broke itself);
+    repeated calls are no-ops and never raise."""
+    if getattr(executor, "_repro_torn_down", False):
+        return
+    executor._repro_torn_down = True  # type: ignore[attr-defined]
+    try:
+        executor.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # repro: allow[bare-except]
+        _log.debug("executor shutdown raised during teardown",
+                   exc_info=True)
     processes = getattr(executor, "_processes", None) or {}
     for process in list(processes.values()):
-        process.terminate()
+        try:
+            process.terminate()
+        except Exception:  # repro: allow[bare-except]
+            pass  # already dead or reaped
+
+
+def shutdown_executor(executor: ProcessPoolExecutor) -> None:
+    """Public idempotent executor teardown (see :func:`_teardown`): safe
+    to call any number of times, from any of the paths that can race to
+    stop a pool — drain, SIGTERM, supervisor stop, pool self-break."""
+    _teardown(executor)
+
+
+def _raise_keyboard_interrupt(signum: int, frame: object) -> None:
+    """SIGTERM handler: reuse the KeyboardInterrupt teardown path, so a
+    service manager's ``terminate`` gets the same graceful pool shutdown
+    (and cache flush) as a user's Ctrl-C."""
+    raise KeyboardInterrupt(f"signal {signum}")
+
+
+@contextlib.contextmanager
+def _graceful_signals() -> Iterator[None]:
+    """Route SIGTERM through the KeyboardInterrupt teardown for the
+    duration of a pool run.  Signal handlers can only be installed from
+    the main thread; elsewhere (the service runs sweeps from executor
+    threads) this is a no-op and the caller's own supervision applies."""
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    try:
+        previous = signal.signal(signal.SIGTERM, _raise_keyboard_interrupt)
+    except (ValueError, OSError):  # non-main interpreter thread, exotic OS
+        yield
+        return
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
 
 
 def _run_serial(specs: Sequence[RunSpec], misses: List[int],
@@ -535,9 +619,35 @@ def run_specs(specs: Sequence[RunSpec],
         if n_workers <= 1:
             _run_serial(specs, misses, outcomes, use_cache)
         else:
-            _run_pool(specs, misses, outcomes, use_cache, n_workers,
-                      timeout_s, retries, retry_backoff_s)
+            with _graceful_signals():
+                _run_pool(specs, misses, outcomes, use_cache, n_workers,
+                          timeout_s, retries, retry_backoff_s)
     return outcomes  # type: ignore[return-value]
+
+
+def execute_cached(spec: RunSpec,
+                   use_cache: Optional[bool] = None,
+                   fresh: bool = False) -> SpecOutcome:
+    """Cache-first execution of a *single* spec, in this process — the
+    lease-sized unit of work the campaign service's supervised workers
+    run (one lease = one spec = one ``execute_cached`` call).
+
+    ``fresh=True`` bypasses the cache entirely (no read, no write): the
+    service's validation gate uses it to re-derive a result that cannot
+    have been influenced by the artifact it is auditing.  Exceptions
+    propagate — the caller owns retry/quarantine policy.
+    """
+    if use_cache is None:
+        use_cache = cache_enabled()
+    if use_cache and not fresh:
+        cached = load_cached(spec)
+        if cached is not None:
+            return SpecOutcome(spec=spec, result=cached, attempts=0,
+                               cached=True)
+    result = execute_spec(spec)
+    if use_cache and not fresh:
+        store_cached(spec, result)
+    return SpecOutcome(spec=spec, result=result, attempts=1)
 
 
 def _failure_summary(outcome: SpecOutcome) -> str:

@@ -1,0 +1,45 @@
+"""Crash-safe campaign service for APPROX-NoC experiment sweeps.
+
+An asyncio service in which every accepted job survives crashes and
+restarts: a write-ahead journal (:mod:`repro.service.journal`) records
+each state transition durably, lease-based supervision
+(:mod:`repro.service.supervisor`) reclaims work from dead or hung
+workers with bounded retries and quarantine attribution, the HTTP layer
+(:mod:`repro.service.server`) applies admission control, backpressure
+and graceful degradation, and a deterministic validation gate
+(:mod:`repro.service.audit`) re-executes a sampled shard fresh before a
+job may seal.  ``python -m repro.service`` is the CLI.
+"""
+
+from repro.service.config import ServiceConfig
+from repro.service.journal import (JobTable, Journal, JournalError,
+                                   recover, scan_journal)
+from repro.service.model import (CampaignRequest, RequestError,
+                                 build_envelope, degrade_request,
+                                 derive_job_id, envelope_digest,
+                                 envelope_identity, expand_specs,
+                                 parse_request)
+from repro.service.server import CampaignService, TokenBucket, serve
+from repro.service.supervisor import Supervisor
+
+__all__ = [
+    "CampaignRequest",
+    "CampaignService",
+    "JobTable",
+    "Journal",
+    "JournalError",
+    "RequestError",
+    "ServiceConfig",
+    "Supervisor",
+    "TokenBucket",
+    "build_envelope",
+    "degrade_request",
+    "derive_job_id",
+    "envelope_digest",
+    "envelope_identity",
+    "expand_specs",
+    "parse_request",
+    "recover",
+    "scan_journal",
+    "serve",
+]

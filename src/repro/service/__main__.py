@@ -1,0 +1,202 @@
+"""Campaign-service CLI: ``python -m repro.service <command>``.
+
+Commands::
+
+    serve    run the crash-safe campaign service (journal + workers + HTTP)
+    submit   submit a campaign; --follow streams NDJSON progress to stdout
+    status   one job's progress / seal status
+    drain    stop admissions and wait for every job to seal
+
+The client commands speak plain HTTP/1.1 over :mod:`http.client` —
+they are ordinary synchronous code (the async-discipline lint rule
+REPRO313 governs the server's coroutines, not this CLI).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from dataclasses import replace
+from http.client import HTTPConnection
+from typing import List, Optional
+
+from repro.service.config import ServiceConfig
+from repro.service.server import serve
+
+
+def _request(host: str, port: int, method: str, path: str,
+             payload: Optional[dict] = None, client: str = "cli"):
+    conn = HTTPConnection(host, port, timeout=60)
+    body = json.dumps(payload).encode() if payload is not None else None
+    headers = {"X-Client": client}
+    if body is not None:
+        headers["Content-Type"] = "application/json"
+    conn.request(method, path, body=body, headers=headers)
+    response = conn.getresponse()
+    blob = response.read()
+    conn.close()
+    try:
+        decoded = json.loads(blob.decode() or "null")
+    except ValueError:
+        decoded = {"raw": blob.decode(errors="replace")}
+    return response.status, decoded
+
+
+def _follow_events(host: str, port: int, job_id: str) -> int:
+    """Stream a job's NDJSON progress to stdout until it seals."""
+    conn = HTTPConnection(host, port, timeout=3600)
+    conn.request("GET", f"/jobs/{job_id}/events",
+                 headers={"X-Client": "cli"})
+    response = conn.getresponse()
+    if response.status != 200:
+        print(response.read().decode(errors="replace"), file=sys.stderr)
+        return 1
+    status = "unproven"
+    for raw in response:
+        line = raw.decode(errors="replace").rstrip("\n")
+        if not line:
+            continue
+        print(line, flush=True)
+        try:
+            event = json.loads(line)
+        except ValueError:
+            continue
+        if event.get("event") == "sealed":
+            # Close from our side rather than waiting for the server's
+            # EOF: the stream is over once the job seals.
+            status = event.get("status", "unproven")
+            break
+    conn.close()
+    return 0 if status == "proven" else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    config = ServiceConfig(
+        host=args.host, port=args.port, journal_dir=args.journal_dir,
+        workers=args.workers, lease_s=args.lease_s,
+        heartbeat_s=args.heartbeat_s, spec_timeout_s=args.spec_timeout_s,
+        retry_budget=args.retry_budget,
+        max_queue_depth=args.max_queue_depth,
+        degrade_highwater=args.degrade_highwater,
+        degrade_after_s=args.degrade_after_s,
+        audit_fraction=args.audit_fraction, seed=args.seed)
+    if args.fast:
+        config = replace(config, backoff_base_s=0.05, backoff_cap_s=0.5)
+    asyncio.run(serve(config))
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    if args.request:
+        with open(args.request) as handle:
+            payload = json.load(handle)
+    else:
+        payload = {
+            "benchmarks": args.benchmarks,
+            "mechanisms": args.mechanisms,
+            "seeds": args.seeds,
+            "trace_cycles": args.trace_cycles,
+            "warmup": args.warmup,
+            "measure": args.measure,
+        }
+        if args.job:
+            payload["job"] = args.job
+    status, body = _request(args.host, args.port, "POST", "/jobs",
+                            payload, client=args.client)
+    print(json.dumps(body, sort_keys=True))
+    if status not in (200, 202):
+        return 1
+    if args.follow:
+        return _follow_events(args.host, args.port, body["job"])
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    path = f"/jobs/{args.job}"
+    if args.envelope:
+        path += "/envelope"
+    status, body = _request(args.host, args.port, "GET", path)
+    print(json.dumps(body, sort_keys=True, indent=2))
+    return 0 if status == 200 else 1
+
+
+def _cmd_drain(args: argparse.Namespace) -> int:
+    query = "?stop=1" if args.stop else ""
+    status, body = _request(args.host, args.port, "POST",
+                            f"/drain{query}")
+    print(json.dumps(body, sort_keys=True))
+    return 0 if status == 200 else 1
+
+
+def _add_endpoint(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8437)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Crash-safe campaign service for APPROX-NoC sweeps.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve_p = sub.add_parser("serve", help="run the campaign service")
+    _add_endpoint(serve_p)
+    serve_p.add_argument("--journal-dir", default=".repro_service",
+                         help="durable state directory (journal, envelopes)")
+    serve_p.add_argument("--workers", type=int, default=2)
+    serve_p.add_argument("--lease-s", type=float, default=15.0)
+    serve_p.add_argument("--heartbeat-s", type=float, default=1.0)
+    serve_p.add_argument("--spec-timeout-s", type=float, default=300.0)
+    serve_p.add_argument("--retry-budget", type=int, default=3)
+    serve_p.add_argument("--max-queue-depth", type=int, default=4096)
+    serve_p.add_argument("--degrade-highwater", type=int, default=256)
+    serve_p.add_argument("--degrade-after-s", type=float, default=3.0)
+    serve_p.add_argument("--audit-fraction", type=float, default=0.25)
+    serve_p.add_argument("--seed", type=int, default=1)
+    serve_p.add_argument("--fast", action="store_true",
+                         help="short retry backoffs (tests/CI)")
+    serve_p.set_defaults(func=_cmd_serve)
+
+    submit_p = sub.add_parser("submit", help="submit a campaign")
+    _add_endpoint(submit_p)
+    submit_p.add_argument("--request", help="JSON request file "
+                                            "(overrides other options)")
+    submit_p.add_argument("--benchmarks", nargs="+",
+                          default=["blackscholes"])
+    submit_p.add_argument("--mechanisms", nargs="+", default=["Baseline"])
+    submit_p.add_argument("--seeds", nargs="+", type=int, default=[11])
+    submit_p.add_argument("--trace-cycles", type=int, default=4000)
+    submit_p.add_argument("--warmup", type=int, default=1500)
+    submit_p.add_argument("--measure", type=int, default=1500)
+    submit_p.add_argument("--job", default="",
+                          help="explicit job id (default: content hash)")
+    submit_p.add_argument("--client", default="cli",
+                          help="client id for per-client rate limiting")
+    submit_p.add_argument("--follow", action="store_true",
+                          help="stream NDJSON progress until sealed")
+    submit_p.set_defaults(func=_cmd_submit)
+
+    status_p = sub.add_parser("status", help="job status")
+    _add_endpoint(status_p)
+    status_p.add_argument("job")
+    status_p.add_argument("--envelope", action="store_true",
+                          help="fetch the sealed result envelope")
+    status_p.set_defaults(func=_cmd_status)
+
+    drain_p = sub.add_parser("drain", help="stop admissions, seal all jobs")
+    _add_endpoint(drain_p)
+    drain_p.add_argument("--stop", action="store_true",
+                         help="shut the service down after draining")
+    drain_p.set_defaults(func=_cmd_drain)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return int(args.func(args))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

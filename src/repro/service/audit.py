@@ -1,0 +1,64 @@
+"""Validation gate: deterministic sampled re-execution before sealing.
+
+The service never returns an unproven artifact.  Before a job seals, a
+deterministic audit shard — a seeded sample of its completed specs — is
+re-executed *fresh* (cache bypassed, see
+:func:`repro.harness.parallel.execute_cached` ``fresh=True``) and the
+re-derived :meth:`~repro.harness.experiment.RunResult.identity_digest`
+is bit-compared against the digest journaled when the spec first
+completed.  Any mismatch marks the job ``unproven``: the envelope is
+still produced (with the discrepancy recorded) but clearly labelled, and
+the status API reports ``proven: false``.
+
+Sample selection is a pure function of the job id and the completed spec
+set, so an audit interrupted by a crash resumes with the *same* shard
+and the sealed envelope is bit-identical to an uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from math import ceil
+from typing import List, Sequence
+
+from repro.util.rng import DeterministicRng
+
+
+def _audit_seed(job_id: str) -> int:
+    """Stable 31-bit seed derived from the job id."""
+    digest = hashlib.sha256(f"audit:{job_id}".encode()).digest()
+    return int.from_bytes(digest[:4], "little") & 0x7FFFFFFF
+
+
+def audit_sample(job_id: str, done_indices: Sequence[int],
+                 fraction: float) -> List[int]:
+    """The deterministic audit shard: indices of the completed specs to
+    re-execute, seeded by the job id.
+
+    ``fraction`` of the completed specs, at least one (a job with any
+    completed work is never sealed unaudited).  Pure: identical inputs
+    give the identical shard whatever the call count or process.
+    """
+    pool = sorted(done_indices)
+    if not pool:
+        return []
+    k = max(1, min(len(pool), ceil(fraction * len(pool))))
+    rng = DeterministicRng(_audit_seed(job_id))
+    rng.shuffle(pool)
+    return sorted(pool[:k])
+
+
+def audit_verdict(sampled: Sequence[int], audits: dict) -> dict:
+    """Fold per-spec audit outcomes into the envelope's audit section.
+
+    ``audits`` maps spec index -> ``{"ok": bool, "digest": ..., "error":
+    ...}`` (from the job table).  The gate passes only when every sampled
+    spec was audited and matched.
+    """
+    mismatches = sorted(index for index in sampled
+                        if not (audits.get(index) or {}).get("ok", False))
+    return {
+        "sampled": sorted(sampled),
+        "mismatches": mismatches,
+        "ok": not mismatches,
+    }

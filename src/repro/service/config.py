@@ -1,0 +1,70 @@
+"""Campaign-service configuration knobs.
+
+One frozen dataclass gathers every policy constant — lease timing, retry
+budget, backpressure thresholds, degradation triggers — so tests can dial
+them to milliseconds and the CLI exposes the few an operator actually
+tunes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Static parameters of one service instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 8437
+    #: Durable state directory: the journal and sealed envelopes.
+    journal_dir: str = ".repro_service"
+    #: Worker-pool size (process pool; one lease per busy worker).
+    workers: int = 2
+    #: Journal appends between batched fsyncs (durable records always
+    #: fsync immediately).
+    fsync_batch: int = 16
+    # ------------------------------------------------------------ leases
+    #: Lease duration granted per heartbeat.
+    lease_s: float = 15.0
+    #: Heartbeat cadence while a spec executes.
+    heartbeat_s: float = 1.0
+    #: Hard per-spec wall ceiling: a lease may be extended by heartbeats
+    #: only this long before the worker is declared hung and its lease
+    #: reclaimed (the stuck process is terminated with the pool).
+    spec_timeout_s: float = 300.0
+    #: Charged attempts before a spec is declared poison and failed.
+    retry_budget: int = 3
+    #: Exponential-backoff base and cap for reclaimed leases.
+    backoff_base_s: float = 0.25
+    backoff_cap_s: float = 30.0
+    #: Jitter fraction applied to every backoff (decorrelates retries).
+    jitter: float = 0.25
+    # ------------------------------------------------- admission control
+    #: Maximum unfinished specs across all jobs; submissions that would
+    #: exceed it get 429 + Retry-After.
+    max_queue_depth: int = 4096
+    #: Per-client token bucket: burst capacity and refill rate.
+    rate_burst: float = 10.0
+    rate_refill_per_s: float = 2.0
+    # --------------------------------------------- graceful degradation
+    #: Unfinished-spec level that counts as overload...
+    degrade_highwater: int = 256
+    #: ...and how long it must persist before new campaigns are
+    #: downshifted to smoke scale.
+    degrade_after_s: float = 3.0
+    # ----------------------------------------------------- validation
+    #: Fraction of a job's completed specs re-executed by the validation
+    #: gate before sealing (always at least one spec).
+    audit_fraction: float = 0.25
+    #: Seed for the service's own randomness (backoff jitter); audit
+    #: sampling is seeded per job from the job id.
+    seed: int = 1
+
+    @property
+    def journal_path(self) -> Path:
+        return Path(self.journal_dir) / "service.journal"
+
+    def envelope_path(self, job_id: str) -> Path:
+        return Path(self.journal_dir) / f"{job_id}.envelope.json"

@@ -1,0 +1,472 @@
+"""Write-ahead journal and crash-recoverable job table.
+
+Every state transition the campaign service makes is appended here
+*before* it is acted on, so the service can be SIGKILLed at any point and
+restart into a consistent view with no lost or double-charged work.
+
+Format (binary, little-endian)::
+
+    RPROJNL1                                   8-byte magic
+    [u32 payload_len][u32 crc32][payload]...   one frame per record
+
+Payloads are canonical JSON (sorted keys, no whitespace).  The scan
+(:func:`scan_journal`) verifies each frame's length and CRC and stops at
+the first bad one: a torn tail (the writer died mid-append) yields the
+valid prefix, and a flipped byte anywhere poisons only the suffix —
+framing after a corrupt frame cannot be trusted, so it is discarded and
+reported rather than misparsed.  :meth:`Journal.open` truncates the file
+back to the valid prefix before appending, so one bad sector can never
+cascade.
+
+Durability: appends are buffered and fsynced in batches
+(``fsync_batch``), except records marked ``durable=True`` (job
+submission acks, seals) which are fsynced before the call returns —
+the service never acknowledges what the disk has not seen.
+
+Replay (:class:`JobTable`) is **idempotent**: every record application is
+a set-union or a keyed overwrite, so applying a journal twice produces a
+bit-identical table (``tests/service/test_journal.py`` asserts this), and
+duplicate records — possible when a crash lands between acting and
+journaling — are absorbed, not double-counted.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+MAGIC = b"RPROJNL1"
+_FRAME_HEADER = 8  # u32 length + u32 crc32
+#: Refuse absurd frame lengths during the scan: a corrupt length field
+#: must not make the scanner swallow the rest of the file as one record.
+MAX_RECORD_BYTES = 16 << 20
+
+
+class JournalError(RuntimeError):
+    """Unrecoverable journal problem (wrong magic: not our file)."""
+
+
+@dataclass
+class JournalScan:
+    """Result of scanning a journal file."""
+
+    records: List[dict] = field(default_factory=list)
+    #: Offset of the end of the last valid frame (append point).
+    valid_bytes: int = len(MAGIC)
+    #: True when bytes beyond ``valid_bytes`` were discarded.
+    truncated: bool = False
+    #: Why the scan stopped early (None = clean end of file).
+    reason: Optional[str] = None
+
+
+def _encode(record: dict) -> bytes:
+    payload = json.dumps(record, sort_keys=True,
+                         separators=(",", ":")).encode()
+    header = len(payload).to_bytes(4, "little") + \
+        (zlib.crc32(payload) & 0xFFFFFFFF).to_bytes(4, "little")
+    return header + payload
+
+
+def scan_journal(path: Union[str, Path]) -> JournalScan:
+    """Scan a journal, returning every intact record in order.
+
+    Tolerates a torn tail and checksum corruption by stopping at the
+    first bad frame; raises :class:`JournalError` only when the file does
+    not start with our magic (it is not a journal — refuse to touch it).
+    A missing file scans as empty.
+    """
+    scan = JournalScan()
+    try:
+        handle: io.BufferedReader = open(path, "rb")
+    except FileNotFoundError:
+        return scan
+    with handle:
+        magic = handle.read(len(MAGIC))
+        if len(magic) < len(MAGIC):
+            scan.valid_bytes = 0
+            scan.truncated = bool(magic)
+            scan.reason = "short magic" if magic else None
+            return scan
+        if magic != MAGIC:
+            raise JournalError(f"{path}: bad magic {magic!r} — "
+                               f"not a campaign-service journal")
+        offset = len(MAGIC)
+        while True:
+            header = handle.read(_FRAME_HEADER)
+            if not header:
+                break  # clean end
+            if len(header) < _FRAME_HEADER:
+                scan.truncated = True
+                scan.reason = "torn frame header"
+                break
+            length = int.from_bytes(header[:4], "little")
+            crc = int.from_bytes(header[4:], "little")
+            if length > MAX_RECORD_BYTES:
+                scan.truncated = True
+                scan.reason = f"implausible frame length {length}"
+                break
+            payload = handle.read(length)
+            if len(payload) < length:
+                scan.truncated = True
+                scan.reason = "torn payload"
+                break
+            if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+                scan.truncated = True
+                scan.reason = "checksum mismatch"
+                break
+            try:
+                record = json.loads(payload)
+            except ValueError:
+                scan.truncated = True
+                scan.reason = "checksummed frame is not JSON"
+                break
+            if not isinstance(record, dict) or "t" not in record:
+                scan.truncated = True
+                scan.reason = "record is not a typed object"
+                break
+            scan.records.append(record)
+            offset += _FRAME_HEADER + length
+            scan.valid_bytes = offset
+    return scan
+
+
+def _fsync_dir(path: Path) -> None:
+    """Best-effort fsync of the containing directory, so a freshly
+    created journal (or a just-published envelope) survives a power cut,
+    not only a process kill."""
+    try:
+        fd = os.open(path.parent, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+class Journal:
+    """Append-only writer over a recovered journal file."""
+
+    def __init__(self, path: Union[str, Path], fsync_batch: int = 16):
+        self.path = Path(path)
+        self.fsync_batch = max(1, int(fsync_batch))
+        self._pending = 0
+        self._closed = False
+        created = not self.path.exists()
+        scan = scan_journal(self.path)
+        self.recovered = scan
+        # Open for in-place append, dropping any torn/corrupt tail first
+        # so new frames start at a trusted offset.
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "ab")
+        if created or scan.valid_bytes == 0:
+            self._fh.truncate(0)
+            self._fh.write(MAGIC)
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            _fsync_dir(self.path)
+        elif scan.truncated:
+            self._fh.truncate(scan.valid_bytes)
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+
+    def append(self, record: dict, durable: bool = False) -> None:
+        """Append one record.  ``durable=True`` forces an fsync before
+        returning (used for every record the service acknowledges to a
+        client or relies on for exactly-once accounting)."""
+        if self._closed:
+            raise JournalError("journal is closed")
+        self._fh.write(_encode(record))
+        self._pending += 1
+        if durable or self._pending >= self.fsync_batch:
+            self.commit()
+
+    def commit(self) -> None:
+        """Flush and fsync everything appended so far."""
+        if self._closed or self._pending == 0:
+            return
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._pending = 0
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        try:
+            self.commit()
+        finally:
+            self._closed = True
+            self._fh.close()
+
+
+def atomic_write_json(path: Union[str, Path], payload: dict) -> None:
+    """Publish a JSON artifact atomically (tmp + fsync + ``os.replace``):
+    readers see a complete envelope or none at all, never a torn one."""
+    path = Path(path)
+    tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
+    with open(tmp, "w") as handle:
+        json.dump(payload, handle, sort_keys=True, separators=(",", ":"))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    _fsync_dir(path)
+
+
+# --------------------------------------------------------------------------
+# Job table (journal replay target)
+# --------------------------------------------------------------------------
+
+#: Spec lifecycle states.
+PENDING, LEASED, DONE, FAILED = "pending", "leased", "done", "failed"
+
+
+@dataclass
+class SpecState:
+    """Replayed state of one spec within a job.
+
+    Attempt-keyed sets make every transition idempotent: re-applying a
+    ``done`` record unions an attempt number that is already present,
+    so duplicates (crash between execute and journal, journal replayed
+    twice) can never double-charge a spec.
+    """
+
+    index: int
+    spec_json: dict
+    key: str
+    done_attempts: set = field(default_factory=set)      # uncached runs
+    cached_attempts: set = field(default_factory=set)    # cache hits
+    #: Highest run-lease attempt number seen (idempotent max): restarts
+    #: resume numbering here without charging the spec for the crash.
+    max_attempt: int = 0
+    digest: Optional[str] = None
+    error: Optional[str] = None
+    lease: Optional[dict] = None
+    audit: Optional[dict] = None
+
+    @property
+    def executions(self) -> int:
+        """Completed *uncached* executions — the charged work."""
+        return len(self.done_attempts)
+
+    @property
+    def status(self) -> str:
+        if self.error is not None:
+            return FAILED
+        if self.done_attempts or self.cached_attempts:
+            return DONE
+        if self.lease is not None:
+            return LEASED
+        return PENDING
+
+    def snapshot(self) -> dict:
+        return {
+            "index": self.index,
+            "key": self.key,
+            "status": self.status,
+            "done_attempts": sorted(self.done_attempts),
+            "cached_attempts": sorted(self.cached_attempts),
+            "max_attempt": self.max_attempt,
+            "executions": self.executions,
+            "digest": self.digest,
+            "error": self.error,
+            "audit": self.audit,
+        }
+
+
+@dataclass
+class JobState:
+    """Replayed state of one campaign job."""
+
+    job_id: str
+    request: dict
+    degradation: Optional[dict]
+    specs: List[SpecState]
+    sealed: bool = False
+    seal_status: Optional[str] = None
+    envelope_digest: Optional[str] = None
+
+    @property
+    def complete(self) -> bool:
+        """Every spec has reached a terminal state (done or failed)."""
+        return all(s.status in (DONE, FAILED) for s in self.specs)
+
+    def progress(self) -> dict:
+        counts: Dict[str, int] = {PENDING: 0, LEASED: 0, DONE: 0, FAILED: 0}
+        for spec in self.specs:
+            counts[spec.status] += 1
+        return counts
+
+    def snapshot(self) -> dict:
+        return {
+            "job": self.job_id,
+            "request": self.request,
+            "degradation": self.degradation,
+            "sealed": self.sealed,
+            "seal_status": self.seal_status,
+            "envelope_digest": self.envelope_digest,
+            "specs": [spec.snapshot() for spec in self.specs],
+        }
+
+
+class JobTable:
+    """The consistent job view rebuilt by replaying the journal.
+
+    ``apply`` is idempotent record by record (see module docstring);
+    :meth:`snapshot` is the canonical comparison form the idempotence
+    tests bit-compare.
+    """
+
+    def __init__(self) -> None:
+        self.jobs: Dict[str, JobState] = {}
+
+    # ------------------------------------------------------------ replay
+
+    def apply(self, record: dict) -> None:
+        """Fold one journal record into the table (idempotently).
+
+        Records for unknown jobs/specs are ignored rather than fatal:
+        a journal whose corrupt middle was amputated must still replay
+        its intact prefix."""
+        kind = record.get("t")
+        handler = getattr(self, f"_apply_{kind}", None)
+        if handler is None:
+            return  # unknown record type: forward compatibility
+        handler(record)
+
+    def replay(self, records: List[dict]) -> None:
+        for record in records:
+            self.apply(record)
+
+    def finish_recovery(self) -> int:
+        """Drop in-flight leases after a restart (their workers are gone);
+        the supervisor re-leases the specs.  Returns the count reset."""
+        reset = 0
+        for job in self.jobs.values():
+            for spec in job.specs:
+                if spec.lease is not None and spec.status == LEASED:
+                    spec.lease = None
+                    reset += 1
+                elif spec.lease is not None:
+                    spec.lease = None
+        return reset
+
+    # ------------------------------------------------- record handlers
+
+    def _apply_job(self, record: dict) -> None:
+        job_id = record["job"]
+        if job_id in self.jobs:
+            return  # duplicate submission: idempotent
+        specs = [SpecState(index=i, spec_json=spec_json, key=key)
+                 for i, (spec_json, key)
+                 in enumerate(zip(record["specs"], record["keys"]))]
+        self.jobs[job_id] = JobState(
+            job_id=job_id, request=record["request"],
+            degradation=record.get("degradation"), specs=specs)
+
+    def _spec(self, record: dict) -> Optional[SpecState]:
+        job = self.jobs.get(record.get("job", ""))
+        if job is None:
+            return None
+        index = record.get("index", -1)
+        if not isinstance(index, int) or not 0 <= index < len(job.specs):
+            return None
+        return job.specs[index]
+
+    def _apply_lease(self, record: dict) -> None:
+        spec = self._spec(record)
+        if spec is None:
+            return
+        if record.get("kind", "run") == "run":
+            spec.max_attempt = max(spec.max_attempt,
+                                   record.get("attempt", 1))
+        if spec.status in (DONE, FAILED):
+            return
+        spec.lease = {"worker": record.get("worker"),
+                      "attempt": record.get("attempt", 1),
+                      "kind": record.get("kind", "run")}
+
+    def _apply_done(self, record: dict) -> None:
+        spec = self._spec(record)
+        if spec is None:
+            return
+        attempt = record.get("attempt", 1)
+        spec.max_attempt = max(spec.max_attempt, attempt)
+        if record.get("cached", False):
+            spec.cached_attempts.add(attempt)
+        else:
+            spec.done_attempts.add(attempt)
+        if spec.digest is None:
+            spec.digest = record.get("digest")
+        spec.error = None
+        spec.lease = None
+
+    def _apply_fail(self, record: dict) -> None:
+        spec = self._spec(record)
+        if spec is None or spec.status == DONE:
+            return
+        spec.error = record.get("error", "failed")
+        spec.lease = None
+
+    def _apply_audit(self, record: dict) -> None:
+        spec = self._spec(record)
+        if spec is None:
+            return
+        # Keyed overwrite with deterministic content: idempotent.
+        spec.audit = {"ok": bool(record.get("ok")),
+                      "digest": record.get("digest"),
+                      "error": record.get("error")}
+        spec.lease = None
+
+    def _apply_seal(self, record: dict) -> None:
+        job = self.jobs.get(record.get("job", ""))
+        if job is None or job.sealed:
+            return  # duplicate seal: idempotent no-op
+        job.sealed = True
+        job.seal_status = record.get("status")
+        job.envelope_digest = record.get("envelope_digest")
+
+    # --------------------------------------------------------- queries
+
+    def snapshot(self) -> dict:
+        """Canonical, JSON-safe view of the whole table (sorted by job
+        id) — the bit-comparison form for replay-idempotence tests."""
+        return {job_id: self.jobs[job_id].snapshot()
+                for job_id in sorted(self.jobs)}
+
+    def accounting(self, job_id: str) -> dict:
+        """Exactly-once execution accounting for one job, straight from
+        the replayed journal."""
+        job = self.jobs[job_id]
+        executed = sum(spec.executions for spec in job.specs)
+        cache_hits = sum(len(spec.cached_attempts) for spec in job.specs)
+        over = [spec.index for spec in job.specs if spec.executions > 1]
+        missing = [spec.index for spec in job.specs
+                   if spec.status != DONE and spec.error is None]
+        return {
+            "specs": len(job.specs),
+            "executed": executed,
+            "cache_hits": cache_hits,
+            "failed": sorted(spec.index for spec in job.specs
+                             if spec.error is not None),
+            "double_charged": sorted(over),
+            "unaccounted": sorted(missing),
+        }
+
+
+def recover(path: Union[str, Path],
+            fsync_batch: int = 16) -> Tuple[Journal, JobTable]:
+    """Open (or create) the journal at ``path`` and replay it into a
+    :class:`JobTable` ready for the supervisor: torn tails truncated,
+    stale leases reset."""
+    journal = Journal(path, fsync_batch=fsync_batch)
+    table = JobTable()
+    table.replay(journal.recovered.records)
+    table.finish_recovery()
+    return journal, table

@@ -1,0 +1,323 @@
+"""Campaign-service data model: requests, scales, specs, envelopes.
+
+A *campaign* is a client-submitted grid of (benchmark x mechanism x seed)
+simulations.  This module owns the pure data transformations around it:
+
+* parsing and validating the client JSON into a :class:`CampaignRequest`
+  (:func:`parse_request`), with deterministic job ids derived from the
+  request content so resubmitting an identical campaign is idempotent;
+* the *scale* ladder and graceful degradation (:func:`degrade_request`):
+  under sustained overload the server downshifts new campaigns to
+  smoke scale — fewer seeds, shorter windows — and the downshift is
+  recorded, never silent;
+* the RunSpec grid expansion (:func:`expand_specs`) plus a JSON
+  round-trip for :class:`~repro.harness.parallel.RunSpec` so specs can
+  be journaled and reconstructed after a restart;
+* the sealed **result envelope** (:func:`build_envelope`): the artifact
+  a campaign resolves to.  Its ``results``/``audit``/``degradation``
+  sections are deterministic (bit-identical between an uninterrupted run
+  and one resumed after any number of crashes); per-run *accounting*
+  (attempts, cache hits, reclaims) is real but lives in a separate
+  section excluded from :func:`envelope_identity`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.faults.config import FaultConfig
+from repro.harness.experiment import MECHANISM_ORDER, RunResult
+from repro.harness.parallel import RunSpec
+from repro.noc import NocConfig
+from repro.traffic.profiles import BENCHMARK_ORDER
+
+
+class RequestError(ValueError):
+    """Client-side request problem (maps to HTTP 400)."""
+
+
+#: Smoke-scale caps applied by graceful degradation: enough cycles to
+#: produce a meaningful (warmed-up, drained) measurement on a small mesh,
+#: small enough that an overloaded service keeps absorbing submissions.
+SMOKE_TRACE_CYCLES = 1200
+SMOKE_WARMUP = 400
+SMOKE_MEASURE = 400
+SMOKE_MAX_SEEDS = 1
+
+_CONFIG_FIELDS = {f.name for f in fields(NocConfig)}
+_SPEC_FIELDS = {f.name for f in fields(RunSpec)}
+
+
+@dataclass(frozen=True)
+class CampaignRequest:
+    """A validated campaign submission."""
+
+    benchmarks: Tuple[str, ...]
+    mechanisms: Tuple[str, ...]
+    seeds: Tuple[int, ...]
+    trace_cycles: int = 4000
+    warmup: int = 1500
+    measure: int = 1500
+    error_threshold_pct: float = 10.0
+    approx_packet_ratio: float = 0.75
+    config: NocConfig = field(default_factory=NocConfig)
+    job: str = ""
+
+    @property
+    def n_specs(self) -> int:
+        return len(self.benchmarks) * len(self.mechanisms) * len(self.seeds)
+
+    def to_json(self) -> dict:
+        payload = asdict(self)
+        payload["benchmarks"] = list(self.benchmarks)
+        payload["mechanisms"] = list(self.mechanisms)
+        payload["seeds"] = list(self.seeds)
+        payload["config"] = config_to_json(self.config)
+        return payload
+
+
+def config_to_json(config: NocConfig) -> dict:
+    payload = asdict(config)
+    if config.faults is not None:
+        payload["faults"] = asdict(config.faults)
+    return payload
+
+
+def config_from_json(payload: dict) -> NocConfig:
+    unknown = set(payload) - _CONFIG_FIELDS
+    if unknown:
+        raise RequestError(f"unknown config field(s): {sorted(unknown)}")
+    kwargs = dict(payload)
+    faults = kwargs.get("faults")
+    if isinstance(faults, dict):
+        kwargs["faults"] = FaultConfig(**faults)
+    try:
+        return NocConfig(**kwargs)
+    except (TypeError, ValueError) as exc:
+        raise RequestError(f"invalid config: {exc}") from None
+
+
+def spec_to_json(spec: RunSpec) -> dict:
+    """JSON-safe form of a spec, round-tripped by :func:`spec_from_json`
+    (the journal stores specs this way so a restarted server can rebuild
+    the exact work items)."""
+    payload = asdict(spec)
+    payload["config"] = config_to_json(spec.config)
+    return payload
+
+
+def spec_from_json(payload: dict) -> RunSpec:
+    kwargs = dict(payload)
+    unknown = set(kwargs) - _SPEC_FIELDS
+    if unknown:
+        raise RequestError(f"unknown spec field(s): {sorted(unknown)}")
+    kwargs["config"] = config_from_json(dict(kwargs["config"]))
+    return RunSpec(**kwargs)
+
+
+def _require(payload: dict, key: str, kind: type, default: object = None):
+    value = payload.get(key, default)
+    if value is None:
+        raise RequestError(f"missing required field {key!r}")
+    if kind is float and isinstance(value, int) \
+            and not isinstance(value, bool):
+        value = float(value)
+    if not isinstance(value, kind) or isinstance(value, bool):
+        raise RequestError(
+            f"field {key!r} must be {kind.__name__}, got {value!r}")
+    return value
+
+
+def _str_list(payload: dict, key: str, allowed: Sequence[str],
+              what: str) -> Tuple[str, ...]:
+    values = payload.get(key)
+    if not isinstance(values, list) or not values or \
+            not all(isinstance(v, str) for v in values):
+        raise RequestError(f"field {key!r} must be a non-empty list "
+                           f"of strings")
+    bad = [v for v in values if v not in allowed]
+    if bad:
+        raise RequestError(f"unknown {what}(s) {bad}; "
+                           f"choose from {list(allowed)}")
+    return tuple(values)
+
+
+def parse_request(payload: dict) -> CampaignRequest:
+    """Validate a client submission into a :class:`CampaignRequest`.
+
+    Raises :class:`RequestError` (HTTP 400) on anything malformed; the
+    error message names the offending field so clients can self-correct.
+    """
+    if not isinstance(payload, dict):
+        raise RequestError("campaign request must be a JSON object")
+    known = {"benchmarks", "mechanisms", "seeds", "trace_cycles", "warmup",
+             "measure", "error_threshold_pct", "approx_packet_ratio",
+             "config", "job"}
+    unknown = set(payload) - known
+    if unknown:
+        raise RequestError(f"unknown field(s): {sorted(unknown)}")
+    benchmarks = _str_list(payload, "benchmarks", BENCHMARK_ORDER,
+                           "benchmark")
+    mechanisms = _str_list(payload, "mechanisms", MECHANISM_ORDER,
+                           "mechanism")
+    seeds_raw = payload.get("seeds", [11])
+    if not isinstance(seeds_raw, list) or not seeds_raw or \
+            not all(isinstance(s, int) and not isinstance(s, bool)
+                    for s in seeds_raw):
+        raise RequestError("field 'seeds' must be a non-empty list of ints")
+    trace_cycles = _require(payload, "trace_cycles", int, 4000)
+    warmup = _require(payload, "warmup", int, 1500)
+    measure = _require(payload, "measure", int, 1500)
+    for name, value in (("trace_cycles", trace_cycles), ("warmup", warmup),
+                        ("measure", measure)):
+        if value < 1:
+            raise RequestError(f"field {name!r} must be >= 1")
+    threshold = _require(payload, "error_threshold_pct", float, 10.0)
+    ratio = _require(payload, "approx_packet_ratio", float, 0.75)
+    if not 0.0 <= ratio <= 1.0:
+        raise RequestError("field 'approx_packet_ratio' must be in [0, 1]")
+    config_payload = payload.get("config", {})
+    if not isinstance(config_payload, dict):
+        raise RequestError("field 'config' must be an object")
+    config = config_from_json(config_payload)
+    job = payload.get("job", "")
+    if not isinstance(job, str):
+        raise RequestError("field 'job' must be a string")
+    request = CampaignRequest(
+        benchmarks=benchmarks, mechanisms=mechanisms,
+        seeds=tuple(seeds_raw), trace_cycles=trace_cycles, warmup=warmup,
+        measure=measure, error_threshold_pct=threshold,
+        approx_packet_ratio=ratio, config=config, job=job)
+    if not request.job:
+        request = replace(request, job=derive_job_id(request))
+    return request
+
+
+def derive_job_id(request: CampaignRequest) -> str:
+    """Deterministic job id from the request content (sans ``job``), so
+    an identical resubmission addresses the same job — submission is
+    idempotent across client retries and server restarts."""
+    payload = request.to_json()
+    payload.pop("job", None)
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def degrade_request(request: CampaignRequest) -> Tuple[CampaignRequest,
+                                                       Optional[dict]]:
+    """Downshift a campaign to smoke scale (graceful degradation).
+
+    Returns ``(effective_request, record)`` where ``record`` describes
+    exactly what was reduced (``None`` when the request already fits
+    smoke scale — nothing to record).  The record travels in the job
+    state and the sealed envelope: degraded results are clearly labelled,
+    never passed off as full-scale ones.
+    """
+    effective = replace(
+        request,
+        seeds=request.seeds[:SMOKE_MAX_SEEDS],
+        trace_cycles=min(request.trace_cycles, SMOKE_TRACE_CYCLES),
+        warmup=min(request.warmup, SMOKE_WARMUP),
+        measure=min(request.measure, SMOKE_MEASURE))
+    if effective == request:
+        return request, None
+    record = {
+        "policy": "smoke-scale downshift under sustained overload",
+        "original": {"seeds": list(request.seeds),
+                     "trace_cycles": request.trace_cycles,
+                     "warmup": request.warmup,
+                     "measure": request.measure},
+        "effective": {"seeds": list(effective.seeds),
+                      "trace_cycles": effective.trace_cycles,
+                      "warmup": effective.warmup,
+                      "measure": effective.measure},
+    }
+    return effective, record
+
+
+def expand_specs(request: CampaignRequest) -> List[RunSpec]:
+    """The deterministic spec grid of a campaign, in canonical
+    (benchmark-major, then mechanism, then seed) order."""
+    return [RunSpec(config=request.config, mechanism=mechanism,
+                    benchmark=benchmark, trace_cycles=request.trace_cycles,
+                    warmup=request.warmup, measure=request.measure,
+                    seed=seed,
+                    approx_packet_ratio=request.approx_packet_ratio,
+                    error_threshold_pct=request.error_threshold_pct)
+            for benchmark in request.benchmarks
+            for mechanism in request.mechanisms
+            for seed in request.seeds]
+
+
+# --------------------------------------------------------------------------
+# Result envelope
+# --------------------------------------------------------------------------
+
+def build_envelope(job_id: str, request_json: dict,
+                   degradation: Optional[dict],
+                   spec_rows: List[dict],
+                   audit: dict,
+                   accounting: dict) -> dict:
+    """Assemble the sealed result envelope.
+
+    ``spec_rows`` carry per-spec identity (benchmark/mechanism/seed/key),
+    the result's :meth:`~repro.harness.experiment.RunResult.
+    simulation_outputs` and its identity digest, in spec order — all
+    deterministic.  ``accounting`` is the honest execution story
+    (attempts, cache hits, reclaims, interruptions survived) and is the
+    only section excluded from the envelope's identity.
+    """
+    status = "proven"
+    if any(row.get("error") for row in spec_rows):
+        status = "partial"
+    if not audit.get("ok", False):
+        status = "unproven"
+    envelope = {
+        "job": job_id,
+        "status": status,
+        "request": request_json,
+        "degradation": degradation,
+        "results": spec_rows,
+        "audit": audit,
+        "accounting": accounting,
+    }
+    envelope["identity_digest"] = envelope_digest(envelope)
+    return envelope
+
+
+def envelope_identity(envelope: dict) -> dict:
+    """The deterministic projection of an envelope: everything except
+    per-run accounting (and the digest over this very projection).
+    Interrupted-and-resumed campaigns must match uninterrupted ones here,
+    bit for bit."""
+    return {key: value for key, value in envelope.items()
+            if key not in ("accounting", "identity_digest")}
+
+
+def envelope_digest(envelope: dict) -> str:
+    """sha256 over the canonical JSON of :func:`envelope_identity`."""
+    blob = json.dumps(envelope_identity(envelope), sort_keys=True,
+                      separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def result_row(index: int, spec: RunSpec, key: str,
+               result: Optional[RunResult],
+               error: Optional[str] = None) -> dict:
+    """One deterministic per-spec envelope row."""
+    row: Dict[str, object] = {
+        "index": index,
+        "key": key,
+        "benchmark": spec.benchmark,
+        "mechanism": spec.mechanism,
+        "seed": spec.seed,
+    }
+    if result is not None:
+        row["digest"] = result.identity_digest()
+        row["outputs"] = result.simulation_outputs()
+    if error is not None:
+        row["error"] = error
+    return row

@@ -1,0 +1,412 @@
+"""Stdlib-only asyncio HTTP front-end: admission, backpressure, progress.
+
+One ``asyncio.start_server`` loop serves a deliberately small HTTP/1.1
+surface (no frameworks, no dependencies):
+
+* ``POST /jobs``            submit a campaign (JSON body) -> 202
+* ``GET  /jobs/<id>``       job status snapshot
+* ``GET  /jobs/<id>/events``NDJSON progress stream until ``sealed``
+* ``GET  /jobs/<id>/envelope`` the sealed result envelope
+* ``GET  /healthz``         liveness + load + worker pids
+* ``POST /drain``           stop admitting, wait for every job to seal
+
+**Admission control**: submissions pass a per-client token bucket
+(keyed by ``X-Client`` or the peer address) and a bounded queue-depth
+check; both saturations answer **429 with Retry-After** rather than
+accepting work the service cannot honour.  **Graceful degradation**:
+when the queue has been above its high-water mark for a sustained
+window, new campaigns are downshifted to smoke scale
+(:func:`repro.service.model.degrade_request`) and the downshift recorded
+in the job and its envelope — bounded, labelled degradation instead of
+collapse.
+
+Crash safety lives below this layer: every accepted job is journaled
+durably before its 202 leaves the socket, so a SIGKILLed server can be
+restarted on the same journal directory and finishes what it
+acknowledged.  SIGTERM/SIGINT trigger the graceful path (stop admission,
+tear the supervisor down cleanly, flush the journal).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import signal
+from typing import Dict, Optional, Tuple
+
+from repro.service.config import ServiceConfig
+from repro.service.journal import JobState, recover
+from repro.service.model import RequestError, degrade_request, \
+    parse_request
+from repro.service.supervisor import Supervisor
+
+_log = logging.getLogger("repro.service.server")
+
+
+class TokenBucket:
+    """Per-client rate limiter (continuous refill)."""
+
+    def __init__(self, burst: float, refill_per_s: float, now: float):
+        self.tokens = burst
+        self.burst = burst
+        self.refill_per_s = refill_per_s
+        self.updated = now
+
+    def admit(self, now: float) -> Tuple[bool, float]:
+        """Try to take one token; returns (admitted, retry_after_s)."""
+        elapsed = max(0.0, now - self.updated)
+        self.tokens = min(self.burst, self.tokens +
+                          elapsed * self.refill_per_s)
+        self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True, 0.0
+        needed = 1.0 - self.tokens
+        rate = max(self.refill_per_s, 1e-9)
+        return False, needed / rate
+
+
+def _http_response(status: int, reason: str, body: bytes,
+                   content_type: str = "application/json",
+                   extra_headers: Tuple[Tuple[str, str], ...] = ()
+                   ) -> bytes:
+    lines = [f"HTTP/1.1 {status} {reason}",
+             f"Content-Type: {content_type}",
+             f"Content-Length: {len(body)}",
+             "Connection: close"]
+    lines.extend(f"{name}: {value}" for name, value in extra_headers)
+    return ("\r\n".join(lines) + "\r\n\r\n").encode() + body
+
+
+def _json_body(status: int, reason: str, payload: dict,
+               extra_headers: Tuple[Tuple[str, str], ...] = ()) -> bytes:
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+    return _http_response(status, reason, body,
+                          extra_headers=extra_headers)
+
+
+class CampaignService:
+    """The running service: journal + table + supervisor + HTTP."""
+
+    def __init__(self, config: ServiceConfig,
+                 supervisor_factory=None):
+        self.config = config
+        self._supervisor_factory = supervisor_factory or Supervisor
+        self.supervisor: Optional[Supervisor] = None
+        self.journal = None
+        self.table = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._saturated_since: Optional[float] = None
+        self._draining = False
+        self._stopped: Optional[asyncio.Event] = None
+        self.port: int = config.port
+
+    # ---------------------------------------------------------- lifecycle
+
+    async def start(self) -> None:
+        """Recover the journal, start supervision, open the listener."""
+        self._stopped = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        self.config.journal_path.parent.mkdir(parents=True, exist_ok=True)
+        # Journal recovery does blocking file IO: run it off the loop.
+        self.journal, self.table = await loop.run_in_executor(
+            None, recover, self.config.journal_path,
+            self.config.fsync_batch)
+        if self.table.jobs:
+            _log.info("recovered %d job(s) from journal",
+                      len(self.table.jobs))
+        self.supervisor = self._supervisor_factory(
+            self.config, self.journal, self.table)
+        await self.supervisor.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        _log.info("campaign service listening on %s:%d",
+                  self.config.host, self.port)
+
+    async def stop(self) -> None:
+        """Graceful, idempotent shutdown: close the listener, stop the
+        supervisor (terminating pool workers), flush and close the
+        journal."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self.supervisor is not None:
+            await self.supervisor.stop()
+            self.supervisor = None
+        if self.journal is not None:
+            journal = self.journal
+            self.journal = None
+            await asyncio.get_running_loop().run_in_executor(
+                None, journal.close)
+        if self._stopped is not None:
+            self._stopped.set()
+
+    async def run_until_stopped(self) -> None:
+        """Serve until a signal (or /drain?stop=1) stops the service."""
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    signum, lambda: loop.create_task(self.stop()))
+            except (NotImplementedError, RuntimeError):
+                pass  # non-main thread or exotic platform
+        assert self._stopped is not None
+        await self._stopped.wait()
+
+    # ------------------------------------------------------------- HTTP
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            response = await self._dispatch(reader, writer)
+            if response is not None:
+                writer.write(response)
+                await writer.drain()
+        except asyncio.CancelledError:
+            raise
+        except Exception:  # repro: allow[bare-except]
+            _log.exception("connection handler failed")
+            try:
+                writer.write(_json_body(500, "Internal Server Error",
+                                        {"error": "internal error"}))
+                await writer.drain()
+            except Exception:  # repro: allow[bare-except]
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:  # repro: allow[bare-except]
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader
+                            ) -> Optional[Tuple[str, str, Dict[str, str],
+                                                bytes]]:
+        try:
+            request_line = await asyncio.wait_for(reader.readline(),
+                                                  timeout=10.0)
+        except asyncio.TimeoutError:
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            return None
+        method, target = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body = b""
+        length = int(headers.get("content-length", "0") or "0")
+        if length:
+            body = await reader.readexactly(min(length, 8 << 20))
+        return method, target, headers, body
+
+    async def _dispatch(self, reader: asyncio.StreamReader,
+                        writer: asyncio.StreamWriter) -> Optional[bytes]:
+        parsed = await self._read_request(reader)
+        if parsed is None:
+            return _json_body(400, "Bad Request",
+                              {"error": "malformed request"})
+        method, target, headers, body = parsed
+        path, _, query = target.partition("?")
+        if method == "GET" and path == "/healthz":
+            return self._healthz()
+        if method == "POST" and path == "/jobs":
+            return await self._submit(headers, body, writer)
+        if method == "POST" and path == "/drain":
+            return await self._drain(query)
+        if method == "GET" and path.startswith("/jobs/"):
+            rest = path[len("/jobs/"):]
+            job_id, _, tail = rest.partition("/")
+            if tail == "":
+                return self._status(job_id)
+            if tail == "events":
+                await self._stream_events(job_id, writer)
+                return None
+            if tail == "envelope":
+                return await self._envelope(job_id)
+        return _json_body(404, "Not Found", {"error": f"no route for "
+                                                      f"{method} {path}"})
+
+    # ------------------------------------------------------------ routes
+
+    def _healthz(self) -> bytes:
+        assert self.supervisor is not None and self.table is not None
+        pids = self.supervisor.worker_pids
+        return _json_body(200, "OK", {
+            "status": "draining" if self._draining else "ok",
+            "jobs": len(self.table.jobs),
+            "open_specs": self.supervisor.open_specs,
+            "overloaded": self._overloaded(),
+            "worker_pids": pids,
+        })
+
+    def _overloaded(self) -> bool:
+        assert self.supervisor is not None
+        now = asyncio.get_running_loop().time()
+        if self.supervisor.open_specs > self.config.degrade_highwater:
+            if self._saturated_since is None:
+                self._saturated_since = now
+        else:
+            self._saturated_since = None
+        return (self._saturated_since is not None and
+                now - self._saturated_since >= self.config.degrade_after_s)
+
+    def _client_key(self, headers: Dict[str, str],
+                    writer: asyncio.StreamWriter) -> str:
+        client = headers.get("x-client")
+        if client:
+            return client
+        peer = writer.get_extra_info("peername")
+        return str(peer[0]) if peer else "unknown"
+
+    async def _submit(self, headers: Dict[str, str], body: bytes,
+                      writer: asyncio.StreamWriter) -> bytes:
+        assert self.supervisor is not None
+        if self._draining:
+            return _json_body(503, "Service Unavailable",
+                              {"error": "service is draining"},
+                              extra_headers=(("Retry-After", "60"),))
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        key = self._client_key(headers, writer)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = TokenBucket(self.config.rate_burst,
+                                 self.config.rate_refill_per_s, now)
+            self._buckets[key] = bucket
+        admitted, retry_after = bucket.admit(now)
+        if not admitted:
+            return _json_body(
+                429, "Too Many Requests",
+                {"error": "rate limit exceeded",
+                 "retry_after_s": round(retry_after, 3)},
+                extra_headers=(("Retry-After",
+                                str(max(1, int(retry_after + 0.999)))),))
+        try:
+            payload = json.loads(body.decode() or "null")
+            request = parse_request(payload)
+        except (ValueError, RequestError) as exc:
+            return _json_body(400, "Bad Request", {"error": str(exc)})
+        degradation = None
+        if self._overloaded():
+            request, degradation = degrade_request(request)
+        open_specs = self.supervisor.open_specs
+        if open_specs + request.n_specs > self.config.max_queue_depth:
+            # Queue-depth backpressure: refuse rather than queue beyond
+            # what the lease machinery can honour.
+            return _json_body(
+                503 if request.n_specs > self.config.max_queue_depth
+                else 429,
+                "Too Many Requests",
+                {"error": "queue depth exceeded",
+                 "open_specs": open_specs,
+                 "max_queue_depth": self.config.max_queue_depth},
+                extra_headers=(("Retry-After", "5"),))
+        job, created = await self.supervisor.submit(request, degradation)
+        return _json_body(202 if created else 200,
+                          "Accepted" if created else "OK", {
+                              "job": job.job_id,
+                              "created": created,
+                              "specs": len(job.specs),
+                              "degraded": job.degradation is not None,
+                              "degradation": job.degradation,
+                          })
+
+    def _job(self, job_id: str) -> Optional[JobState]:
+        assert self.table is not None
+        return self.table.jobs.get(job_id)
+
+    def _status(self, job_id: str) -> bytes:
+        job = self._job(job_id)
+        if job is None:
+            return _json_body(404, "Not Found",
+                              {"error": f"unknown job {job_id!r}"})
+        return _json_body(200, "OK", {
+            "job": job.job_id,
+            "sealed": job.sealed,
+            "status": job.seal_status if job.sealed else "running",
+            "proven": job.sealed and job.seal_status == "proven",
+            "degraded": job.degradation is not None,
+            "progress": job.progress(),
+            "envelope_digest": job.envelope_digest,
+        })
+
+    async def _envelope(self, job_id: str) -> bytes:
+        job = self._job(job_id)
+        if job is None:
+            return _json_body(404, "Not Found",
+                              {"error": f"unknown job {job_id!r}"})
+        if not job.sealed:
+            return _json_body(409, "Conflict",
+                              {"error": "job not sealed yet"})
+        path = self.config.envelope_path(job_id)
+        loop = asyncio.get_running_loop()
+        try:
+            blob = await loop.run_in_executor(None, path.read_bytes)
+        except OSError:
+            return _json_body(404, "Not Found",
+                              {"error": "envelope file missing"})
+        return _http_response(200, "OK", blob)
+
+    async def _stream_events(self, job_id: str,
+                             writer: asyncio.StreamWriter) -> None:
+        """NDJSON progress stream: one JSON object per line, closing
+        after the ``sealed`` event."""
+        assert self.supervisor is not None
+        job = self._job(job_id)
+        if job is None:
+            writer.write(_json_body(404, "Not Found",
+                                    {"error": f"unknown job {job_id!r}"}))
+            await writer.drain()
+            return
+        writer.write(("HTTP/1.1 200 OK\r\n"
+                      "Content-Type: application/x-ndjson\r\n"
+                      "Connection: close\r\n\r\n").encode())
+        await writer.drain()
+        queue = self.supervisor.subscribe(job_id)
+        try:
+            while True:
+                event = await queue.get()
+                writer.write((json.dumps(event, sort_keys=True) +
+                              "\n").encode())
+                await writer.drain()
+                # Only the "sealed" event ends the stream: an already-
+                # sealed job's snapshot has one queued right behind it,
+                # and clients key their exit status off its "status".
+                if event.get("event") == "sealed":
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away; unsubscribe below
+        finally:
+            self.supervisor.unsubscribe(job_id, queue)
+
+    async def _drain(self, query: str) -> bytes:
+        """Stop admitting, wait until every job seals; ``?stop=1`` also
+        shuts the service down after responding."""
+        assert self.supervisor is not None
+        self._draining = True
+        jobs = await self.supervisor.drain()
+        if "stop=1" in query:
+            loop = asyncio.get_running_loop()
+            loop.call_later(0.1, lambda: loop.create_task(self.stop()))
+        return _json_body(200, "OK", {"drained": True, "jobs": jobs,
+                                      "stopping": "stop=1" in query})
+
+
+async def serve(config: ServiceConfig) -> None:
+    """Entry point used by ``python -m repro.service serve``: start,
+    serve until signalled, stop."""
+    service = CampaignService(config)
+    await service.start()
+    try:
+        await service.run_until_stopped()
+    finally:
+        await service.stop()

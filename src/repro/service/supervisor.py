@@ -1,0 +1,570 @@
+"""Lease-based worker supervision over the process pool.
+
+Every RunSpec a campaign needs is executed under a **lease**: a
+time-bounded claim journaled before the work starts.  The supervising
+coroutine heartbeats the lease while its pool worker runs; a lease whose
+worker hangs past the hard per-spec ceiling, or whose process dies, is
+**reclaimed** — the spec re-enters the queue with exponential backoff
+plus deterministic jitter and a bounded retry budget, after which it is
+declared poison and failed *without* wedging the rest of the queue.
+
+Crash attribution reuses the PR-5 quarantine idea: a dead worker breaks
+the whole pool anonymously, so when several leases are in flight at the
+break, all are reclaimed *uncharged* and the supervisor drops to
+one-lease-at-a-time quarantine rounds; the next break is attributable,
+only the proven culprit pays an attempt, and quarantine lifts.
+
+The supervisor is also the single writer of the journal: every record is
+appended (through one lock, off the event loop) and then folded into the
+live :class:`~repro.service.journal.JobTable` with the *same* idempotent
+``apply`` used by crash recovery, so the in-memory state the server
+reports is bit-identical to what a restart would rebuild.
+
+Sealing: when a job's specs all reach a terminal state, a seal task runs
+the validation gate (:mod:`repro.service.audit`) — deterministic sampled
+fresh re-execution, digest bit-compare — then builds the result envelope
+from the shared artifact cache, publishes it atomically, and journals the
+seal durably.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import multiprocessing
+import traceback
+from concurrent.futures import Executor, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.harness.parallel import execute_cached, load_cached, \
+    shutdown_executor, sweep_cache_tmp
+from repro.service.audit import audit_sample, audit_verdict
+from repro.service.config import ServiceConfig
+from repro.service.journal import DONE, FAILED, LEASED, PENDING, \
+    JobState, JobTable, Journal, atomic_write_json
+from repro.service.model import CampaignRequest, build_envelope, \
+    expand_specs, result_row, spec_from_json, spec_to_json
+from repro.util.rng import DeterministicRng
+
+_log = logging.getLogger("repro.service.supervisor")
+
+RUN, AUDIT = "run", "audit"
+
+
+def _pool_run_spec(spec_payload: dict, fresh: bool) -> dict:
+    """Worker-process entry point: execute one leased spec.
+
+    ``fresh=False`` is the normal path — cache-first via
+    :func:`~repro.harness.parallel.execute_cached`, publishing the result
+    to the shared artifact cache.  ``fresh=True`` is the validation
+    gate's independent re-execution (no cache read or write).  Only the
+    identity digest crosses back — the artifact itself lives in the
+    cache.
+    """
+    spec = spec_from_json(spec_payload)
+    outcome = execute_cached(spec, fresh=fresh)
+    assert outcome.result is not None
+    return {"digest": outcome.result.identity_digest(),
+            "cached": outcome.cached}
+
+
+def _load_result_rows(job: JobState) -> List[dict]:
+    """Build the envelope's deterministic per-spec rows by loading each
+    completed spec's artifact back from the shared cache (sync helper —
+    runs in an executor thread, never on the event loop)."""
+    rows: List[dict] = []
+    for state in job.specs:
+        spec = spec_from_json(state.spec_json)
+        if state.error is not None:
+            rows.append(result_row(state.index, spec, state.key, None,
+                                   error=state.error))
+            continue
+        result = load_cached(spec)
+        if result is None:
+            rows.append(result_row(state.index, spec, state.key, None,
+                                   error="artifact missing from cache"))
+        else:
+            rows.append(result_row(state.index, spec, state.key, result))
+    return rows
+
+
+class _LeaseExpired(Exception):
+    """A worker blew through the hard per-spec ceiling."""
+
+
+@dataclass
+class _Item:
+    """One schedulable unit: (job, spec, kind) plus retry state."""
+
+    job_id: str
+    index: int
+    kind: str = RUN
+    attempt: int = 1
+    not_before: float = 0.0
+
+
+class Supervisor:
+    """Owns the queue, the leases, the pool, and the journal."""
+
+    def __init__(self, config: ServiceConfig, journal: Journal,
+                 table: JobTable,
+                 executor_factory: Optional[Callable[[], Executor]] = None):
+        self.config = config
+        self.journal = journal
+        self.table = table
+        self._executor_factory = executor_factory or self._default_pool
+        self._pool: Optional[Executor] = None
+        self._pool_epoch = 0
+        #: epoch -> whether that pool break was attributable (cohort of 1).
+        self._break_attr: Dict[int, bool] = {}
+        self._queue: List[_Item] = []
+        self._inflight: Set[Tuple[str, int, str]] = set()
+        self._quarantine = False
+        self._workers: List[asyncio.Task] = []
+        self._seal_tasks: Dict[str, asyncio.Task] = {}
+        self._subscribers: Dict[str, List[asyncio.Queue]] = {}
+        self._journal_lock: Optional[asyncio.Lock] = None
+        self._rng = DeterministicRng(config.seed).fork(0x5EA5E)
+        self._running = False
+        #: Reclaim/interruption counters for honest envelope accounting.
+        self._reclaims: Dict[str, int] = {}
+        #: Fire-and-forget tasks (terminal-failure journaling) kept alive
+        #: until done.
+        self._bg_tasks: Set[asyncio.Task] = set()
+
+    def _default_pool(self) -> Executor:
+        """Pool workers must not inherit the server's connection fds:
+        lazily fork()ed workers would hold duplicates of every accepted
+        socket open at spawn time, so closing an NDJSON event stream
+        would never send FIN while a worker lived (clients hang instead
+        of seeing EOF).  The forkserver context forks workers from a
+        clean helper process started before the listener accepts anyone
+        — recycled pools stay fd-clean too."""
+        try:
+            context = multiprocessing.get_context("forkserver")
+        except ValueError:  # platform without forkserver
+            return ProcessPoolExecutor(max_workers=self.config.workers)
+        return ProcessPoolExecutor(max_workers=self.config.workers,
+                                   mp_context=context)
+
+    # ----------------------------------------------------------- lifecycle
+
+    async def start(self) -> None:
+        """Recover queue state from the replayed table and start the
+        worker coroutines."""
+        self._journal_lock = asyncio.Lock()
+        self._running = True
+        sweep_cache_tmp()
+        self._pool = self._executor_factory()
+        # Spawn the worker machinery NOW, while no client connection
+        # (or even the listener) exists to leak into child processes.
+        pool = self._pool
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(
+            None, lambda: pool.submit(int, 0).result())
+        for job in self.table.jobs.values():
+            if job.sealed:
+                continue
+            for state in job.specs:
+                if state.status == PENDING:
+                    # Resume numbering at the highest attempt already
+                    # journaled: a server crash is not the spec's fault,
+                    # so the restart is uncharged (same attempt number).
+                    attempt = max(1, state.max_attempt)
+                    self._queue.append(_Item(job.job_id, state.index,
+                                             RUN, attempt))
+            if job.complete:
+                self._spawn_seal(job.job_id)
+        self._workers = [
+            loop.create_task(self._worker_loop(wid), name=f"worker-{wid}")
+            for wid in range(max(1, self.config.workers))]
+
+    async def stop(self) -> None:
+        """Graceful, idempotent shutdown: cancel supervision, tear the
+        pool down (terminating any hung worker), flush the journal."""
+        self._running = False
+        tasks = self._workers + list(self._seal_tasks.values())
+        self._workers = []
+        self._seal_tasks = {}
+        for task in tasks:
+            task.cancel()
+        for task in tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # repro: allow[bare-except]
+                pass
+        if self._pool is not None:
+            shutdown_executor(self._pool)
+            self._pool = None
+        lock = self._journal_lock
+        if lock is not None:
+            async with lock:
+                await asyncio.get_running_loop().run_in_executor(
+                    None, self.journal.commit)
+
+    async def drain(self) -> int:
+        """Wait until every submitted job is sealed; returns the count.
+        (The server stops admitting before calling this.)"""
+        while True:
+            unsealed = [job for job in self.table.jobs.values()
+                        if not job.sealed]
+            if not unsealed:
+                return len(self.table.jobs)
+            await asyncio.sleep(0.05)
+
+    # ----------------------------------------------------------- admission
+
+    @property
+    def worker_pids(self) -> List[int]:
+        """PIDs of the current pool's worker processes (empty for
+        non-process executors) — exposed for /healthz and kill tests."""
+        return sorted(getattr(self._pool, "_processes", None) or {})
+
+    @property
+    def open_specs(self) -> int:
+        """Unfinished specs across all jobs — the backpressure signal."""
+        return sum(
+            1
+            for job in self.table.jobs.values() if not job.sealed
+            for state in job.specs if state.status in (PENDING, LEASED))
+
+    async def submit(self, request: CampaignRequest,
+                     degradation: Optional[dict]
+                     ) -> Tuple[JobState, bool]:
+        """Admit one campaign: journal it durably (the ack the client
+        receives is backed by fsynced bytes), then enqueue its specs.
+        Resubmitting an existing job id is idempotent: returns the
+        existing job, enqueues nothing."""
+        existing = self.table.jobs.get(request.job)
+        if existing is not None:
+            return existing, False
+        specs = expand_specs(request)
+        record = {
+            "t": "job",
+            "job": request.job,
+            "request": request.to_json(),
+            "degradation": degradation,
+            "specs": [spec_to_json(spec) for spec in specs],
+            "keys": [spec.cache_key() for spec in specs],
+        }
+        await self._append(record, durable=True)
+        job = self.table.jobs[request.job]
+        for state in job.specs:
+            self._queue.append(_Item(job.job_id, state.index, RUN, 1))
+        self._emit(job.job_id, {"event": "submitted", "job": job.job_id,
+                                "specs": len(job.specs),
+                                "degraded": degradation is not None})
+        return job, True
+
+    # -------------------------------------------------------------- events
+
+    def subscribe(self, job_id: str) -> "asyncio.Queue[dict]":
+        """Progress stream for one job: current snapshot first, then live
+        events until ``sealed``."""
+        queue: "asyncio.Queue[dict]" = asyncio.Queue()
+        job = self.table.jobs.get(job_id)
+        if job is not None:
+            queue.put_nowait({"event": "snapshot", "job": job_id,
+                              "progress": job.progress(),
+                              "sealed": job.sealed,
+                              "degraded": job.degradation is not None})
+            if job.sealed:
+                queue.put_nowait({"event": "sealed", "job": job_id,
+                                  "status": job.seal_status,
+                                  "envelope_digest": job.envelope_digest})
+        self._subscribers.setdefault(job_id, []).append(queue)
+        return queue
+
+    def unsubscribe(self, job_id: str, queue: "asyncio.Queue[dict]") -> None:
+        listeners = self._subscribers.get(job_id, [])
+        if queue in listeners:
+            listeners.remove(queue)
+
+    def _emit(self, job_id: str, event: dict) -> None:
+        for queue in self._subscribers.get(job_id, []):
+            queue.put_nowait(event)
+
+    # ------------------------------------------------------------- journal
+
+    async def _append(self, record: dict, durable: bool = False) -> None:
+        """Journal one record (off the event loop, serialized by a lock)
+        and fold it into the live table with the same idempotent apply
+        that crash recovery uses."""
+        lock = self._journal_lock
+        assert lock is not None, "supervisor not started"
+        loop = asyncio.get_running_loop()
+        async with lock:
+            await loop.run_in_executor(
+                None, self.journal.append, record, durable)
+        self.table.apply(record)
+
+    # ----------------------------------------------------------- the queue
+
+    def _pop_ready(self, now: float) -> Optional[_Item]:
+        if self._quarantine and self._inflight:
+            return None  # quarantine: one lease in flight, total
+        for position, item in enumerate(self._queue):
+            if item.not_before > now:
+                continue
+            job = self.table.jobs.get(item.job_id)
+            if job is None:
+                self._queue.pop(position)
+                return None
+            state = job.specs[item.index]
+            if item.kind == RUN and state.status in (DONE, FAILED):
+                self._queue.pop(position)  # stale (e.g. duplicate requeue)
+                return None
+            return self._queue.pop(position)
+        return None
+
+    def _backoff(self, attempt: int) -> float:
+        base = min(self.config.backoff_cap_s,
+                   self.config.backoff_base_s * (2 ** max(0, attempt - 1)))
+        return base * (1.0 + self.config.jitter * self._rng.random())
+
+    def _reclaim(self, item: _Item, now: float, charged: bool,
+                 reason: str) -> None:
+        """Return a lease to the queue (backoff + jitter), or fail the
+        spec once its charged-attempt budget is exhausted."""
+        self._reclaims[item.job_id] = self._reclaims.get(item.job_id, 0) + 1
+        job = self.table.jobs.get(item.job_id)
+        if job is not None:
+            job.specs[item.index].lease = None
+        next_attempt = item.attempt + 1 if charged else item.attempt
+        if charged and item.attempt >= self.config.retry_budget:
+            # Poison: journal terminal failure so the queue cannot wedge.
+            task = asyncio.get_running_loop().create_task(
+                self._fail_item(item, f"{reason}; retry budget "
+                                f"({self.config.retry_budget}) exhausted"))
+            self._bg_tasks.add(task)
+            task.add_done_callback(self._bg_tasks.discard)
+            return
+        delay = self._backoff(next_attempt)
+        _log.warning("reclaiming lease %s/%d (%s): retry %d in %.2fs",
+                     item.job_id, item.index, reason, next_attempt, delay)
+        self._queue.append(_Item(item.job_id, item.index, item.kind,
+                                 next_attempt, now + delay))
+
+    async def _fail_item(self, item: _Item, error: str) -> None:
+        if item.kind == AUDIT:
+            record = {"t": "audit", "job": item.job_id, "index": item.index,
+                      "attempt": item.attempt, "ok": False, "digest": None,
+                      "error": error}
+        else:
+            record = {"t": "fail", "job": item.job_id, "index": item.index,
+                      "attempt": item.attempt, "error": error}
+        await self._append(record, durable=True)
+        self._emit(item.job_id, {"event": "spec_failed", "job": item.job_id,
+                                 "index": item.index, "kind": item.kind,
+                                 "error": error})
+        self._maybe_seal(item.job_id)
+
+    # ------------------------------------------------------------- workers
+
+    async def _worker_loop(self, wid: int) -> None:
+        loop = asyncio.get_running_loop()
+        while self._running:
+            item = self._pop_ready(loop.time())
+            if item is None:
+                await asyncio.sleep(0.02)
+                continue
+            await self._run_item(wid, item)
+
+    async def _run_item(self, wid: int, item: _Item) -> None:
+        loop = asyncio.get_running_loop()
+        job = self.table.jobs[item.job_id]
+        state = job.specs[item.index]
+        key = (item.job_id, item.index, item.kind)
+        await self._append({"t": "lease", "job": item.job_id,
+                            "index": item.index, "kind": item.kind,
+                            "worker": wid, "attempt": item.attempt})
+        self._inflight.add(key)
+        epoch = self._pool_epoch
+        started = loop.time()
+        pool = self._pool
+        assert pool is not None
+        future = loop.run_in_executor(pool, _pool_run_spec,
+                                      state.spec_json, item.kind == AUDIT)
+        future.add_done_callback(self._swallow)
+        try:
+            payload = await self._await_leased(future, started)
+        except _LeaseExpired:
+            # Hung worker: the lease's hard ceiling passed with no
+            # result.  Terminate the pool (the stuck process will not
+            # exit on its own) and reclaim, charged — the spec ran alone
+            # on its process, so the hang is attributable to it.
+            self._inflight.discard(key)
+            self._recycle_pool(epoch)
+            self._reclaim(item, loop.time(), charged=True,
+                          reason=f"lease expired after "
+                                 f"{self.config.spec_timeout_s:.1f}s")
+        except BrokenProcessPool:
+            self._on_pool_break(item, key, epoch)
+        except asyncio.CancelledError:
+            self._inflight.discard(key)
+            raise
+        except Exception:  # repro: allow[bare-except]
+            # Deterministic in-run failure: re-running would fail the
+            # same way, so it consumes the whole budget at once.
+            self._inflight.discard(key)
+            tail = traceback.format_exc().strip().splitlines()[-1]
+            await self._fail_item(item, tail)
+        else:
+            self._inflight.discard(key)
+            if self._quarantine:
+                # A full quarantine round completed cleanly; the earlier
+                # break stays unattributed but the pool is evidently
+                # healthy again under solo rounds — keep quarantine until
+                # the queue drains or a culprit shows.
+                if not self._queue:
+                    self._quarantine = False
+            await self._complete_item(item, payload)
+
+    @staticmethod
+    def _swallow(future: "asyncio.Future[dict]") -> None:
+        """Consume abandoned futures' exceptions (a recycled pool breaks
+        its orphans; nobody is awaiting them anymore)."""
+        if not future.cancelled():
+            future.exception()
+
+    async def _await_leased(self, future: "asyncio.Future[dict]",
+                            started: float) -> dict:
+        """Await a pool future under lease discipline: each heartbeat
+        interval that passes without a result re-extends the lease, up to
+        the hard per-spec ceiling — a time-bounded lease whose extension
+        requires the supervising coroutine to still be alive (a dead
+        supervisor's leases are reset by journal recovery instead)."""
+        loop = asyncio.get_running_loop()
+        while True:
+            try:
+                return await asyncio.wait_for(
+                    asyncio.shield(future),
+                    timeout=max(0.01, self.config.heartbeat_s))
+            except asyncio.TimeoutError:
+                if loop.time() - started >= self.config.spec_timeout_s:
+                    raise _LeaseExpired() from None
+                # else: heartbeat — lease extended for another interval
+
+    def _recycle_pool(self, epoch: int) -> None:
+        """Replace the pool (idempotent per epoch): terminate the old
+        one's processes and start fresh."""
+        if epoch != self._pool_epoch:
+            return  # somebody else already recycled this epoch
+        old = self._pool
+        self._pool_epoch += 1
+        self._pool = self._executor_factory()
+        if old is not None:
+            shutdown_executor(old)
+
+    def _on_pool_break(self, item: _Item, key: Tuple[str, int, str],
+                       epoch: int) -> None:
+        """One lease observed BrokenProcessPool.  The first observer of
+        an epoch snapshots the in-flight cohort: a cohort of one makes
+        the crash attributable (that spec killed its worker and is
+        charged); a larger cohort is reclaimed uncharged and the
+        supervisor enters one-lease quarantine rounds so the *next*
+        crash is attributable."""
+        loop = asyncio.get_running_loop()
+        if epoch == self._pool_epoch:
+            self._break_attr[epoch] = len(self._inflight) == 1
+            self._recycle_pool(epoch)
+        attributable = self._break_attr.get(epoch, False)
+        self._inflight.discard(key)
+        if attributable:
+            self._quarantine = False
+            self._reclaim(item, loop.time(), charged=True,
+                          reason="worker process died (killed or crashed)")
+        else:
+            self._quarantine = True
+            self._reclaim(item, loop.time(), charged=False,
+                          reason="pool broke with multiple leases in "
+                                 "flight; requeued uncharged")
+
+    async def _complete_item(self, item: _Item, payload: dict) -> None:
+        job = self.table.jobs[item.job_id]
+        state = job.specs[item.index]
+        if item.kind == AUDIT:
+            expected = state.digest
+            ok = payload["digest"] == expected
+            await self._append({"t": "audit", "job": item.job_id,
+                                "index": item.index,
+                                "attempt": item.attempt,
+                                "ok": ok, "digest": payload["digest"],
+                                "error": None if ok else
+                                f"audit digest {payload['digest'][:12]} != "
+                                f"journaled {str(expected)[:12]}"})
+            self._emit(item.job_id, {"event": "audited",
+                                     "job": item.job_id,
+                                     "index": item.index, "ok": ok})
+            return
+        await self._append({"t": "done", "job": item.job_id,
+                            "index": item.index, "attempt": item.attempt,
+                            "cached": payload["cached"],
+                            "digest": payload["digest"]})
+        self._emit(item.job_id, {"event": "spec_done", "job": item.job_id,
+                                 "index": item.index,
+                                 "digest": payload["digest"],
+                                 "cached": payload["cached"],
+                                 "progress": job.progress()})
+        self._maybe_seal(item.job_id)
+
+    # --------------------------------------------------------------- seal
+
+    def _maybe_seal(self, job_id: str) -> None:
+        job = self.table.jobs.get(job_id)
+        if job is None or job.sealed or not job.complete:
+            return
+        self._spawn_seal(job_id)
+
+    def _spawn_seal(self, job_id: str) -> None:
+        if job_id in self._seal_tasks:
+            return
+        loop = asyncio.get_running_loop()
+        self._seal_tasks[job_id] = loop.create_task(
+            self._seal_job(job_id), name=f"seal-{job_id}")
+
+    async def _seal_job(self, job_id: str) -> None:
+        """Validation gate + envelope publication + durable seal."""
+        loop = asyncio.get_running_loop()
+        job = self.table.jobs[job_id]
+        try:
+            done = [s.index for s in job.specs if s.status == DONE]
+            sampled = audit_sample(job_id, done, self.config.audit_fraction)
+            needed = [index for index in sampled
+                      if job.specs[index].audit is None]
+            for index in needed:
+                if (job_id, index, AUDIT) not in self._inflight and \
+                        not any(q.job_id == job_id and q.index == index
+                                and q.kind == AUDIT for q in self._queue):
+                    self._queue.append(_Item(job_id, index, AUDIT, 1))
+            while any(job.specs[index].audit is None for index in sampled):
+                await asyncio.sleep(0.02)
+            verdict = audit_verdict(
+                sampled, {index: job.specs[index].audit
+                          for index in sampled})
+            rows = await loop.run_in_executor(None, _load_result_rows, job)
+            accounting = self.table.accounting(job_id)
+            accounting["reclaims"] = self._reclaims.get(job_id, 0)
+            envelope = build_envelope(
+                job_id, job.request, job.degradation, rows, verdict,
+                accounting)
+            path = self.config.envelope_path(job_id)
+            await loop.run_in_executor(None, atomic_write_json, path,
+                                       envelope)
+            await self._append({"t": "seal", "job": job_id,
+                                "status": envelope["status"],
+                                "envelope_digest":
+                                    envelope["identity_digest"]},
+                               durable=True)
+            self._emit(job_id, {"event": "sealed", "job": job_id,
+                                "status": envelope["status"],
+                                "envelope_digest":
+                                    envelope["identity_digest"]})
+        except asyncio.CancelledError:
+            raise
+        except Exception:  # repro: allow[bare-except]
+            _log.exception("seal task for job %s failed", job_id)
+        finally:
+            self._seal_tasks.pop(job_id, None)

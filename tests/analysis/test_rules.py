@@ -654,6 +654,92 @@ class TestSkipSafetyAccounting:
             """) == []
 
 
+class TestAsyncBlocking:
+    """REPRO313: no blocking calls on the campaign service's event loop."""
+
+    SERVICE = "src/repro/service/fixture.py"
+
+    def test_time_sleep_in_async_def_flags(self):
+        findings = run_rule("async-blocking", self.SERVICE, """\
+            import time
+
+            async def tick():
+                time.sleep(0.1)
+            """)
+        assert len(findings) == 1
+        assert "asyncio.sleep" in findings[0].message
+
+    def test_from_import_sleep_flags(self):
+        assert run_rule("async-blocking", self.SERVICE, """\
+            from time import sleep
+
+            async def tick():
+                sleep(0.1)
+            """)
+
+    def test_sync_open_in_async_def_flags(self):
+        findings = run_rule("async-blocking", self.SERVICE, """\
+            async def slurp(path):
+                with open(path) as fh:
+                    return fh.read()
+            """)
+        assert len(findings) == 1
+        assert "run_in_executor" in findings[0].message
+
+    def test_submit_result_chain_flags(self):
+        findings = run_rule("async-blocking", self.SERVICE, """\
+            async def run(pool, spec):
+                return pool.submit(go, spec).result()
+            """)
+        assert len(findings) == 1
+        assert "result()" in findings[0].message
+
+    def test_await_asyncio_sleep_passes(self):
+        assert run_rule("async-blocking", self.SERVICE, """\
+            import asyncio
+
+            async def tick():
+                await asyncio.sleep(0.1)
+            """) == []
+
+    def test_sync_function_is_out_of_scope(self):
+        """Blocking calls in ordinary sync helpers are exactly where the
+        blocking work is supposed to live (run_in_executor targets)."""
+        assert run_rule("async-blocking", self.SERVICE, """\
+            import time
+
+            def tick():
+                time.sleep(0.1)
+
+            def slurp(path):
+                with open(path) as fh:
+                    return fh.read()
+            """) == []
+
+    def test_nested_sync_helper_passes(self):
+        assert run_rule("async-blocking", self.SERVICE, """\
+            async def outer(loop):
+                def helper(path):
+                    with open(path) as fh:
+                        return fh.read()
+                return await loop.run_in_executor(None, helper, "x")
+            """) == []
+
+    def test_awaited_executor_future_passes(self):
+        assert run_rule("async-blocking", self.SERVICE, """\
+            async def run(loop, pool, spec):
+                return await loop.run_in_executor(pool, go, spec)
+            """) == []
+
+    def test_other_packages_out_of_scope(self):
+        assert run_rule("async-blocking", HARNESS, """\
+            import time
+
+            async def tick():
+                time.sleep(0.1)
+            """) == []
+
+
 class TestRegistry:
     def test_at_least_twelve_rules(self):
         assert len(all_rules()) >= 12

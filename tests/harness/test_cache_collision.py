@@ -1,0 +1,97 @@
+"""Concurrent multi-process cache writers racing the same key.
+
+The campaign service's pool workers share one ``.repro_cache`` across
+processes, so ``store_cached`` must be safe under write/write and
+write/read races on the *same* key: publication is a unique temp file
+plus atomic ``os.replace``, and both writers produce identical content
+(the spec fully determines the result), so whoever wins, every
+concurrent reader sees a complete, checksum-valid entry — never a torn
+or evicted one.
+"""
+
+import multiprocessing
+import os
+
+from repro.harness import parallel as parallel_mod
+from repro.harness.parallel import (
+    RunSpec,
+    execute_spec,
+    load_cached,
+    store_cached,
+    sweep_cache_tmp,
+)
+from repro.noc import NocConfig
+
+SMALL = NocConfig(mesh_width=2, mesh_height=2, concentration=2)
+
+ROUNDS = 40
+
+
+def race_spec() -> RunSpec:
+    return RunSpec(config=SMALL, mechanism="Baseline", benchmark="ssca2",
+                   trace_cycles=700, warmup=250, measure=250, seed=77)
+
+
+def _race_writer(barrier, failures):
+    """One racing process: execute the spec, then hammer the shared key
+    with store+load rounds in lockstep with its rival."""
+    try:
+        spec = race_spec()
+        result = execute_spec(spec)
+        expected = result.simulation_outputs()
+        barrier.wait(timeout=60)  # maximize overlap from round one
+        for _ in range(ROUNDS):
+            store_cached(spec, result)
+            loaded = load_cached(spec)
+            # Atomic replace: a concurrent reader must always see a
+            # complete entry, never a miss (eviction) or torn JSON.
+            if loaded is None:
+                failures.put("load returned None mid-race")
+                return
+            if loaded.simulation_outputs() != expected:
+                failures.put("loaded outputs diverged")
+                return
+    except Exception as exc:  # repro: allow[bare-except]
+        failures.put(f"writer crashed: {exc!r}")
+
+
+class TestSameKeyCollision:
+    def test_two_processes_racing_one_key(self, tmp_path, monkeypatch):
+        """Two forked processes store+load the same cache key in
+        lockstep; neither may ever observe a torn, evicted or divergent
+        entry, and the final entry must be valid."""
+        monkeypatch.setenv(parallel_mod.CACHE_DIR_ENV, str(tmp_path))
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(2)
+        failures = ctx.Queue()
+        writers = [ctx.Process(target=_race_writer,
+                               args=(barrier, failures))
+                   for _ in range(2)]
+        for writer in writers:
+            writer.start()
+        for writer in writers:
+            writer.join(timeout=120)
+            assert writer.exitcode == 0
+        assert failures.empty(), failures.get()
+        # The surviving entry is complete and checksum-valid.
+        final = load_cached(race_spec())
+        assert final is not None
+        # No temp droppings left behind by either winner or loser.
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_sweep_removes_only_stale_tmp_files(self, tmp_path,
+                                                monkeypatch):
+        """A SIGKILLed writer leaves its mkstemp dropping behind; the
+        startup sweep removes old ones but spares a live writer's fresh
+        temp file."""
+        monkeypatch.setenv(parallel_mod.CACHE_DIR_ENV, str(tmp_path))
+        stale = tmp_path / "deadbeef.tmp"
+        fresh = tmp_path / "cafef00d.tmp"
+        stale.write_text("{")
+        fresh.write_text("{")
+        old = os.stat(stale).st_mtime - 7200
+        os.utime(stale, (old, old))
+        removed = sweep_cache_tmp(max_age_s=3600.0)
+        assert removed == 1
+        assert not stale.exists()
+        assert fresh.exists()

@@ -11,17 +11,21 @@ children inherit the patched module.
 """
 
 import os
+import signal
 import time
+from concurrent.futures import ProcessPoolExecutor
 
 import pytest
 
 from repro.harness import parallel as parallel_mod
 from repro.harness.parallel import (
     RunSpec,
+    execute_cached,
     execute_spec,
     load_cached,
     parallel_map,
     run_specs,
+    shutdown_executor,
 )
 from repro.noc import NocConfig
 
@@ -189,3 +193,82 @@ class TestPoolCrashTolerance:
         assert good.ok
         assert not bad.ok
         assert "allowance" in bad.error
+
+
+class TestGracefulSignals:
+    def test_sigterm_interrupts_pool_sweep(self, cache, monkeypatch):
+        """A service manager's SIGTERM during a pool sweep must take the
+        KeyboardInterrupt path: tear the pool down and propagate, not
+        keep grinding until the supervisor escalates to SIGKILL."""
+        def terminate_parent(spec):
+            os.kill(os.getppid(), signal.SIGTERM)  # child -> parent
+            time.sleep(30)  # keep the batch in flight meanwhile
+
+        sabotage(monkeypatch, terminate_parent)
+        before = signal.getsignal(signal.SIGTERM)
+        with pytest.raises(KeyboardInterrupt):
+            run_specs([small_spec(), doomed_spec()], workers=2,
+                      use_cache=False)
+        # The previous handler is restored once the sweep unwinds.
+        assert signal.getsignal(signal.SIGTERM) is before
+
+    def test_sigterm_handler_scoped_to_the_sweep(self, cache):
+        """Outside run_specs the process keeps its normal SIGTERM
+        disposition — the handler must not leak."""
+        before = signal.getsignal(signal.SIGTERM)
+        run_specs([small_spec()], workers=2)
+        assert signal.getsignal(signal.SIGTERM) is before
+
+
+class TestExecutorTeardown:
+    def test_shutdown_executor_is_idempotent(self):
+        """The campaign service can race a drain, a signal handler and a
+        pool self-break into teardown: any number of calls, in any
+        order relative to a normal shutdown, must be safe."""
+        executor = ProcessPoolExecutor(max_workers=1)
+        executor.submit(int, 1).result(timeout=30)
+        shutdown_executor(executor)
+        shutdown_executor(executor)  # second call: no-op, no raise
+        executor.shutdown()  # stdlib shutdown after teardown: fine too
+        shutdown_executor(executor)
+
+    def test_teardown_after_broken_pool(self):
+        executor = ProcessPoolExecutor(max_workers=1)
+        future = executor.submit(os._exit, 1)
+        with pytest.raises(Exception):
+            future.result(timeout=30)
+        shutdown_executor(executor)
+        shutdown_executor(executor)
+
+
+class TestExecuteCached:
+    def test_single_spec_cache_round_trip(self, cache):
+        spec = small_spec()
+        cold = execute_cached(spec)
+        assert cold.ok and not cold.cached and cold.attempts == 1
+        warm = execute_cached(spec)
+        assert warm.ok and warm.cached and warm.attempts == 0
+        assert (warm.result.simulation_outputs()
+                == cold.result.simulation_outputs())
+
+    def test_fresh_bypasses_cache_both_ways(self, cache):
+        """fresh=True is the validation gate's mode: it must neither
+        read the cached artifact it is auditing nor overwrite it."""
+        spec = small_spec()
+        fresh = execute_cached(spec, fresh=True)
+        assert fresh.ok and not fresh.cached
+        assert load_cached(spec) is None  # no write on the fresh path
+        cached = execute_cached(spec)
+        assert load_cached(spec) is not None
+        again = execute_cached(spec, fresh=True)
+        assert not again.cached  # no read either
+        assert (again.result.identity_digest()
+                == cached.result.identity_digest())
+
+    def test_exceptions_propagate(self, cache, monkeypatch):
+        def boom(spec):
+            raise ValueError("synthetic in-run failure")
+
+        sabotage(monkeypatch, boom)
+        with pytest.raises(ValueError):
+            execute_cached(doomed_spec())

@@ -1,0 +1,228 @@
+"""Write-ahead journal: corruption tolerance and replay idempotence.
+
+The journal is the crash-safety keystone, so these tests attack it the
+way a crash would: torn tails, flipped bytes, duplicated records — and
+assert the scan never misparses, the reopen never cascades, and replay
+is a pure idempotent function of the record sequence.
+"""
+
+import json
+
+import pytest
+
+from repro.service.journal import (DONE, FAILED, MAGIC, JobTable,
+                                   Journal, JournalError, recover,
+                                   scan_journal)
+
+
+def _job_record(job_id="job1", n_specs=3):
+    return {
+        "t": "job",
+        "job": job_id,
+        "request": {"benchmarks": ["blackscholes"]},
+        "degradation": None,
+        "specs": [{"seed": i} for i in range(n_specs)],
+        "keys": [f"key-{i}" for i in range(n_specs)],
+    }
+
+
+def _records(job_id="job1"):
+    """A realistic record sequence: submit, lease, done, a retried spec
+    that fails, an audit, a seal."""
+    return [
+        _job_record(job_id),
+        {"t": "lease", "job": job_id, "index": 0, "kind": "run",
+         "worker": 0, "attempt": 1},
+        {"t": "done", "job": job_id, "index": 0, "attempt": 1,
+         "cached": False, "digest": "d0"},
+        {"t": "lease", "job": job_id, "index": 1, "kind": "run",
+         "worker": 1, "attempt": 1},
+        {"t": "lease", "job": job_id, "index": 1, "kind": "run",
+         "worker": 0, "attempt": 2},
+        {"t": "fail", "job": job_id, "index": 1, "attempt": 2,
+         "error": "poison"},
+        {"t": "done", "job": job_id, "index": 2, "attempt": 1,
+         "cached": True, "digest": "d2"},
+        {"t": "audit", "job": job_id, "index": 0, "attempt": 1,
+         "ok": True, "digest": "d0", "error": None},
+        {"t": "seal", "job": job_id, "status": "partial",
+         "envelope_digest": "e1"},
+    ]
+
+
+def _write_journal(path, records):
+    journal = Journal(path)
+    for record in records:
+        journal.append(record)
+    journal.close()
+
+
+class TestScan:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "j"
+        _write_journal(path, _records())
+        scan = scan_journal(path)
+        assert scan.records == _records()
+        assert not scan.truncated
+        assert scan.reason is None
+
+    def test_missing_file_scans_empty(self, tmp_path):
+        scan = scan_journal(tmp_path / "absent")
+        assert scan.records == []
+        assert not scan.truncated
+
+    def test_foreign_file_refused(self, tmp_path):
+        path = tmp_path / "not-a-journal"
+        path.write_bytes(b"PNG\x89thisisnotajournal")
+        with pytest.raises(JournalError):
+            scan_journal(path)
+
+    def test_truncated_tail_yields_prefix(self, tmp_path):
+        """A writer SIGKILLed mid-append leaves a torn final frame; the
+        scan returns every record before it."""
+        path = tmp_path / "j"
+        records = _records()
+        _write_journal(path, records)
+        blob = path.read_bytes()
+        for cut in (1, 5, len(blob) - 1):
+            torn = tmp_path / f"torn-{cut}"
+            torn.write_bytes(blob[:-cut])
+            scan = scan_journal(torn)
+            assert scan.truncated
+            assert scan.records == records[:len(scan.records)]
+            assert len(scan.records) < len(records)
+
+    def test_flipped_checksum_byte_poisons_suffix(self, tmp_path):
+        """One flipped payload byte fails that frame's CRC; the scan
+        keeps the intact prefix and distrusts everything after."""
+        path = tmp_path / "j"
+        records = _records()
+        _write_journal(path, records)
+        blob = bytearray(path.read_bytes())
+        # Flip a byte inside the *second* frame's payload.
+        first_len = int.from_bytes(blob[8:12], "little")
+        second_payload = 8 + 8 + first_len + 8 + 2
+        blob[second_payload] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        scan = scan_journal(path)
+        assert scan.truncated
+        assert scan.reason == "checksum mismatch"
+        assert scan.records == records[:1]
+
+    def test_implausible_length_stops_scan(self, tmp_path):
+        path = tmp_path / "j"
+        _write_journal(path, _records()[:2])
+        with open(path, "ab") as fh:
+            fh.write((1 << 30).to_bytes(4, "little") + b"\0\0\0\0zz")
+        scan = scan_journal(path)
+        assert scan.truncated
+        assert "implausible" in scan.reason
+        assert len(scan.records) == 2
+
+    def test_reopen_truncates_and_appends_cleanly(self, tmp_path):
+        """Recovery amputates the torn tail so new appends start at a
+        trusted offset — one torn write can never cascade."""
+        path = tmp_path / "j"
+        records = _records()
+        _write_journal(path, records)
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-3])
+        journal = Journal(path)
+        assert journal.recovered.truncated
+        journal.append({"t": "fresh", "n": 1}, durable=True)
+        journal.close()
+        scan = scan_journal(path)
+        assert not scan.truncated
+        assert scan.records == records[:-1] + [{"t": "fresh", "n": 1}]
+
+
+class TestReplayIdempotence:
+    def test_apply_twice_is_identical(self, tmp_path):
+        """Applying the same journal twice produces a bit-identical
+        table — the property that makes duplicate records (crash between
+        acting and journaling) harmless."""
+        records = _records()
+        once, twice = JobTable(), JobTable()
+        once.replay(records)
+        twice.replay(records)
+        twice.replay(records)
+        assert json.dumps(once.snapshot(), sort_keys=True) == \
+            json.dumps(twice.snapshot(), sort_keys=True)
+
+    def test_duplicate_seal_record(self):
+        table = JobTable()
+        table.replay(_records())
+        sealed_before = table.snapshot()
+        table.apply({"t": "seal", "job": "job1", "status": "proven",
+                     "envelope_digest": "different"})
+        assert table.snapshot() == sealed_before
+        assert table.jobs["job1"].seal_status == "partial"
+
+    def test_duplicate_done_not_double_charged(self):
+        table = JobTable()
+        table.replay(_records())
+        spec = table.jobs["job1"].specs[0]
+        assert spec.executions == 1
+        table.apply({"t": "done", "job": "job1", "index": 0,
+                     "attempt": 1, "cached": False, "digest": "d0"})
+        assert spec.executions == 1  # same attempt: set union, no charge
+
+    def test_distinct_attempts_do_double_charge(self):
+        """The accounting must *detect* genuine double execution, not
+        paper over it: done records at distinct attempts count twice."""
+        table = JobTable()
+        table.replay(_records())
+        table.apply({"t": "done", "job": "job1", "index": 0,
+                     "attempt": 2, "cached": False, "digest": "d0"})
+        assert table.jobs["job1"].specs[0].executions == 2
+        assert table.accounting("job1")["double_charged"] == [0]
+
+    def test_statuses_and_recovery_reset(self):
+        records = _records()[:-1]  # stop before the seal
+        records.append({"t": "lease", "job": "job1", "index": 2,
+                        "kind": "audit", "worker": 0, "attempt": 1})
+        table = JobTable()
+        table.replay(records)
+        job = table.jobs["job1"]
+        assert job.specs[0].status == DONE
+        assert job.specs[1].status == FAILED
+        assert job.specs[2].status == DONE  # cached done
+        reset = table.finish_recovery()
+        assert all(s.lease is None for s in job.specs)
+        assert reset >= 0
+
+    def test_records_for_unknown_jobs_ignored(self):
+        table = JobTable()
+        table.apply({"t": "done", "job": "ghost", "index": 0,
+                     "attempt": 1, "cached": False, "digest": "x"})
+        table.apply({"t": "seal", "job": "ghost", "status": "proven",
+                     "envelope_digest": "x"})
+        assert table.jobs == {}
+
+
+class TestRecover:
+    def test_recover_round_trip(self, tmp_path):
+        path = tmp_path / "j"
+        _write_journal(path, _records())
+        journal, table = recover(path)
+        try:
+            assert set(table.jobs) == {"job1"}
+            job = table.jobs["job1"]
+            assert job.sealed and job.seal_status == "partial"
+            assert job.specs[0].status == DONE
+            assert all(s.lease is None for s in job.specs)
+        finally:
+            journal.close()
+
+    def test_recover_empty_creates_magic(self, tmp_path):
+        path = tmp_path / "fresh"
+        journal, table = recover(path)
+        journal.close()
+        assert path.read_bytes() == MAGIC
+        assert table.jobs == {}
+
+    def test_append_after_close_refused(self, tmp_path):
+        journal = Journal(tmp_path / "j")
+        journal.close()
+        with pytest.raises(JournalError):
+            journal.append({"t": "x"})

@@ -1,0 +1,257 @@
+"""Kill-resume chaos: SIGKILL worker and server at hypothesis-chosen
+points, restart, and prove nothing was lost or double-charged.
+
+The service runs as a real subprocess (``python -m repro.service
+serve``); kills are real ``SIGKILL`` (no cleanup handlers run).  After
+restarting on the same journal directory the campaign must seal with
+
+* zero lost specs (all accounted: done or failed — here, all done),
+* zero double-charged specs (no spec executed-and-charged twice),
+* a result envelope whose identity section is bit-identical to an
+  uninterrupted control run's.
+
+When ``REPRO_SERVICE_ARTIFACTS`` names a directory, the journal and
+sealed envelope of the last scenario are copied there (the CI service
+job uploads them).
+"""
+
+import http.client
+import json
+import os
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.service.journal import JobTable, scan_journal
+from repro.service.model import envelope_identity
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def free_port():
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def start_server(port, journal_dir):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.service", "serve",
+         "--port", str(port), "--journal-dir", journal_dir,
+         "--workers", "1", "--heartbeat-s", "0.05",
+         "--spec-timeout-s", "60", "--audit-fraction", "1.0", "--fast"],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+
+
+def request(port, method, path, payload=None, timeout=30.0):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    body = json.dumps(payload).encode() if payload is not None else None
+    conn.request(method, path, body=body,
+                 headers={"X-Client": "chaos"})
+    response = conn.getresponse()
+    blob = response.read()
+    conn.close()
+    return response.status, json.loads(blob.decode() or "null")
+
+
+def wait_healthy(port, timeout=30.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        try:
+            status, body = request(port, "GET", "/healthz", timeout=2.0)
+            if status == 200:
+                return body
+        except OSError:
+            pass
+        time.sleep(0.1)
+    raise AssertionError("server did not come up")
+
+
+def wait_worker_pids(port, timeout=20.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        try:
+            _, body = request(port, "GET", "/healthz", timeout=2.0)
+            if body.get("worker_pids"):
+                return body["worker_pids"]
+        except OSError:
+            pass
+        time.sleep(0.05)
+    return []
+
+
+def wait_sealed(port, job_id, timeout=120.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        try:
+            status, body = request(port, "GET", f"/jobs/{job_id}",
+                                   timeout=5.0)
+        except OSError:
+            time.sleep(0.2)
+            continue
+        if status == 200 and body["sealed"]:
+            return body
+        time.sleep(0.1)
+    raise AssertionError(f"job {job_id} did not seal")
+
+
+def campaign_payload(seeds):
+    return {
+        "benchmarks": ["blackscholes"],
+        "mechanisms": ["Baseline"],
+        "seeds": list(seeds),
+        "trace_cycles": 400,
+        "warmup": 100,
+        "measure": 100,
+    }
+
+
+def run_to_seal(journal_dir, payload, chaos=None):
+    """Serve, submit, (optionally apply ``chaos(port, server)``), make
+    sure the job seals — restarting the server if chaos killed it — and
+    return the sealed envelope.  Always reaps the server."""
+    port = free_port()
+    server = start_server(port, journal_dir)
+    try:
+        wait_healthy(port)
+        status, body = request(port, "POST", "/jobs", payload)
+        assert status in (200, 202), body
+        job_id = body["job"]
+        if chaos is not None:
+            server = chaos(port, server)
+            if server is None:  # server was SIGKILLed: restart on the
+                port = free_port()  # same journal, different port
+                server = start_server(port, journal_dir)
+                wait_healthy(port)
+        wait_sealed(port, job_id)
+        status, envelope = request(port, "GET",
+                                   f"/jobs/{job_id}/envelope")
+        assert status == 200
+        return envelope
+    finally:
+        if server.poll() is None:
+            server.terminate()
+            try:
+                server.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                server.kill()
+                server.wait(timeout=15)
+
+
+def assert_exactly_once(envelope):
+    acct = envelope["accounting"]
+    assert acct["double_charged"] == [], \
+        f"specs charged twice: {acct['double_charged']}"
+    assert acct["unaccounted"] == [], \
+        f"specs lost: {acct['unaccounted']}"
+    assert acct["failed"] == []
+    assert envelope["status"] == "proven"
+    # Every spec produced a result exactly once (a cache hit absorbs a
+    # crash that landed between execute and journal).
+    assert len(envelope["results"]) == acct["specs"]
+    assert all("outputs" in row for row in envelope["results"])
+
+
+def export_artifacts(journal_dir, envelope):
+    target = os.environ.get("REPRO_SERVICE_ARTIFACTS")
+    if not target:
+        return
+    os.makedirs(target, exist_ok=True)
+    for entry in Path(journal_dir).iterdir():
+        shutil.copy2(entry, Path(target) / entry.name)
+    with open(Path(target) / "sealed_envelope.json", "w") as fh:
+        json.dump(envelope, fh, indent=2, sort_keys=True)
+
+
+@settings(max_examples=2, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(worker_kill_delay=st.floats(min_value=0.05, max_value=0.7),
+       server_kill_delay=st.floats(min_value=0.05, max_value=0.5),
+       seed_base=st.integers(min_value=100, max_value=10 ** 6))
+def test_sigkill_worker_then_server_resumes_exactly_once(
+        worker_kill_delay, server_kill_delay, seed_base):
+    """SIGKILL a pool worker mid-run, then SIGKILL the whole server, at
+    hypothesis-chosen delays; restart; the campaign seals with every
+    spec executed-and-charged exactly once and an envelope bit-identical
+    to an uninterrupted run's."""
+    seeds = [seed_base, seed_base + 1, seed_base + 2]
+    payload = campaign_payload(seeds)
+    chaos_dir = tempfile.mkdtemp(prefix="svc-chaos-")
+    control_dir = tempfile.mkdtemp(prefix="svc-control-")
+    try:
+        def chaos(port, server):
+            time.sleep(worker_kill_delay)
+            for pid in wait_worker_pids(port, timeout=5.0):
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except ProcessLookupError:
+                    pass  # worker exited already: the race is the test
+            time.sleep(server_kill_delay)
+            server.kill()  # SIGKILL: no graceful teardown of any kind
+            server.wait(timeout=15)
+            return None  # caller restarts on the same journal
+
+        resumed = run_to_seal(chaos_dir, payload, chaos=chaos)
+        assert_exactly_once(resumed)
+
+        # The journal that survived two SIGKILLs must replay
+        # idempotently into the exact state the envelope reports.
+        scan = scan_journal(Path(chaos_dir) / "service.journal")
+        once, twice = JobTable(), JobTable()
+        once.replay(scan.records)
+        twice.replay(scan.records)
+        twice.replay(scan.records)
+        assert once.snapshot() == twice.snapshot()
+
+        control = run_to_seal(control_dir, payload)
+        assert_exactly_once(control)
+        assert envelope_identity(resumed) == envelope_identity(control)
+        assert resumed["identity_digest"] == control["identity_digest"]
+
+        export_artifacts(chaos_dir, resumed)
+    finally:
+        shutil.rmtree(chaos_dir, ignore_errors=True)
+        shutil.rmtree(control_dir, ignore_errors=True)
+
+
+def test_sigterm_drains_gracefully():
+    """SIGTERM (as a service manager sends) must stop the server cleanly:
+    the process exits promptly and the journal replays consistently."""
+    journal_dir = tempfile.mkdtemp(prefix="svc-term-")
+    try:
+        port = free_port()
+        server = start_server(port, journal_dir)
+        try:
+            wait_healthy(port)
+            status, body = request(
+                port, "POST", "/jobs",
+                campaign_payload([7001, 7002]))
+            assert status == 202
+            server.terminate()  # SIGTERM
+            server.wait(timeout=30)
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.wait(timeout=15)
+        # The journal survives and replays; the job record (acknowledged
+        # durably before the 202) must be present.
+        scan = scan_journal(Path(journal_dir) / "service.journal")
+        table = JobTable()
+        table.replay(scan.records)
+        assert body["job"] in table.jobs
+        # Whatever was in flight is recoverable, not corrupt.
+        table.finish_recovery()
+        for spec in table.jobs[body["job"]].specs:
+            assert spec.lease is None
+    finally:
+        shutil.rmtree(journal_dir, ignore_errors=True)

@@ -1,0 +1,322 @@
+"""HTTP layer tests: routes, backpressure (429 + Retry-After), graceful
+degradation, NDJSON progress streaming.
+
+A real :class:`~repro.service.server.CampaignService` is started on an
+ephemeral port with one process-pool worker and spoken to over raw
+asyncio sockets, so status lines and headers (Retry-After in
+particular) are asserted as actual wire bytes.
+"""
+
+import asyncio
+import json
+
+from repro.service.config import ServiceConfig
+from repro.service.server import CampaignService, TokenBucket
+
+
+def tiny_payload(seeds=(11,), **overrides):
+    payload = {
+        "benchmarks": ["blackscholes"],
+        "mechanisms": ["Baseline"],
+        "seeds": list(seeds),
+        "trace_cycles": 160,
+        "warmup": 40,
+        "measure": 40,
+    }
+    payload.update(overrides)
+    return payload
+
+
+async def http(port, method, path, payload=None, client="test"):
+    """One HTTP exchange; returns (status, headers, parsed body)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    body = json.dumps(payload).encode() if payload is not None else b""
+    head = (f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
+            f"X-Client: {client}\r\nContent-Length: {len(body)}\r\n\r\n")
+    writer.write(head.encode() + body)
+    await writer.drain()
+    raw = await asyncio.wait_for(reader.read(), 30.0)
+    writer.close()
+    await writer.wait_closed()
+    header_blob, _, payload_blob = raw.partition(b"\r\n\r\n")
+    lines = header_blob.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        decoded = json.loads(payload_blob.decode() or "null")
+    except ValueError:
+        decoded = None
+    return status, headers, decoded
+
+
+async def wait_sealed(port, job_id, timeout=60.0):
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while loop.time() < deadline:
+        status, _, body = await http(port, "GET", f"/jobs/{job_id}")
+        assert status == 200
+        if body["sealed"]:
+            return body
+        await asyncio.sleep(0.05)
+    raise AssertionError(f"job {job_id} did not seal within {timeout}s")
+
+
+def run_with_service(config, scenario):
+    """Start a service, run ``scenario(service)``, always stop."""
+    async def runner():
+        service = CampaignService(config)
+        await service.start()
+        try:
+            return await scenario(service)
+        finally:
+            await service.stop()
+
+    return asyncio.run(runner())
+
+
+def base_config(tmp_path, **overrides):
+    base = dict(port=0, journal_dir=str(tmp_path / "svc"), workers=1,
+                heartbeat_s=0.05, backoff_base_s=0.01,
+                backoff_cap_s=0.1, audit_fraction=1.0, rate_burst=3.0,
+                rate_refill_per_s=0.1)
+    base.update(overrides)
+    return ServiceConfig(**base)
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        bucket = TokenBucket(burst=2.0, refill_per_s=1.0, now=0.0)
+        assert bucket.admit(0.0) == (True, 0.0)
+        assert bucket.admit(0.0) == (True, 0.0)
+        admitted, retry_after = bucket.admit(0.0)
+        assert not admitted
+        assert 0.0 < retry_after <= 1.0
+        admitted, _ = bucket.admit(1.5)  # refilled past one token
+        assert admitted
+
+    def test_never_exceeds_burst(self):
+        bucket = TokenBucket(burst=1.0, refill_per_s=100.0, now=0.0)
+        assert bucket.admit(1000.0)[0]
+        assert not bucket.admit(1000.0)[0]
+
+
+class TestRoutes:
+    def test_full_campaign_lifecycle(self, tmp_path):
+        async def scenario(service):
+            port = service.port
+            status, _, health = await http(port, "GET", "/healthz")
+            assert status == 200
+            assert health["status"] == "ok"
+
+            status, _, body = await http(port, "POST", "/jobs",
+                                         tiny_payload(), client="life")
+            assert status == 202
+            assert body["created"] and not body["degraded"]
+            job_id = body["job"]
+
+            # Idempotent resubmission: same job, not re-created.
+            status, _, again = await http(port, "POST", "/jobs",
+                                          tiny_payload(), client="life")
+            assert status == 200
+            assert again["job"] == job_id and not again["created"]
+
+            final = await wait_sealed(port, job_id)
+            assert final["status"] == "proven" and final["proven"]
+
+            status, _, envelope = await http(port, "GET",
+                                             f"/jobs/{job_id}/envelope")
+            assert status == 200
+            assert envelope["status"] == "proven"
+            assert envelope["audit"]["ok"]
+            assert envelope["accounting"]["double_charged"] == []
+            assert envelope["identity_digest"] == final["envelope_digest"]
+
+        run_with_service(base_config(tmp_path), scenario)
+
+    def test_validation_errors_are_400(self, tmp_path):
+        async def scenario(service):
+            port = service.port
+            cases = [
+                {},  # missing benchmarks
+                tiny_payload(benchmarks=["nope"]),
+                tiny_payload(seeds=[]),
+                tiny_payload(extra_field=1),
+                tiny_payload(trace_cycles=0),
+            ]
+            for i, payload in enumerate(cases):
+                status, _, body = await http(port, "POST", "/jobs",
+                                             payload, client=f"bad{i}")
+                assert status == 400, payload
+                assert "error" in body
+            status, _, _ = await http(port, "GET", "/jobs/absent")
+            assert status == 404
+            status, _, _ = await http(port, "GET", "/nowhere")
+            assert status == 404
+            status, _, body = await http(port, "GET",
+                                         "/jobs/absent/envelope")
+            assert status == 404
+
+        run_with_service(base_config(tmp_path), scenario)
+
+    def test_drain_endpoint(self, tmp_path):
+        async def scenario(service):
+            port = service.port
+            status, _, body = await http(port, "POST", "/drain")
+            assert status == 200 and body["drained"]
+            # Draining: new submissions refused with Retry-After.
+            status, headers, _ = await http(port, "POST", "/jobs",
+                                            tiny_payload(), client="late")
+            assert status == 503
+            assert "retry-after" in headers
+
+        run_with_service(base_config(tmp_path), scenario)
+
+
+class TestBackpressure:
+    def test_rate_limit_429_with_retry_after(self, tmp_path):
+        async def scenario(service):
+            port = service.port
+            # Burn the 3-token burst with invalid (cheap) submissions —
+            # admission happens before validation, so these cost tokens.
+            for _ in range(3):
+                status, _, _ = await http(port, "POST", "/jobs", {},
+                                          client="limited")
+                assert status == 400
+            status, headers, body = await http(port, "POST", "/jobs", {},
+                                               client="limited")
+            assert status == 429
+            assert int(headers["retry-after"]) >= 1
+            assert body["retry_after_s"] > 0
+            # Other clients are unaffected (per-client buckets).
+            status, _, _ = await http(port, "POST", "/jobs", {},
+                                      client="someone-else")
+            assert status == 400
+
+        run_with_service(base_config(tmp_path), scenario)
+
+    def test_queue_depth_exceeded(self, tmp_path):
+        async def scenario(service):
+            port = service.port
+            status, headers, body = await http(
+                port, "POST", "/jobs", tiny_payload(seeds=[1, 2, 3]),
+                client="deep")
+            assert status == 503  # 3 specs can never fit depth 2
+            assert "retry-after" in headers
+            assert body["max_queue_depth"] == 2
+
+        run_with_service(base_config(tmp_path, max_queue_depth=2),
+                         scenario)
+
+
+class TestDegradation:
+    def test_sustained_overload_downshifts_to_smoke(self, tmp_path):
+        async def scenario(service):
+            port = service.port
+            payload = tiny_payload(seeds=[1, 2], trace_cycles=200,
+                                   warmup=50, measure=50)
+            status, _, body = await http(port, "POST", "/jobs", payload,
+                                         client="degraded")
+            assert status == 202
+            assert body["degraded"]
+            record = body["degradation"]
+            assert record["original"]["seeds"] == [1, 2]
+            assert record["effective"]["seeds"] == [1]  # smoke: one seed
+            assert body["specs"] == 1
+            final = await wait_sealed(port, body["job"])
+            assert final["degraded"]
+            _, _, envelope = await http(port, "GET",
+                                        f"/jobs/{body['job']}/envelope")
+            assert envelope["degradation"]["effective"]["seeds"] == [1]
+
+        # degrade_highwater=-1 + degrade_after_s=0: overloaded from the
+        # first request, so the downshift path runs deterministically.
+        run_with_service(
+            base_config(tmp_path, degrade_highwater=-1,
+                        degrade_after_s=0.0),
+            scenario)
+
+
+class TestEventStream:
+    def test_ndjson_stream_until_sealed(self, tmp_path):
+        async def scenario(service):
+            port = service.port
+            status, _, body = await http(port, "POST", "/jobs",
+                                         tiny_payload(), client="events")
+            assert status == 202
+            job_id = body["job"]
+
+            reader, writer = await asyncio.open_connection("127.0.0.1",
+                                                           port)
+            writer.write((f"GET /jobs/{job_id}/events HTTP/1.1\r\n"
+                          f"Host: t\r\nX-Client: events\r\n\r\n"
+                          ).encode())
+            await writer.drain()
+            header = await reader.readuntil(b"\r\n\r\n")
+            assert b"200 OK" in header
+            assert b"application/x-ndjson" in header
+            events = []
+            while True:
+                line = await asyncio.wait_for(reader.readline(), 60.0)
+                if not line:
+                    break
+                events.append(json.loads(line))
+                if events[-1].get("event") == "sealed":
+                    break
+            # The server must close the stream promptly after sealing —
+            # a follower blocks on EOF, so a connection fd leaked into a
+            # pool worker (or a missing close) would hang every client.
+            tail = await asyncio.wait_for(reader.readline(), 10.0)
+            assert tail == b""
+            writer.close()
+            await writer.wait_closed()
+            kinds = [event["event"] for event in events]
+            assert kinds[0] == "snapshot"
+            assert kinds[-1] == "sealed"
+            assert events[-1]["status"] == "proven"
+
+        run_with_service(base_config(tmp_path), scenario)
+
+    def test_stream_on_sealed_job_ends_with_sealed_event(self, tmp_path):
+        """Attaching to an already-sealed job must still deliver a
+        terminal ``sealed`` event (followers key their exit status off
+        its ``status``), then EOF."""
+        async def scenario(service):
+            port = service.port
+            status, _, body = await http(port, "POST", "/jobs",
+                                         tiny_payload(), client="events")
+            assert status == 202
+            job_id = body["job"]
+            deadline = asyncio.get_running_loop().time() + 120.0
+            while True:
+                status, _, body = await http(port, "GET",
+                                             f"/jobs/{job_id}",
+                                             client="events")
+                if body.get("sealed"):
+                    break
+                assert asyncio.get_running_loop().time() < deadline
+                await asyncio.sleep(0.1)
+
+            reader, writer = await asyncio.open_connection("127.0.0.1",
+                                                           port)
+            writer.write((f"GET /jobs/{job_id}/events HTTP/1.1\r\n"
+                          f"Host: t\r\nX-Client: events\r\n\r\n"
+                          ).encode())
+            await writer.drain()
+            await reader.readuntil(b"\r\n\r\n")
+            events = []
+            while True:
+                line = await asyncio.wait_for(reader.readline(), 30.0)
+                if not line:
+                    break
+                events.append(json.loads(line))
+            writer.close()
+            await writer.wait_closed()
+            kinds = [event["event"] for event in events]
+            assert kinds == ["snapshot", "sealed"]
+            assert events[0]["sealed"] is True
+            assert events[1]["status"] == "proven"
+
+        run_with_service(base_config(tmp_path), scenario)

@@ -1,0 +1,405 @@
+"""Lease supervision unit tests: retry budget, quarantine attribution,
+hung-worker reclaim, crash-resume exactly-once accounting.
+
+The pool is replaced by a ``ThreadPoolExecutor`` and the worker entry
+point by controllable fakes, so worker death (``BrokenProcessPool``),
+hangs and deterministic failures can be injected precisely; the journal,
+table, queue and seal machinery under test are the real thing.
+"""
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+import repro.service.supervisor as supervisor_mod
+from repro.service.config import ServiceConfig
+from repro.service.journal import DONE, FAILED, recover
+from repro.service.model import envelope_identity, parse_request
+from repro.service.supervisor import Supervisor
+
+
+def tiny_request(seeds=(11,), job=""):
+    return parse_request({
+        "benchmarks": ["blackscholes"],
+        "mechanisms": ["Baseline"],
+        "seeds": list(seeds),
+        "trace_cycles": 160,
+        "warmup": 40,
+        "measure": 40,
+        "job": job,
+    })
+
+
+@dataclass
+class FakeResult:
+    """Deterministic stand-in for a RunResult, derived from the spec."""
+
+    seed: int
+
+    def identity_digest(self):
+        return f"digest-{self.seed}"
+
+    def simulation_outputs(self):
+        return {"seed": self.seed, "latency": 10.0 + self.seed}
+
+
+def fake_runner(calls=None, fail=None):
+    """A ``_pool_run_spec`` stand-in.  ``calls`` (a list) records
+    ``(seed, fresh)``; ``fail(seed, nth_run_call)`` may raise to inject
+    faults (audit calls never consult ``fail``)."""
+    lock = threading.Lock()
+    counts = {}
+
+    def run(spec_payload, fresh):
+        seed = spec_payload["seed"]
+        with lock:
+            if calls is not None:
+                calls.append((seed, fresh))
+            nth = counts[seed] = counts.get(seed, 0) + (0 if fresh else 1)
+        if not fresh and fail is not None:
+            fail(seed, nth)
+        return {"digest": f"digest-{seed}", "cached": False}
+
+    return run
+
+
+def service_config(tmp_path, **overrides):
+    base = dict(journal_dir=str(tmp_path / "svc"), workers=2,
+                heartbeat_s=0.02, spec_timeout_s=30.0, retry_budget=3,
+                backoff_base_s=0.01, backoff_cap_s=0.05,
+                audit_fraction=1.0)
+    base.update(overrides)
+    return ServiceConfig(**base)
+
+
+def make_supervisor(config, monkeypatch, run_fn):
+    monkeypatch.setattr(supervisor_mod, "_pool_run_spec", run_fn)
+    monkeypatch.setattr(supervisor_mod, "load_cached",
+                        lambda spec: FakeResult(spec.seed))
+    journal, table = recover(config.journal_path,
+                             fsync_batch=config.fsync_batch)
+    return Supervisor(config, journal, table,
+                      executor_factory=lambda: ThreadPoolExecutor(
+                          max_workers=config.workers))
+
+
+async def wait_sealed(sup, job_id, timeout=20.0):
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while loop.time() < deadline:
+        job = sup.table.jobs.get(job_id)
+        if job is not None and job.sealed:
+            return job
+        await asyncio.sleep(0.01)
+    raise AssertionError(f"job {job_id} did not seal within {timeout}s")
+
+
+def read_envelope(config, job_id):
+    with open(config.envelope_path(job_id)) as fh:
+        return json.load(fh)
+
+
+class TestHappyPath:
+    def test_submit_runs_audits_seals_proven(self, tmp_path, monkeypatch):
+        async def scenario():
+            config = service_config(tmp_path)
+            calls = []
+            sup = make_supervisor(config, monkeypatch, fake_runner(calls))
+            await sup.start()
+            try:
+                request = tiny_request(seeds=(1, 2))
+                job, created = await sup.submit(request, None)
+                assert created
+                job = await wait_sealed(sup, job.job_id)
+            finally:
+                await sup.stop()
+            assert job.seal_status == "proven"
+            envelope = read_envelope(config, job.job_id)
+            assert envelope["status"] == "proven"
+            assert envelope["audit"]["ok"]
+            assert envelope["audit"]["sampled"] == [0, 1]
+            acct = envelope["accounting"]
+            assert acct["executed"] == 2
+            assert acct["double_charged"] == []
+            assert acct["unaccounted"] == []
+            runs = [c for c in calls if not c[1]]
+            audits = [c for c in calls if c[1]]
+            assert sorted(seed for seed, _ in runs) == [1, 2]
+            assert sorted(seed for seed, _ in audits) == [1, 2]
+
+        asyncio.run(scenario())
+
+    def test_resubmission_is_idempotent(self, tmp_path, monkeypatch):
+        async def scenario():
+            config = service_config(tmp_path)
+            sup = make_supervisor(config, monkeypatch, fake_runner())
+            await sup.start()
+            try:
+                request = tiny_request()
+                job1, created1 = await sup.submit(request, None)
+                job2, created2 = await sup.submit(request, None)
+                assert created1 and not created2
+                assert job1 is job2
+                await wait_sealed(sup, job1.job_id)
+            finally:
+                await sup.stop()
+
+        asyncio.run(scenario())
+
+
+class TestFaults:
+    def test_deterministic_failure_is_terminal(self, tmp_path,
+                                               monkeypatch):
+        """An in-run exception would recur on retry, so it consumes the
+        whole budget at once and the job still seals (partial)."""
+        async def scenario():
+            config = service_config(tmp_path)
+
+            def fail(seed, nth):
+                raise ValueError(f"poison spec {seed}")
+
+            sup = make_supervisor(config, monkeypatch,
+                                  fake_runner(fail=fail))
+            await sup.start()
+            try:
+                job, _ = await sup.submit(tiny_request(), None)
+                job = await wait_sealed(sup, job.job_id)
+            finally:
+                await sup.stop()
+            assert job.specs[0].status == FAILED
+            assert "poison" in job.specs[0].error
+            envelope = read_envelope(config, job.job_id)
+            assert envelope["status"] == "partial"
+            assert envelope["accounting"]["failed"] == [0]
+
+        asyncio.run(scenario())
+
+    def test_worker_death_charged_until_budget(self, tmp_path,
+                                               monkeypatch):
+        """A spec whose worker dies every time (cohort of one: fully
+        attributable) is charged each attempt and declared poison after
+        the retry budget — the queue never wedges."""
+        async def scenario():
+            config = service_config(tmp_path, retry_budget=2)
+            attempts = []
+
+            def fail(seed, nth):
+                attempts.append(nth)
+                raise BrokenProcessPool("worker died")
+
+            sup = make_supervisor(config, monkeypatch,
+                                  fake_runner(fail=fail))
+            await sup.start()
+            try:
+                job, _ = await sup.submit(tiny_request(), None)
+                job = await wait_sealed(sup, job.job_id)
+            finally:
+                await sup.stop()
+            assert job.specs[0].status == FAILED
+            assert "retry budget" in job.specs[0].error
+            assert len(attempts) == 2  # charged once per budget slot
+
+        asyncio.run(scenario())
+
+    def test_pool_break_with_cohort_is_uncharged(self, tmp_path,
+                                                 monkeypatch):
+        """Two leases in flight when the pool breaks: neither is provably
+        guilty, both are requeued uncharged, and the reruns (in
+        quarantine solo rounds) complete at attempt 1."""
+        async def scenario():
+            config = service_config(tmp_path, retry_budget=1)
+            barrier = threading.Barrier(2, timeout=10.0)
+            died = set()
+            lock = threading.Lock()
+
+            def fail(seed, nth):
+                with lock:
+                    first_time = seed not in died
+                    died.add(seed)
+                if first_time:
+                    barrier.wait()  # both leases in flight at the break
+                    raise BrokenProcessPool("pool broke")
+
+            sup = make_supervisor(config, monkeypatch,
+                                  fake_runner(fail=fail))
+            await sup.start()
+            try:
+                job, _ = await sup.submit(tiny_request(seeds=(1, 2)), None)
+                job = await wait_sealed(sup, job.job_id)
+            finally:
+                await sup.stop()
+            # retry_budget=1: a *charged* reclaim would have been fatal,
+            # so sealing proves the cohort reclaim was uncharged.
+            assert all(s.status == DONE for s in job.specs)
+            acct = sup.table.accounting(job.job_id)
+            assert acct["double_charged"] == []
+            for spec in job.specs:
+                assert spec.done_attempts == {1}  # retried at attempt 1
+
+        asyncio.run(scenario())
+
+    def test_hung_worker_lease_expires(self, tmp_path, monkeypatch):
+        """A worker that blows through the hard per-spec ceiling loses
+        its lease: the pool is recycled and the spec is charged."""
+        async def scenario():
+            config = service_config(tmp_path, retry_budget=1,
+                                    spec_timeout_s=0.15)
+            release = threading.Event()
+
+            def fail(seed, nth):
+                if nth == 1:
+                    release.wait(10.0)  # hang until the test releases
+
+            sup = make_supervisor(config, monkeypatch,
+                                  fake_runner(fail=fail))
+            await sup.start()
+            try:
+                job, _ = await sup.submit(tiny_request(), None)
+                job = await wait_sealed(sup, job.job_id)
+            finally:
+                release.set()
+                await sup.stop()
+            assert job.specs[0].status == FAILED
+            assert "lease expired" in job.specs[0].error
+
+        asyncio.run(scenario())
+
+
+class TestBackoff:
+    def test_backoff_grows_and_caps(self, tmp_path):
+        config = service_config(tmp_path, backoff_base_s=0.25,
+                                backoff_cap_s=2.0, jitter=0.0)
+        journal, table = recover(config.journal_path)
+        try:
+            sup = Supervisor(config, journal, table,
+                             executor_factory=ThreadPoolExecutor)
+            delays = [sup._backoff(attempt) for attempt in range(1, 8)]
+            assert delays[0] == 0.25
+            assert delays == sorted(delays)
+            assert max(delays) == 2.0
+        finally:
+            journal.close()
+
+    def test_jitter_is_deterministic_per_instance(self, tmp_path):
+        config = service_config(tmp_path, jitter=0.5)
+        journal, table = recover(config.journal_path)
+        try:
+            mk = lambda: Supervisor(  # noqa: E731
+                config, journal, table,
+                executor_factory=ThreadPoolExecutor)
+            a = [mk()._backoff(n) for n in range(1, 6)]
+            b = [mk()._backoff(n) for n in range(1, 6)]
+            assert a == b
+            assert all(d >= config.backoff_base_s for d in a[:1])
+        finally:
+            journal.close()
+
+
+class TestCrashResume:
+    def test_restart_resumes_without_recharging(self, tmp_path,
+                                                monkeypatch):
+        """Stop the supervisor after the first spec completes, recover a
+        fresh one from the same journal: only the unfinished spec runs
+        again, nothing is double-charged, and the sealed envelope's
+        identity matches an uninterrupted run's bit for bit."""
+        async def interrupted():
+            config = service_config(tmp_path)
+            first_done = asyncio.Event()
+            calls = []
+
+            sup = make_supervisor(config, monkeypatch, fake_runner(calls))
+            queue = None
+            await sup.start()
+            request = tiny_request(seeds=(1, 2), job="resume-me")
+            try:
+                job, _ = await sup.submit(request, None)
+                queue = sup.subscribe(job.job_id)
+                while True:
+                    event = await asyncio.wait_for(queue.get(), 10.0)
+                    if event.get("event") == "spec_done":
+                        first_done.set()
+                        break
+            finally:
+                await sup.stop()  # "crash": abandon everything in flight
+
+            runs_before = [c for c in calls if not c[1]]
+            assert len(runs_before) >= 1
+
+            sup2 = make_supervisor(config, monkeypatch,
+                                   fake_runner(calls))
+            await sup2.start()
+            try:
+                job = await wait_sealed(sup2, request.job)
+            finally:
+                await sup2.stop()
+            acct = sup2.table.accounting(request.job)
+            assert acct["double_charged"] == []
+            assert acct["unaccounted"] == []
+            assert job.seal_status == "proven"
+            return read_envelope(config, request.job)
+
+        async def uninterrupted():
+            config = service_config(tmp_path, journal_dir=str(
+                tmp_path / "control"))
+            sup = make_supervisor(config, monkeypatch, fake_runner())
+            await sup.start()
+            request = tiny_request(seeds=(1, 2), job="resume-me")
+            try:
+                await sup.submit(request, None)
+                await wait_sealed(sup, request.job)
+            finally:
+                await sup.stop()
+            return read_envelope(config, request.job)
+
+        resumed = asyncio.run(interrupted())
+        control = asyncio.run(uninterrupted())
+        assert envelope_identity(resumed) == envelope_identity(control)
+        assert resumed["identity_digest"] == control["identity_digest"]
+
+    def test_recovery_reenqueues_at_max_attempt(self, tmp_path,
+                                                monkeypatch):
+        """A restart is not the spec's fault: the re-enqueued item keeps
+        the highest journaled attempt number instead of consuming a new
+        budget slot, so repeated server kills can never exhaust a spec's
+        retry budget."""
+        async def scenario():
+            config = service_config(tmp_path, retry_budget=1)
+            journal, table = recover(config.journal_path)
+            request = tiny_request(job="kill-cycle")
+            # Hand-journal a submission whose one spec was leased (at its
+            # only budgeted attempt) when the server died.
+            from repro.service.model import expand_specs, spec_to_json
+            specs = expand_specs(request)
+            journal.append({"t": "job", "job": request.job,
+                            "request": request.to_json(),
+                            "degradation": None,
+                            "specs": [spec_to_json(s) for s in specs],
+                            "keys": [s.cache_key() for s in specs]},
+                           durable=True)
+            journal.append({"t": "lease", "job": request.job, "index": 0,
+                            "kind": "run", "worker": 0, "attempt": 1},
+                           durable=True)
+            journal.close()
+
+            monkeypatch.setattr(supervisor_mod, "_pool_run_spec",
+                                fake_runner())
+            monkeypatch.setattr(supervisor_mod, "load_cached",
+                                lambda spec: FakeResult(spec.seed))
+            journal2, table2 = recover(config.journal_path)
+            sup = Supervisor(config, journal2, table2,
+                             executor_factory=lambda: ThreadPoolExecutor(
+                                 max_workers=2))
+            await sup.start()
+            try:
+                job = await wait_sealed(sup, request.job)
+            finally:
+                await sup.stop()
+            # Budget is 1 and attempt 1 was already journaled; sealing
+            # proven means the restart re-ran it uncharged.
+            assert job.seal_status == "proven"
+            assert job.specs[0].status == DONE
+
+        asyncio.run(scenario())
