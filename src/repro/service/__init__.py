@@ -13,7 +13,7 @@ job may seal.  ``python -m repro.service`` is the CLI.
 
 from repro.service.config import ServiceConfig
 from repro.service.journal import (JobTable, Journal, JournalError,
-                                   recover, scan_journal)
+                                   RecordTooLarge, recover, scan_journal)
 from repro.service.model import (CampaignRequest, RequestError,
                                  build_envelope, degrade_request,
                                  derive_job_id, envelope_digest,
@@ -28,6 +28,7 @@ __all__ = [
     "JobTable",
     "Journal",
     "JournalError",
+    "RecordTooLarge",
     "RequestError",
     "ServiceConfig",
     "Supervisor",

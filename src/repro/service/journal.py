@@ -51,6 +51,14 @@ class JournalError(RuntimeError):
     """Unrecoverable journal problem (wrong magic: not our file)."""
 
 
+class RecordTooLarge(JournalError):
+    """A record would exceed the frame-length limit the recovery scan
+    enforces.  Raised by :meth:`Journal.append` *before* writing: a
+    frame the scan would refuse must never be written (let alone
+    fsynced and acknowledged) — it would be silently discarded, along
+    with every record after it, on the next restart."""
+
+
 @dataclass
 class JournalScan:
     """Result of scanning a journal file."""
@@ -67,6 +75,11 @@ class JournalScan:
 def _encode(record: dict) -> bytes:
     payload = json.dumps(record, sort_keys=True,
                          separators=(",", ":")).encode()
+    if len(payload) > MAX_RECORD_BYTES:
+        raise RecordTooLarge(
+            f"record of {len(payload)} bytes exceeds the journal frame "
+            f"limit of {MAX_RECORD_BYTES} bytes; the recovery scan "
+            f"would discard it")
     header = len(payload).to_bytes(4, "little") + \
         (zlib.crc32(payload) & 0xFFFFFFFF).to_bytes(4, "little")
     return header + payload
@@ -180,7 +193,9 @@ class Journal:
     def append(self, record: dict, durable: bool = False) -> None:
         """Append one record.  ``durable=True`` forces an fsync before
         returning (used for every record the service acknowledges to a
-        client or relies on for exactly-once accounting)."""
+        client or relies on for exactly-once accounting).  Raises
+        :class:`RecordTooLarge` — writing nothing — for a record the
+        recovery scan's frame-length limit would reject."""
         if self._closed:
             raise JournalError("journal is closed")
         self._fh.write(_encode(record))

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import re
 from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -49,6 +50,12 @@ SMOKE_MAX_SEEDS = 1
 
 _CONFIG_FIELDS = {f.name for f in fields(NocConfig)}
 _SPEC_FIELDS = {f.name for f in fields(RunSpec)}
+
+#: Client-supplied job ids become filesystem names (the envelope is
+#: published at ``<journal_dir>/<job>.envelope.json``), so they must be
+#: a single safe path component: leading alphanumeric keeps ``.`` and
+#: ``..`` (and dotfiles) out, the charset keeps separators out.
+_JOB_ID_RE = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]{0,63}")
 
 
 @dataclass(frozen=True)
@@ -186,6 +193,10 @@ def parse_request(payload: dict) -> CampaignRequest:
     job = payload.get("job", "")
     if not isinstance(job, str):
         raise RequestError("field 'job' must be a string")
+    if job and not _JOB_ID_RE.fullmatch(job):
+        raise RequestError(
+            "field 'job' must match [A-Za-z0-9][A-Za-z0-9._-]{0,63} "
+            "(a single safe path component)")
     request = CampaignRequest(
         benchmarks=benchmarks, mechanisms=mechanisms,
         seeds=tuple(seeds_raw), trace_cycles=trace_cycles, warmup=warmup,

@@ -36,12 +36,20 @@ import signal
 from typing import Dict, Optional, Tuple
 
 from repro.service.config import ServiceConfig
-from repro.service.journal import JobState, recover
+from repro.service.journal import JobState, RecordTooLarge, recover
 from repro.service.model import RequestError, degrade_request, \
     parse_request
 from repro.service.supervisor import Supervisor
 
 _log = logging.getLogger("repro.service.server")
+
+#: Whole-request read deadline and header caps: a client that sends the
+#: request line and then stalls (or drips headers forever) must not hold
+#: a connection and its subscriber resources open — slowloris defence.
+_REQUEST_TIMEOUT_S = 10.0
+_MAX_HEADERS = 64
+_MAX_HEADER_BYTES = 32 << 10
+_MAX_BODY_BYTES = 8 << 20
 
 
 class TokenBucket:
@@ -186,26 +194,42 @@ class CampaignService:
     async def _read_request(self, reader: asyncio.StreamReader
                             ) -> Optional[Tuple[str, str, Dict[str, str],
                                                 bytes]]:
+        """Read one request under a single whole-request deadline; any
+        stall, drip, overrun or malformation yields ``None`` (-> 400)."""
         try:
-            request_line = await asyncio.wait_for(reader.readline(),
-                                                  timeout=10.0)
-        except asyncio.TimeoutError:
+            return await asyncio.wait_for(self._read_request_parts(reader),
+                                          timeout=_REQUEST_TIMEOUT_S)
+        except (asyncio.TimeoutError, asyncio.IncompleteReadError,
+                ValueError):
+            # ValueError covers both a garbage Content-Length and the
+            # StreamReader line-length limit being blown.
             return None
+
+    async def _read_request_parts(self, reader: asyncio.StreamReader
+                                  ) -> Optional[Tuple[str, str,
+                                                      Dict[str, str],
+                                                      bytes]]:
+        request_line = await reader.readline()
         parts = request_line.decode("latin-1").split()
         if len(parts) < 2:
             return None
         method, target = parts[0].upper(), parts[1]
         headers: Dict[str, str] = {}
+        header_bytes = 0
         while True:
             line = await reader.readline()
             if line in (b"\r\n", b"\n", b""):
                 break
+            header_bytes += len(line)
+            if len(headers) >= _MAX_HEADERS or \
+                    header_bytes > _MAX_HEADER_BYTES:
+                return None
             name, _, value = line.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
         body = b""
         length = int(headers.get("content-length", "0") or "0")
         if length:
-            body = await reader.readexactly(min(length, 8 << 20))
+            body = await reader.readexactly(min(length, _MAX_BODY_BYTES))
         return method, target, headers, body
 
     async def _dispatch(self, reader: asyncio.StreamReader,
@@ -245,6 +269,7 @@ class CampaignService:
             "jobs": len(self.table.jobs),
             "open_specs": self.supervisor.open_specs,
             "overloaded": self._overloaded(),
+            "supervision_errors": self.supervisor.supervision_errors,
             "worker_pids": pids,
         })
 
@@ -310,7 +335,15 @@ class CampaignService:
                  "open_specs": open_specs,
                  "max_queue_depth": self.config.max_queue_depth},
                 extra_headers=(("Retry-After", "5"),))
-        job, created = await self.supervisor.submit(request, degradation)
+        try:
+            job, created = await self.supervisor.submit(request,
+                                                        degradation)
+        except RecordTooLarge as exc:
+            # The campaign's journal record would blow the frame limit
+            # the recovery scan enforces; acknowledging it would mean
+            # losing it (and everything after it) on restart.
+            return _json_body(413, "Payload Too Large",
+                              {"error": str(exc)})
         return _json_body(202 if created else 200,
                           "Accepted" if created else "OK", {
                               "job": job.job_id,

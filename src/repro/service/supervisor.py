@@ -130,6 +130,10 @@ class Supervisor:
         self._running = False
         #: Reclaim/interruption counters for honest envelope accounting.
         self._reclaims: Dict[str, int] = {}
+        #: Supervision failures survived (journal-append OSError and the
+        #: like) — exposed through /healthz so repeated disk trouble is
+        #: visible instead of silently retried forever.
+        self.supervision_errors = 0
         #: Fire-and-forget tasks (terminal-failure journaling) kept alive
         #: until done.
         self._bg_tasks: Set[asyncio.Task] = set()
@@ -236,20 +240,29 @@ class Supervisor:
         """Admit one campaign: journal it durably (the ack the client
         receives is backed by fsynced bytes), then enqueue its specs.
         Resubmitting an existing job id is idempotent: returns the
-        existing job, enqueues nothing."""
-        existing = self.table.jobs.get(request.job)
-        if existing is not None:
-            return existing, False
-        specs = expand_specs(request)
-        record = {
-            "t": "job",
-            "job": request.job,
-            "request": request.to_json(),
-            "degradation": degradation,
-            "specs": [spec_to_json(spec) for spec in specs],
-            "keys": [spec.cache_key() for spec in specs],
-        }
-        await self._append(record, durable=True)
+        existing job, enqueues nothing.  The existence check and the
+        journal append happen under one lock so two concurrent
+        submissions of the same id cannot both pass the check and
+        enqueue the spec grid twice."""
+        lock = self._journal_lock
+        assert lock is not None, "supervisor not started"
+        loop = asyncio.get_running_loop()
+        async with lock:
+            existing = self.table.jobs.get(request.job)
+            if existing is not None:
+                return existing, False
+            specs = expand_specs(request)
+            record = {
+                "t": "job",
+                "job": request.job,
+                "request": request.to_json(),
+                "degradation": degradation,
+                "specs": [spec_to_json(spec) for spec in specs],
+                "keys": [spec.cache_key() for spec in specs],
+            }
+            await loop.run_in_executor(
+                None, self.journal.append, record, True)
+            self.table.apply(record)
         job = self.table.jobs[request.job]
         for state in job.specs:
             self._queue.append(_Item(job.job_id, state.index, RUN, 1))
@@ -316,6 +329,12 @@ class Supervisor:
             if item.kind == RUN and state.status in (DONE, FAILED):
                 self._queue.pop(position)  # stale (e.g. duplicate requeue)
                 return None
+            if (item.job_id, item.index, item.kind) in self._inflight or \
+                    (item.kind == RUN and state.status == LEASED):
+                # Already executing under another lease: a duplicate
+                # item must wait (it dies as stale once the spec lands)
+                # rather than run the same spec concurrently twice.
+                continue
             return self._queue.pop(position)
         return None
 
@@ -339,13 +358,25 @@ class Supervisor:
                 self._fail_item(item, f"{reason}; retry budget "
                                 f"({self.config.retry_budget}) exhausted"))
             self._bg_tasks.add(task)
-            task.add_done_callback(self._bg_tasks.discard)
+            task.add_done_callback(self._bg_done)
             return
         delay = self._backoff(next_attempt)
         _log.warning("reclaiming lease %s/%d (%s): retry %d in %.2fs",
                      item.job_id, item.index, reason, next_attempt, delay)
         self._queue.append(_Item(item.job_id, item.index, item.kind,
                                  next_attempt, now + delay))
+
+    def _bg_done(self, task: "asyncio.Task") -> None:
+        """Reap a fire-and-forget journaling task, counting (not
+        swallowing) its failure so /healthz can surface disk trouble."""
+        self._bg_tasks.discard(task)
+        if task.cancelled():
+            return
+        exc = task.exception()
+        if exc is not None:
+            self.supervision_errors += 1
+            _log.error("background journaling task failed",
+                       exc_info=exc)
 
     async def _fail_item(self, item: _Item, error: str) -> None:
         if item.kind == AUDIT:
@@ -370,7 +401,23 @@ class Supervisor:
             if item is None:
                 await asyncio.sleep(0.02)
                 continue
-            await self._run_item(wid, item)
+            try:
+                await self._run_item(wid, item)
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # repro: allow[bare-except]
+                # Supervision itself failed (e.g. an OSError from the
+                # journal append in _complete_item: disk full).  The
+                # worker coroutine must survive — a dead worker would
+                # leave the service accepting jobs it never executes —
+                # so reclaim the lease uncharged and keep serving.
+                self.supervision_errors += 1
+                _log.exception("worker %d: supervision of %s/%d failed",
+                               wid, item.job_id, item.index)
+                self._inflight.discard(
+                    (item.job_id, item.index, item.kind))
+                self._reclaim(item, loop.time(), charged=False,
+                              reason="supervision error (see log)")
 
     async def _run_item(self, wid: int, item: _Item) -> None:
         loop = asyncio.get_running_loop()

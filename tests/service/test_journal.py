@@ -10,9 +10,9 @@ import json
 
 import pytest
 
-from repro.service.journal import (DONE, FAILED, MAGIC, JobTable,
-                                   Journal, JournalError, recover,
-                                   scan_journal)
+from repro.service.journal import (DONE, FAILED, MAGIC, MAX_RECORD_BYTES,
+                                   JobTable, Journal, JournalError,
+                                   RecordTooLarge, recover, scan_journal)
 
 
 def _job_record(job_id="job1", n_specs=3):
@@ -226,3 +226,19 @@ class TestRecover:
         journal.close()
         with pytest.raises(JournalError):
             journal.append({"t": "x"})
+
+    def test_oversized_record_rejected_before_writing(self, tmp_path):
+        """A record the recovery scan's frame-length limit would refuse
+        must be rejected at append time, not durably written and then
+        silently discarded (with everything after it) on restart."""
+        path = tmp_path / "j"
+        journal = Journal(path)
+        journal.append({"t": "ok"}, durable=True)
+        huge = {"t": "job", "blob": "x" * (MAX_RECORD_BYTES + 1)}
+        with pytest.raises(RecordTooLarge):
+            journal.append(huge, durable=True)
+        journal.append({"t": "after"}, durable=True)
+        journal.close()
+        scan = scan_journal(path)
+        assert not scan.truncated
+        assert scan.records == [{"t": "ok"}, {"t": "after"}]

@@ -10,6 +10,7 @@ particular) are asserted as actual wire bytes.
 import asyncio
 import json
 
+import repro.service.server as server_mod
 from repro.service.config import ServiceConfig
 from repro.service.server import CampaignService, TokenBucket
 
@@ -110,6 +111,7 @@ class TestRoutes:
             status, _, health = await http(port, "GET", "/healthz")
             assert status == 200
             assert health["status"] == "ok"
+            assert health["supervision_errors"] == 0
 
             status, _, body = await http(port, "POST", "/jobs",
                                          tiny_payload(), client="life")
@@ -161,6 +163,28 @@ class TestRoutes:
 
         run_with_service(base_config(tmp_path), scenario)
 
+    def test_job_id_must_be_safe_path_component(self, tmp_path):
+        """Client-supplied job ids become envelope filenames, so a
+        traversal-shaped id must be a 400, never a filesystem write
+        outside the journal directory."""
+        async def scenario(service):
+            port = service.port
+            bad_ids = ["../../tmp/evil", "..", ".", "a/b", "a\\b",
+                       ".hidden", "x" * 65, "job id"]
+            for i, bad in enumerate(bad_ids):
+                status, _, body = await http(port, "POST", "/jobs",
+                                             tiny_payload(job=bad),
+                                             client=f"trav{i}")
+                assert status == 400, bad
+                assert "job" in body["error"]
+            status, _, body = await http(port, "POST", "/jobs",
+                                         tiny_payload(job="My-job.01"),
+                                         client="trav-ok")
+            assert status == 202
+            assert body["job"] == "My-job.01"
+
+        run_with_service(base_config(tmp_path), scenario)
+
     def test_drain_endpoint(self, tmp_path):
         async def scenario(service):
             port = service.port
@@ -209,6 +233,41 @@ class TestBackpressure:
 
         run_with_service(base_config(tmp_path, max_queue_depth=2),
                          scenario)
+
+
+class TestRequestHardening:
+    def test_stalled_header_drip_times_out(self, tmp_path, monkeypatch):
+        """A client that sends the request line and then stalls must not
+        hold the connection open past the whole-request deadline
+        (slowloris defence) — it gets a 400 and the socket closes."""
+        monkeypatch.setattr(server_mod, "_REQUEST_TIMEOUT_S", 0.2)
+
+        async def scenario(service):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", service.port)
+            writer.write(b"GET /healthz HTTP/1.1\r\nX-Drip: ")  # stall
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(), 10.0)
+            assert b"400" in raw.split(b"\r\n", 1)[0]
+            writer.close()
+            await writer.wait_closed()
+
+        run_with_service(base_config(tmp_path), scenario)
+
+    def test_header_flood_rejected(self, tmp_path):
+        async def scenario(service):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", service.port)
+            head = "GET /healthz HTTP/1.1\r\n" + "".join(
+                f"X-H{i}: v\r\n" for i in range(200)) + "\r\n"
+            writer.write(head.encode())
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(), 10.0)
+            assert b"400" in raw.split(b"\r\n", 1)[0]
+            writer.close()
+            await writer.wait_closed()
+
+        run_with_service(base_config(tmp_path), scenario)
 
 
 class TestDegradation:

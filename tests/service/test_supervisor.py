@@ -149,6 +149,30 @@ class TestHappyPath:
 
         asyncio.run(scenario())
 
+    def test_concurrent_duplicate_submissions_enqueue_once(self,
+                                                           tmp_path):
+        """Racing submissions of the same job id must not both pass the
+        existence check: exactly one creates the job and the spec grid is
+        enqueued exactly once (no workers running, so the queue length is
+        the direct evidence)."""
+        async def scenario():
+            config = service_config(tmp_path)
+            journal, table = recover(config.journal_path)
+            sup = Supervisor(config, journal, table,
+                             executor_factory=ThreadPoolExecutor)
+            sup._journal_lock = asyncio.Lock()
+            try:
+                request = tiny_request(seeds=(1, 2))
+                results = await asyncio.gather(
+                    *(sup.submit(request, None) for _ in range(5)))
+            finally:
+                journal.close()
+            assert sum(1 for _, created in results if created) == 1
+            assert len({job.job_id for job, _ in results}) == 1
+            assert len(sup._queue) == 2  # one item per spec, once
+
+        asyncio.run(scenario())
+
 
 class TestFaults:
     def test_deterministic_failure_is_terminal(self, tmp_path,
@@ -264,6 +288,75 @@ class TestFaults:
                 await sup.stop()
             assert job.specs[0].status == FAILED
             assert "lease expired" in job.specs[0].error
+
+        asyncio.run(scenario())
+
+
+class TestQueueDiscipline:
+    def test_pop_skips_leased_and_inflight_specs(self, tmp_path):
+        """A spec that is LEASED (or whose key is in flight) must not be
+        schedulable: a duplicate queue item waits instead of running the
+        same spec concurrently on two workers."""
+        from repro.service.model import expand_specs, spec_to_json
+        from repro.service.supervisor import RUN, _Item
+
+        config = service_config(tmp_path)
+        journal, table = recover(config.journal_path)
+        try:
+            sup = Supervisor(config, journal, table,
+                             executor_factory=ThreadPoolExecutor)
+            request = tiny_request(job="queue-discipline")
+            specs = expand_specs(request)
+            table.apply({"t": "job", "job": request.job,
+                         "request": request.to_json(),
+                         "degradation": None,
+                         "specs": [spec_to_json(s) for s in specs],
+                         "keys": [s.cache_key() for s in specs]})
+            sup._queue = [_Item(request.job, 0), _Item(request.job, 0)]
+            table.apply({"t": "lease", "job": request.job, "index": 0,
+                         "kind": "run", "worker": 0, "attempt": 1})
+            assert sup._pop_ready(0.0) is None  # leased: both wait
+            assert len(sup._queue) == 2
+            table.jobs[request.job].specs[0].lease = None
+            assert sup._pop_ready(0.0) is not None  # one copy runs...
+            sup._inflight.add((request.job, 0, RUN))
+            assert sup._pop_ready(0.0) is None  # ...blocking its twin
+        finally:
+            journal.close()
+
+
+class TestSupervisionFailure:
+    def test_worker_survives_journal_append_failure(self, tmp_path,
+                                                    monkeypatch):
+        """An OSError escaping the journal append (disk full) must not
+        kill the worker coroutine: the lease is reclaimed uncharged, the
+        spec retries, the job still seals, and the failure is counted
+        for /healthz."""
+        async def scenario():
+            config = service_config(tmp_path)
+            sup = make_supervisor(config, monkeypatch, fake_runner())
+            real_append = sup.journal.append
+            tripped = []
+
+            def flaky_append(record, durable=False):
+                if record.get("t") == "done" and not tripped:
+                    tripped.append(record)
+                    raise OSError("disk full")
+                real_append(record, durable)
+
+            sup.journal.append = flaky_append
+            await sup.start()
+            try:
+                job, _ = await sup.submit(tiny_request(), None)
+                job = await wait_sealed(sup, job.job_id)
+            finally:
+                await sup.stop()
+            assert tripped
+            assert sup.supervision_errors == 1
+            assert job.seal_status == "proven"
+            acct = sup.table.accounting(job.job_id)
+            assert acct["double_charged"] == []
+            assert acct["unaccounted"] == []
 
         asyncio.run(scenario())
 
